@@ -1,0 +1,49 @@
+//! Criterion bench: topology generation and all-pairs RTT computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecg_topology::shortest_path::{all_pairs_rtt, dijkstra};
+use ecg_topology::{NodeId, TransitStubConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generate");
+    for &stubs in &[2usize, 4, 8] {
+        let cfg = TransitStubConfig::default().stub_domains_per_transit_node(stubs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.total_nodes()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| cfg.generate(&mut StdRng::seed_from_u64(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = TransitStubConfig::default().generate(&mut StdRng::seed_from_u64(2));
+    c.bench_function("dijkstra_400_nodes", |b| {
+        b.iter(|| dijkstra(topo.graph(), NodeId(0)))
+    });
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_rtt");
+    group.sample_size(10);
+    for &stubs in &[2usize, 4] {
+        let cfg = TransitStubConfig::default().stub_domains_per_transit_node(stubs);
+        let topo = cfg.generate(&mut StdRng::seed_from_u64(3));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.total_nodes()),
+            &topo,
+            |b, topo| {
+                b.iter(|| all_pairs_rtt(topo.graph()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_dijkstra, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: GNP Euclidean embedding vs. feature vectors.
+//!
+//! Quantifies the paper's §5.2 cost argument: Euclidean-space mapping is
+//! "computationally intensive" while feature vectors are nearly free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecg_bench::Scenario;
+use ecg_coords::{build_feature_vectors, embed_network, GnpConfig, ProbeConfig, Prober};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_representations(c: &mut Criterion) {
+    let network = Scenario::network_only(100, 11);
+    let landmarks: Vec<usize> = (0..15).collect();
+    let nodes: Vec<usize> = (16..=100).collect();
+
+    let mut group = c.benchmark_group("position_representation");
+    group.sample_size(10);
+    group.bench_function("feature_vectors", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let prober = Prober::new(network.rtt_matrix(), ProbeConfig::default());
+            build_feature_vectors(&prober, &nodes, &landmarks, &mut rng)
+        })
+    });
+    group.bench_function("gnp_embedding", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GnpConfig::default()
+            .dimensions(7)
+            .restarts(1)
+            .max_iterations(400);
+        b.iter(|| {
+            let prober = Prober::new(network.rtt_matrix(), ProbeConfig::default());
+            embed_network(cfg, &prober, &nodes, &landmarks, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

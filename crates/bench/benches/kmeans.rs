@@ -1,0 +1,104 @@
+//! Criterion bench: K-means clustering over landmark feature vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecg_clustering::medoids::pam;
+use ecg_clustering::{kmeans, kmeans_capped, Initializer, KmeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..200.0)).collect())
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &n in &[100usize, 500] {
+        for &k in &[10usize, 50] {
+            let pts = points(n, 25, 42);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("k{k}")),
+                &(pts, k),
+                |b, (pts, k)| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    b.iter(|| {
+                        kmeans(
+                            pts,
+                            KmeansConfig::new(*k),
+                            &Initializer::RandomRepresentative,
+                            &mut rng,
+                        )
+                        .expect("clustering")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_initializers(c: &mut Criterion) {
+    let pts = points(500, 25, 42);
+    let weights: Vec<f64> = (0..500).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut group = c.benchmark_group("kmeans_init");
+    for (name, init) in [
+        ("uniform", Initializer::RandomRepresentative),
+        ("weighted", Initializer::Weighted(weights)),
+        ("kmeans++", Initializer::KmeansPlusPlus),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| init.select(&pts, 50, &mut rng).expect("seeding"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let pts = points(300, 25, 42);
+    let mut group = c.benchmark_group("clustering_variants");
+    group.sample_size(10);
+    group.bench_function("kmeans", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            kmeans(
+                &pts,
+                KmeansConfig::new(30),
+                &Initializer::RandomRepresentative,
+                &mut rng,
+            )
+            .expect("clustering")
+        })
+    });
+    group.bench_function("kmeans_capped", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            kmeans_capped(
+                &pts,
+                KmeansConfig::new(30),
+                &Initializer::RandomRepresentative,
+                15,
+                &mut rng,
+            )
+            .expect("clustering")
+        })
+    });
+    group.bench_function("pam", |b| {
+        let dist = |a: usize, bb: usize| -> f64 {
+            pts[a]
+                .iter()
+                .zip(&pts[bb])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| pam(pts.len(), 30, dist, 3, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_initializers, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,319 @@
+//! Shared experiment harness for reproducing the paper's figures.
+//!
+//! Every figure binary (`fig3` … `fig9`) and ablation uses the same
+//! scenario construction so results are comparable:
+//!
+//! * a transit-stub topology sized for the requested cache count,
+//! * an [`EdgeNetwork`] with the origin on a transit node,
+//! * the sporting-event workload standing in for the IBM Sydney
+//!   Olympics trace,
+//! * the default latency model and utility-based caches.
+//!
+//! Results are printed as aligned text tables (one row per x-axis point,
+//! one column per scheme), which is the `EXPERIMENTS.md` source format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ecg_core::GroupingOutcome;
+use ecg_sim::{simulate, GroupMap, LatencyModel, SimConfig, SimReport};
+use ecg_topology::{EdgeNetwork, OriginPlacement, TransitStubConfig};
+use ecg_workload::{SportingEventConfig, SportingEventWorkload, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully built experiment scenario: network + workload + trace.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The placed edge network.
+    pub network: EdgeNetwork,
+    /// The generated workload (catalog, requests, updates).
+    pub workload: SportingEventWorkload,
+    /// The merged, time-sorted trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl Scenario {
+    /// Builds the standard scenario for `caches` caches.
+    ///
+    /// Deterministic per `seed`; the workload runs for `duration_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if placement fails (cannot happen for the sizes the
+    /// harness uses — `TransitStubConfig::for_caches` guarantees room).
+    pub fn build(caches: usize, duration_ms: f64, seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+        let network = EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+            .expect("scenario placement");
+        let workload = SportingEventConfig::default()
+            .caches(caches)
+            .documents(1_500)
+            .duration_ms(duration_ms)
+            .generate(&mut rng);
+        let trace = workload.merged_trace();
+        Scenario {
+            network,
+            workload,
+            trace,
+        }
+    }
+
+    /// Builds a network-only scenario (no workload) for the clustering
+    /// accuracy figures that never run the simulator.
+    pub fn network_only(caches: usize, seed: u64) -> EdgeNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+        EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+            .expect("scenario placement")
+    }
+
+    /// The harness-standard simulator configuration: 512 KiB caches,
+    /// utility replacement, 1/6 of the trace as warm-up.
+    pub fn sim_config(&self, duration_ms: f64) -> SimConfig {
+        SimConfig::default()
+            .cache_capacity_bytes(512 * 1024)
+            .warmup_ms(duration_ms / 6.0)
+    }
+
+    /// Simulates a grouping on this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups do not partition the scenario's caches.
+    pub fn simulate_groups(
+        &self,
+        groups: &[Vec<ecg_topology::CacheId>],
+        config: SimConfig,
+    ) -> SimReport {
+        let map = GroupMap::new(self.network.cache_count(), groups.to_vec())
+            .expect("grouping partitions the caches");
+        simulate(
+            &self.network,
+            &map,
+            &self.workload.catalog,
+            &self.trace,
+            config,
+        )
+        .expect("simulation inputs are consistent")
+    }
+}
+
+/// The paper's clustering-accuracy metric for a formed grouping: average
+/// group interaction cost in milliseconds, where a pair's interaction
+/// cost is the latency of moving an 8 KiB (average-sized) document
+/// between them under the default latency model.
+pub fn interaction_cost_ms(outcome: &GroupingOutcome, network: &EdgeNetwork) -> f64 {
+    let model = LatencyModel::default();
+    outcome.average_interaction_cost(|a, b| {
+        model.interaction_cost(network.cache_to_cache(a, b), 8.0 * 1024.0)
+    })
+}
+
+/// Arithmetic mean of a non-empty f64 slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Applies `f` to every item on a thread pool sized to the host,
+/// returning results in input order. The figure binaries use this to
+/// run independent (seed, parameter) cells concurrently.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each slot is taken once");
+                let result = f(item);
+                *out[i].lock().expect("out slot lock") = Some(result);
+            });
+        }
+    })
+    .expect("par_map worker panicked");
+
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("out slot lock")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// An aligned text table accumulated row by row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with right-aligned, width-fitted columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(cell, w)| format!("{cell:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with two decimals (the tables' standard cell format).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecg_core::{GfCoordinator, SchemeConfig};
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = Scenario::build(20, 5_000.0, 3);
+        let b = Scenario::build(20, 5_000.0, 3);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.trace, b.trace);
+        assert_ne!(a.trace, Scenario::build(20, 5_000.0, 4).trace);
+    }
+
+    #[test]
+    fn scenario_simulation_round_trip() {
+        let s = Scenario::build(12, 10_000.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = GfCoordinator::new(SchemeConfig::sl(3).landmarks(4))
+            .form_groups(&s.network, &mut rng)
+            .unwrap();
+        let report = s.simulate_groups(outcome.groups(), s.sim_config(10_000.0));
+        assert!(report.average_latency_ms() > 0.0);
+        let gic = interaction_cost_ms(&outcome, &s.network);
+        assert!(gic > 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["K", "SL", "SDSL"]);
+        t.row(["10", "1.00", "2.00"]);
+        t.row(["100", "10.25", "20.50"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("SDSL"));
+        assert!(lines[3].contains("100"));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1"]);
+    }
+
+    #[test]
+    fn mean_and_f2() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f2(12.3456), "12.35");
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(items, |i| i * i);
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+        assert!(par_map(Vec::<usize>::new(), |i: usize| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_runs_closures_once_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out = par_map((0..37).collect::<Vec<_>>(), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+}

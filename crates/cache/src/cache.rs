@@ -1,0 +1,437 @@
+//! The document cache itself.
+
+use crate::entry::Entry;
+use crate::policy::{select_victim, PolicyKind};
+use crate::stats::CacheStats;
+use ecg_workload::DocId;
+use std::collections::BTreeMap;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// A fresh copy was found and served.
+    Hit,
+    /// A copy was found but its version is behind the origin: it was
+    /// dropped, and the caller must fetch. Counted separately from
+    /// `Miss` so experiments can attribute miss traffic to updates.
+    Stale,
+    /// No copy was cached.
+    Miss,
+}
+
+impl LookupOutcome {
+    /// Returns `true` only for a fresh hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupOutcome::Hit)
+    }
+}
+
+/// A byte-capacity-bounded document cache with a pluggable replacement
+/// policy.
+///
+/// Freshness follows an invalidation-on-access model: every lookup and
+/// peer probe carries the origin's *current* version of the document, and
+/// a cached copy with an older version is discarded as stale. This stands
+/// in for the cooperative freshness machinery of the authors' Cache
+/// Clouds system while exercising the same update-driven miss path.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_cache::{DocumentCache, LookupOutcome, PolicyKind};
+/// use ecg_workload::DocId;
+///
+/// let mut cache = DocumentCache::new(10_000, PolicyKind::Lru);
+/// assert_eq!(cache.lookup(DocId(1), 1, 0.0), LookupOutcome::Miss);
+/// cache.insert(DocId(1), 1, 2_000, 30.0, 0.0, 0.0);
+/// assert_eq!(cache.lookup(DocId(1), 1, 1.0), LookupOutcome::Hit);
+/// // Origin bumped the version: the copy is stale.
+/// assert_eq!(cache.lookup(DocId(1), 2, 2.0), LookupOutcome::Stale);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    policy: PolicyKind,
+    entries: BTreeMap<DocId, Entry>,
+    stats: CacheStats,
+    /// GDSF aging watermark `L`.
+    watermark: f64,
+}
+
+impl DocumentCache {
+    /// Creates an empty cache holding at most `capacity_bytes` of
+    /// document bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64, policy: PolicyKind) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be positive");
+        DocumentCache {
+            capacity_bytes,
+            used_bytes: 0,
+            policy,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+            watermark: 0.0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The replacement policy in use.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Serves a client lookup for `doc`, whose current origin version is
+    /// `current_version`, at time `now_ms`.
+    ///
+    /// A fresh copy is touched (recency/frequency bookkeeping) and
+    /// served; a stale copy is dropped and reported as
+    /// [`LookupOutcome::Stale`].
+    pub fn lookup(&mut self, doc: DocId, current_version: u64, now_ms: f64) -> LookupOutcome {
+        self.stats.lookups += 1;
+        match self.entries.get_mut(&doc) {
+            Some(entry) if entry.version >= current_version => {
+                entry.touch(now_ms);
+                self.stats.fresh_hits += 1;
+                LookupOutcome::Hit
+            }
+            Some(_) => {
+                self.remove(doc);
+                self.stats.stale_hits += 1;
+                LookupOutcome::Stale
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupOutcome::Miss
+            }
+        }
+    }
+
+    /// Peer probe: does this cache hold a fresh copy of `doc` at
+    /// `current_version`? No statistics or recency are touched — this is
+    /// the cooperative-lookup path, not a client request.
+    pub fn holds_fresh(&self, doc: DocId, current_version: u64) -> bool {
+        self.entries
+            .get(&doc)
+            .is_some_and(|e| e.version >= current_version)
+    }
+
+    /// Serves a lookup under a TTL lease: a cached copy is valid for
+    /// `ttl_ms` after insertion *regardless of origin version* (the
+    /// lease model — clients may be served stale data within the
+    /// lease). Expired copies are dropped and counted as stale.
+    ///
+    /// Returns the version served on a hit.
+    pub fn lookup_ttl(&mut self, doc: DocId, now_ms: f64, ttl_ms: f64) -> Option<u64> {
+        self.stats.lookups += 1;
+        match self.entries.get_mut(&doc) {
+            Some(entry) if now_ms - entry.inserted_ms <= ttl_ms => {
+                entry.touch(now_ms);
+                self.stats.fresh_hits += 1;
+                Some(entry.version)
+            }
+            Some(_) => {
+                self.remove(doc);
+                self.stats.stale_hits += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peer probe under the TTL lease model: returns the version of an
+    /// unexpired copy of `doc`, if any. No statistics are touched.
+    pub fn holds_unexpired(&self, doc: DocId, now_ms: f64, ttl_ms: f64) -> Option<u64> {
+        self.entries
+            .get(&doc)
+            .filter(|e| now_ms - e.inserted_ms <= ttl_ms)
+            .map(|e| e.version)
+    }
+
+    /// Records that this cache served `doc` to a *peer* (cooperative
+    /// miss handling): recency/frequency are touched so replacement
+    /// policies value documents the group relies on, but client-facing
+    /// hit/miss statistics are untouched.
+    ///
+    /// Returns `true` if a fresh copy was present and touched.
+    pub fn note_peer_serve(&mut self, doc: DocId, current_version: u64, now_ms: f64) -> bool {
+        match self.entries.get_mut(&doc) {
+            Some(entry) if entry.version >= current_version => {
+                entry.touch(now_ms);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Inserts (or replaces) a document copy fetched at cost
+    /// `fetch_cost_ms`, evicting as needed.
+    ///
+    /// A document larger than the whole cache is not cached at all (the
+    /// standard web-cache rule) — the insert is a no-op.
+    pub fn insert(
+        &mut self,
+        doc: DocId,
+        version: u64,
+        size_bytes: u64,
+        fetch_cost_ms: f64,
+        update_rate_per_sec: f64,
+        now_ms: f64,
+    ) {
+        if size_bytes > self.capacity_bytes {
+            return;
+        }
+        // Replacing an existing copy frees its bytes first.
+        self.remove(doc);
+        while self.used_bytes + size_bytes > self.capacity_bytes {
+            let Some((victim, score)) =
+                select_victim(self.policy, self.entries.iter(), now_ms, self.watermark)
+            else {
+                break;
+            };
+            if self.policy == PolicyKind::Gdsf {
+                self.watermark = score;
+            }
+            let evicted = self.remove(victim).expect("victim exists");
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += evicted.size_bytes;
+        }
+        self.entries.insert(
+            doc,
+            Entry::new(
+                version,
+                size_bytes,
+                fetch_cost_ms,
+                update_rate_per_sec,
+                now_ms,
+            ),
+        );
+        self.used_bytes += size_bytes;
+        self.stats.insertions += 1;
+    }
+
+    /// Drops the cached copy of `doc` (if any), returning its entry.
+    ///
+    /// Used for explicit invalidation when an origin update notification
+    /// is pushed to the cache.
+    pub fn remove(&mut self, doc: DocId) -> Option<Entry> {
+        let entry = self.entries.remove(&doc)?;
+        self.used_bytes -= entry.size_bytes;
+        Some(entry)
+    }
+
+    /// Iterates over the cached documents and entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Entry)> + '_ {
+        self.entries.iter().map(|(&d, e)| (d, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(policy: PolicyKind) -> DocumentCache {
+        let mut c = DocumentCache::new(1_000, policy);
+        c.insert(DocId(0), 1, 400, 10.0, 0.0, 0.0);
+        c.insert(DocId(1), 1, 400, 10.0, 0.0, 1.0);
+        c
+    }
+
+    #[test]
+    fn miss_then_hit_then_stale() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lru);
+        assert_eq!(c.lookup(DocId(5), 3, 0.0), LookupOutcome::Miss);
+        c.insert(DocId(5), 3, 100, 20.0, 0.0, 0.0);
+        assert_eq!(c.lookup(DocId(5), 3, 1.0), LookupOutcome::Hit);
+        assert!(c.lookup(DocId(5), 3, 1.5).is_hit());
+        assert_eq!(c.lookup(DocId(5), 4, 2.0), LookupOutcome::Stale);
+        // The stale copy was dropped.
+        assert_eq!(c.lookup(DocId(5), 4, 3.0), LookupOutcome::Miss);
+        let s = c.stats();
+        assert_eq!(s.lookups, 5);
+        assert_eq!(s.fresh_hits, 2);
+        assert_eq!(s.stale_hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_eviction() {
+        let mut c = filled(PolicyKind::Lru);
+        assert_eq!(c.used_bytes(), 800);
+        c.insert(DocId(2), 1, 400, 10.0, 0.0, 2.0);
+        assert!(c.used_bytes() <= 1_000);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().bytes_evicted, 400);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        let mut c = filled(PolicyKind::Lru);
+        // Touch doc 0 so doc 1 becomes the LRU victim.
+        assert!(c.lookup(DocId(0), 1, 5.0).is_hit());
+        c.insert(DocId(2), 1, 400, 10.0, 0.0, 6.0);
+        assert!(c.holds_fresh(DocId(0), 1));
+        assert!(!c.holds_fresh(DocId(1), 1));
+        assert!(c.holds_fresh(DocId(2), 1));
+    }
+
+    #[test]
+    fn oversized_document_is_not_cached() {
+        let mut c = DocumentCache::new(100, PolicyKind::Lru);
+        c.insert(DocId(0), 1, 200, 10.0, 0.0, 0.0);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn replacing_a_copy_does_not_leak_bytes() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lru);
+        c.insert(DocId(0), 1, 400, 10.0, 0.0, 0.0);
+        c.insert(DocId(0), 2, 300, 10.0, 0.0, 1.0);
+        assert_eq!(c.used_bytes(), 300);
+        assert_eq!(c.len(), 1);
+        assert!(c.holds_fresh(DocId(0), 2));
+    }
+
+    #[test]
+    fn holds_fresh_does_not_mutate_stats() {
+        let c = filled(PolicyKind::Lru);
+        let before = c.stats();
+        assert!(c.holds_fresh(DocId(0), 1));
+        assert!(!c.holds_fresh(DocId(0), 9));
+        assert!(!c.holds_fresh(DocId(7), 1));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn remove_returns_entry_and_frees_space() {
+        let mut c = filled(PolicyKind::Lru);
+        let e = c.remove(DocId(0)).expect("present");
+        assert_eq!(e.size_bytes, 400);
+        assert_eq!(c.used_bytes(), 400);
+        assert!(c.remove(DocId(0)).is_none());
+    }
+
+    #[test]
+    fn utility_policy_keeps_expensive_hot_docs() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Utility);
+        // Expensive, hot document.
+        c.insert(DocId(0), 1, 400, 200.0, 0.0, 0.0);
+        for t in 1..20 {
+            assert!(c.lookup(DocId(0), 1, t as f64 * 100.0).is_hit());
+        }
+        // Cheap cold document.
+        c.insert(DocId(1), 1, 400, 1.0, 0.0, 2_000.0);
+        // Force an eviction.
+        c.insert(DocId(2), 1, 400, 1.0, 0.0, 2_100.0);
+        assert!(c.holds_fresh(DocId(0), 1), "hot doc was evicted");
+        assert!(!c.holds_fresh(DocId(1), 1));
+    }
+
+    #[test]
+    fn gdsf_watermark_rises_across_evictions() {
+        let mut c = DocumentCache::new(800, PolicyKind::Gdsf);
+        c.insert(DocId(0), 1, 400, 10.0, 0.0, 0.0);
+        c.insert(DocId(1), 1, 400, 10.0, 0.0, 1.0);
+        let w0 = c.watermark;
+        c.insert(DocId(2), 1, 400, 10.0, 0.0, 2.0);
+        assert!(c.watermark >= w0);
+        c.insert(DocId(3), 1, 400, 10.0, 0.0, 3.0);
+        assert!(c.watermark > 0.0);
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let c = filled(PolicyKind::Lru);
+        let ids: Vec<DocId> = c.iter().map(|(d, _)| d).collect();
+        assert_eq!(ids, vec![DocId(0), DocId(1)]);
+    }
+
+    #[test]
+    fn ttl_lookup_serves_within_lease_and_expires_after() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lru);
+        c.insert(DocId(0), 3, 100, 10.0, 0.0, 1_000.0);
+        // Within the lease: served even though the "origin" moved on.
+        assert_eq!(c.lookup_ttl(DocId(0), 1_500.0, 1_000.0), Some(3));
+        // Past the lease: dropped as stale.
+        assert_eq!(c.lookup_ttl(DocId(0), 2_500.0, 1_000.0), None);
+        assert_eq!(c.lookup_ttl(DocId(0), 2_600.0, 1_000.0), None); // now a miss
+        let s = c.stats();
+        assert_eq!(s.fresh_hits, 1);
+        assert_eq!(s.stale_hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn holds_unexpired_respects_ttl_without_stats() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lru);
+        c.insert(DocId(0), 2, 100, 10.0, 0.0, 0.0);
+        let before = c.stats();
+        assert_eq!(c.holds_unexpired(DocId(0), 500.0, 1_000.0), Some(2));
+        assert_eq!(c.holds_unexpired(DocId(0), 1_500.0, 1_000.0), None);
+        assert_eq!(c.holds_unexpired(DocId(9), 0.0, 1_000.0), None);
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn note_peer_serve_touches_without_stats() {
+        let mut c = filled(PolicyKind::Lru);
+        let before = c.stats();
+        assert!(c.note_peer_serve(DocId(0), 1, 42.0));
+        assert!(!c.note_peer_serve(DocId(0), 2, 43.0)); // stale
+        assert!(!c.note_peer_serve(DocId(9), 1, 44.0)); // absent
+        assert_eq!(c.stats(), before);
+        let entry = c.iter().find(|(d, _)| *d == DocId(0)).expect("present").1;
+        assert_eq!(entry.last_access_ms, 42.0);
+        assert_eq!(entry.access_count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DocumentCache::new(0, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn eviction_loop_always_makes_room() {
+        // Many small docs then one that needs several evictions.
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lfu);
+        for i in 0..10 {
+            c.insert(DocId(i), 1, 100, 5.0, 0.0, i as f64);
+        }
+        c.insert(DocId(99), 1, 900, 5.0, 0.0, 50.0);
+        assert!(c.used_bytes() <= 1_000);
+        assert!(c.holds_fresh(DocId(99), 1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cached document entries and their bookkeeping metadata.
+
+/// Metadata for one cached document.
+///
+/// Fields are public in the C-struct spirit: the entry is passive data
+/// whose invariants are maintained by
+/// [`DocumentCache`](crate::DocumentCache).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Version of the document body this copy holds (compared against
+    /// the origin's current version to detect staleness).
+    pub version: u64,
+    /// Body size in bytes.
+    pub size_bytes: u64,
+    /// Estimated cost of re-fetching this document on a miss, in
+    /// milliseconds. Fed by the caller from the network model.
+    pub fetch_cost_ms: f64,
+    /// The document's origin update rate (per second), used by the
+    /// utility policy.
+    pub update_rate_per_sec: f64,
+    /// When the entry was inserted, ms.
+    pub inserted_ms: f64,
+    /// Last access time, ms.
+    pub last_access_ms: f64,
+    /// Number of accesses since insertion (including the insert itself).
+    pub access_count: u64,
+}
+
+impl Entry {
+    /// Creates a fresh entry at time `now_ms` with a single access.
+    pub fn new(
+        version: u64,
+        size_bytes: u64,
+        fetch_cost_ms: f64,
+        update_rate_per_sec: f64,
+        now_ms: f64,
+    ) -> Self {
+        Entry {
+            version,
+            size_bytes,
+            fetch_cost_ms,
+            update_rate_per_sec,
+            inserted_ms: now_ms,
+            last_access_ms: now_ms,
+            access_count: 1,
+        }
+    }
+
+    /// Records an access at `now_ms`.
+    pub fn touch(&mut self, now_ms: f64) {
+        self.last_access_ms = now_ms;
+        self.access_count += 1;
+    }
+
+    /// Observed access rate in accesses/second since insertion.
+    ///
+    /// Uses a one-second floor on the observation window so brand-new
+    /// entries do not report absurd rates.
+    pub fn access_rate_per_sec(&self, now_ms: f64) -> f64 {
+        let window_sec = ((now_ms - self.inserted_ms) / 1_000.0).max(1.0);
+        self.access_count as f64 / window_sec
+    }
+
+    /// The Cache Clouds utility of the entry at `now_ms`:
+    /// `(access_rate × fetch_cost) / (size × (1 + update_rate))`.
+    ///
+    /// Hot, expensive-to-fetch documents score high; large documents that
+    /// the origin rewrites constantly score low.
+    pub fn utility(&self, now_ms: f64) -> f64 {
+        let benefit = self.access_rate_per_sec(now_ms) * self.fetch_cost_ms;
+        let cost = self.size_bytes.max(1) as f64 * (1.0 + self.update_rate_per_sec);
+        benefit / cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_entry_counts_initial_access() {
+        let e = Entry::new(1, 100, 10.0, 0.0, 5_000.0);
+        assert_eq!(e.access_count, 1);
+        assert_eq!(e.last_access_ms, 5_000.0);
+        assert_eq!(e.inserted_ms, 5_000.0);
+    }
+
+    #[test]
+    fn touch_updates_recency_and_frequency() {
+        let mut e = Entry::new(1, 100, 10.0, 0.0, 0.0);
+        e.touch(1_000.0);
+        e.touch(2_000.0);
+        assert_eq!(e.access_count, 3);
+        assert_eq!(e.last_access_ms, 2_000.0);
+    }
+
+    #[test]
+    fn access_rate_uses_floor_window() {
+        let e = Entry::new(1, 100, 10.0, 0.0, 0.0);
+        // Immediately after insertion the window is floored to 1s.
+        assert_eq!(e.access_rate_per_sec(0.0), 1.0);
+        // After 10 seconds with one access: 0.1/s.
+        assert!((e.access_rate_per_sec(10_000.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_increases_with_cost_and_rate() {
+        let mut hot = Entry::new(1, 1_000, 100.0, 0.0, 0.0);
+        for i in 0..9 {
+            hot.touch(i as f64 * 100.0);
+        }
+        let cold = Entry::new(1, 1_000, 100.0, 0.0, 0.0);
+        assert!(hot.utility(1_000.0) > cold.utility(1_000.0));
+
+        let cheap = Entry::new(1, 1_000, 1.0, 0.0, 0.0);
+        assert!(cold.utility(1_000.0) > cheap.utility(1_000.0));
+    }
+
+    #[test]
+    fn utility_decreases_with_size_and_updates() {
+        let small = Entry::new(1, 100, 10.0, 0.0, 0.0);
+        let big = Entry::new(1, 10_000, 10.0, 0.0, 0.0);
+        assert!(small.utility(1_000.0) > big.utility(1_000.0));
+
+        let stable = Entry::new(1, 100, 10.0, 0.0, 0.0);
+        let churny = Entry::new(1, 100, 10.0, 5.0, 0.0);
+        assert!(stable.utility(1_000.0) > churny.utility(1_000.0));
+    }
+
+    #[test]
+    fn zero_size_does_not_divide_by_zero() {
+        let e = Entry::new(1, 0, 10.0, 0.0, 0.0);
+        assert!(e.utility(0.0).is_finite());
+    }
+}

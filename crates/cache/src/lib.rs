@@ -1,0 +1,33 @@
+//! Document caches for edge cache networks.
+//!
+//! The paper's edge caches "implement utility-based document placement
+//! and replacement schemes" from the authors' Cache Clouds work
+//! (ICDCS '05, the paper's reference \[7\]). This crate provides that cache:
+//! byte-capacity-bounded, version-aware (origin updates invalidate cached
+//! copies), with the Cache Clouds utility policy plus LRU, LFU and GDSF
+//! baselines for the replacement-policy ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecg_cache::{DocumentCache, PolicyKind};
+//! use ecg_workload::DocId;
+//!
+//! let mut cache = DocumentCache::new(1 << 20, PolicyKind::Utility);
+//! cache.insert(DocId(0), 1, 8_192, 45.0, 0.05, 0.0);
+//! assert!(cache.holds_fresh(DocId(0), 1));
+//! assert!(!cache.holds_fresh(DocId(0), 2)); // origin moved on
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod entry;
+pub mod policy;
+pub mod stats;
+
+pub use cache::{DocumentCache, LookupOutcome};
+pub use entry::Entry;
+pub use policy::PolicyKind;
+pub use stats::CacheStats;

@@ -1,0 +1,190 @@
+//! Replacement policies.
+//!
+//! The paper's caches "implement utility-based document placement and
+//! replacement schemes" from the authors' Cache Clouds work (ICDCS '05).
+//! [`PolicyKind::Utility`] reproduces that scheme's rationale: a
+//! document is worth keeping in proportion to how often it is accessed
+//! and how expensive it is to re-fetch, and worth less the bigger it is
+//! and the more often the origin updates it. LRU, LFU and GDSF are
+//! provided as standard baselines.
+
+use crate::entry::Entry;
+use ecg_workload::DocId;
+
+/// Which replacement policy a [`DocumentCache`](crate::DocumentCache)
+/// uses to choose eviction victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Evict the least-recently used document.
+    #[default]
+    Lru,
+    /// Evict the least-frequently used document (ties broken by
+    /// recency).
+    Lfu,
+    /// Cache Clouds utility-based replacement: evict the document with
+    /// the smallest `utility = (access_rate × fetch_cost) /
+    /// (size × (1 + update_rate))`.
+    Utility,
+    /// Greedy-Dual-Size-Frequency: evict the smallest
+    /// `H = L + frequency × fetch_cost / size`, inflating the watermark
+    /// `L` to the victim's `H` on each eviction.
+    Gdsf,
+}
+
+impl PolicyKind {
+    /// Human-readable policy name, for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Lfu => "lfu",
+            PolicyKind::Utility => "utility",
+            PolicyKind::Gdsf => "gdsf",
+        }
+    }
+}
+
+/// The eviction score of an entry under a policy: the entry with the
+/// *smallest* score is evicted first.
+///
+/// `now_ms` is the current simulation time; `watermark` is the GDSF `L`
+/// value (ignored by the other policies).
+pub(crate) fn eviction_score(
+    policy: PolicyKind,
+    entry: &Entry,
+    now_ms: f64,
+    watermark: f64,
+) -> f64 {
+    match policy {
+        PolicyKind::Lru => entry.last_access_ms,
+        PolicyKind::Lfu => {
+            // Primary key: frequency; tie-break on recency by folding a
+            // bounded recency term into the fraction below 1.
+            let recency = 1.0 / (1.0 + (now_ms - entry.last_access_ms).max(0.0));
+            entry.access_count as f64 + recency * 0.5
+        }
+        PolicyKind::Utility => entry.utility(now_ms),
+        PolicyKind::Gdsf => {
+            watermark
+                + entry.access_count as f64 * entry.fetch_cost_ms / entry.size_bytes.max(1) as f64
+        }
+    }
+}
+
+/// Selects the eviction victim: the entry with the minimum score.
+///
+/// Returns `None` for an empty entry set.
+pub(crate) fn select_victim<'a>(
+    policy: PolicyKind,
+    entries: impl Iterator<Item = (&'a DocId, &'a Entry)>,
+    now_ms: f64,
+    watermark: f64,
+) -> Option<(DocId, f64)> {
+    let mut best: Option<(DocId, f64)> = None;
+    for (&doc, entry) in entries {
+        let score = eviction_score(policy, entry, now_ms, watermark);
+        let better = match best {
+            None => true,
+            // Deterministic tie-break on DocId keeps runs reproducible.
+            Some((bdoc, bscore)) => score < bscore || (score == bscore && doc < bdoc),
+        };
+        if better {
+            best = Some((doc, score));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+    use std::collections::BTreeMap;
+
+    fn entry(size: u64, cost: f64, accesses: u64, last_ms: f64, update_rate: f64) -> Entry {
+        let mut e = Entry::new(1, size, cost, update_rate, 0.0);
+        e.access_count = accesses;
+        e.last_access_ms = last_ms;
+        e
+    }
+
+    fn victim(policy: PolicyKind, entries: &BTreeMap<DocId, Entry>, now: f64) -> DocId {
+        select_victim(policy, entries.iter(), now, 0.0)
+            .expect("non-empty")
+            .0
+    }
+
+    #[test]
+    fn lru_evicts_oldest_access() {
+        let mut m = BTreeMap::new();
+        m.insert(DocId(0), entry(100, 10.0, 5, 50.0, 0.0));
+        m.insert(DocId(1), entry(100, 10.0, 5, 10.0, 0.0));
+        m.insert(DocId(2), entry(100, 10.0, 5, 90.0, 0.0));
+        assert_eq!(victim(PolicyKind::Lru, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut m = BTreeMap::new();
+        m.insert(DocId(0), entry(100, 10.0, 9, 50.0, 0.0));
+        m.insert(DocId(1), entry(100, 10.0, 2, 99.0, 0.0));
+        m.insert(DocId(2), entry(100, 10.0, 5, 10.0, 0.0));
+        assert_eq!(victim(PolicyKind::Lfu, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn lfu_breaks_ties_by_recency() {
+        let mut m = BTreeMap::new();
+        m.insert(DocId(0), entry(100, 10.0, 3, 90.0, 0.0));
+        m.insert(DocId(1), entry(100, 10.0, 3, 10.0, 0.0));
+        assert_eq!(victim(PolicyKind::Lfu, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn utility_prefers_evicting_large_cheap_updated_docs() {
+        let mut m = BTreeMap::new();
+        // Small, expensive-to-fetch, static, hot: keep.
+        m.insert(DocId(0), entry(1_000, 100.0, 20, 90.0, 0.0));
+        // Huge, cheap, frequently updated, cold: evict.
+        m.insert(DocId(1), entry(1_000_000, 1.0, 1, 90.0, 1.0));
+        assert_eq!(victim(PolicyKind::Utility, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn utility_penalizes_update_rate() {
+        let mut m = BTreeMap::new();
+        // Identical except update rate.
+        m.insert(DocId(0), entry(1_000, 10.0, 5, 50.0, 0.0));
+        m.insert(DocId(1), entry(1_000, 10.0, 5, 50.0, 2.0));
+        assert_eq!(victim(PolicyKind::Utility, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn gdsf_prefers_evicting_big_cheap_docs() {
+        let mut m = BTreeMap::new();
+        m.insert(DocId(0), entry(10, 50.0, 3, 0.0, 0.0)); // tiny, pricey
+        m.insert(DocId(1), entry(100_000, 50.0, 3, 0.0, 0.0)); // huge
+        assert_eq!(victim(PolicyKind::Gdsf, &m, 100.0), DocId(1));
+    }
+
+    #[test]
+    fn gdsf_watermark_shifts_scores() {
+        let e = entry(100, 10.0, 2, 0.0, 0.0);
+        let low = eviction_score(PolicyKind::Gdsf, &e, 0.0, 0.0);
+        let high = eviction_score(PolicyKind::Gdsf, &e, 0.0, 5.0);
+        assert!((high - low - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_entry_set_has_no_victim() {
+        let m: BTreeMap<DocId, Entry> = BTreeMap::new();
+        assert!(select_victim(PolicyKind::Lru, m.iter(), 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyKind::Lru.name(), "lru");
+        assert_eq!(PolicyKind::Utility.name(), "utility");
+        assert_eq!(PolicyKind::Lfu.name(), "lfu");
+        assert_eq!(PolicyKind::Gdsf.name(), "gdsf");
+    }
+}

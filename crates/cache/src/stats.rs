@@ -1,0 +1,146 @@
+//! Cache hit/miss accounting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters kept by a [`DocumentCache`](crate::DocumentCache).
+///
+/// Stale hits — a cached copy whose version is behind the origin — are
+/// counted separately from clean misses; both require a fetch, but the
+/// split shows how much of the miss traffic the update stream causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total lookups served.
+    pub lookups: u64,
+    /// Lookups answered from a fresh cached copy.
+    pub fresh_hits: u64,
+    /// Lookups that found a copy that had been invalidated by an origin
+    /// update (counted as misses for hit-rate purposes).
+    pub stale_hits: u64,
+    /// Lookups that found no copy at all.
+    pub misses: u64,
+    /// Documents inserted.
+    pub insertions: u64,
+    /// Documents evicted to make room.
+    pub evictions: u64,
+    /// Total bytes evicted.
+    pub bytes_evicted: u64,
+}
+
+impl CacheStats {
+    /// Fresh-hit rate over all lookups, or `None` before the first
+    /// lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.fresh_hits as f64 / self.lookups as f64)
+        }
+    }
+
+    /// Fraction of lookups lost to staleness, or `None` before the first
+    /// lookup.
+    pub fn stale_rate(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.stale_hits as f64 / self.lookups as f64)
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.lookups += rhs.lookups;
+        self.fresh_hits += rhs.fresh_hits;
+        self.stale_hits += rhs.stale_hits;
+        self.misses += rhs.misses;
+        self.insertions += rhs.insertions;
+        self.evictions += rhs.evictions;
+        self.bytes_evicted += rhs.bytes_evicted;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lookups={} fresh={} stale={} miss={} hit_rate={:.3}",
+            self.lookups,
+            self.fresh_hits,
+            self.stale_hits,
+            self.misses,
+            self.hit_rate().unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_undefined_before_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        assert_eq!(CacheStats::default().stale_rate(), None);
+    }
+
+    #[test]
+    fn rates_computed() {
+        let s = CacheStats {
+            lookups: 10,
+            fresh_hits: 6,
+            stale_hits: 1,
+            misses: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), Some(0.6));
+        assert_eq!(s.stale_rate(), Some(0.1));
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = CacheStats {
+            lookups: 5,
+            fresh_hits: 2,
+            misses: 3,
+            insertions: 3,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            lookups: 5,
+            fresh_hits: 5,
+            evictions: 1,
+            bytes_evicted: 100,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.lookups, 10);
+        assert_eq!(c.fresh_hits, 7);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.bytes_evicted, 100);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = CacheStats {
+            lookups: 4,
+            fresh_hits: 2,
+            stale_hits: 1,
+            misses: 1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("lookups=4"));
+        assert!(text.contains("0.500"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the document cache.
+
+use ecg_cache::{DocumentCache, LookupOutcome, PolicyKind};
+use ecg_workload::DocId;
+use proptest::prelude::*;
+
+/// A random cache operation for sequence testing.
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup { doc: usize, version: u64 },
+    Insert { doc: usize, version: u64, size: u64 },
+    Remove { doc: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..20, 1u64..5).prop_map(|(doc, version)| Op::Lookup { doc, version }),
+        (0usize..20, 1u64..5, 1u64..600).prop_map(|(doc, version, size)| Op::Insert {
+            doc,
+            version,
+            size
+        }),
+        (0usize..20).prop_map(|doc| Op::Remove { doc }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Lfu),
+        Just(PolicyKind::Utility),
+        Just(PolicyKind::Gdsf),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn capacity_is_never_exceeded(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        policy in arb_policy(),
+    ) {
+        let mut cache = DocumentCache::new(1_000, policy);
+        for (t, op) in ops.iter().enumerate() {
+            let now = t as f64;
+            match *op {
+                Op::Lookup { doc, version } => {
+                    let _ = cache.lookup(DocId(doc), version, now);
+                }
+                Op::Insert { doc, version, size } => {
+                    cache.insert(DocId(doc), version, size, 10.0, 0.1, now);
+                }
+                Op::Remove { doc } => {
+                    let _ = cache.remove(DocId(doc));
+                }
+            }
+            prop_assert!(cache.used_bytes() <= cache.capacity_bytes());
+            // used_bytes is consistent with the entry set.
+            let sum: u64 = cache.iter().map(|(_, e)| e.size_bytes).sum();
+            prop_assert_eq!(sum, cache.used_bytes());
+        }
+    }
+
+    #[test]
+    fn stats_counters_are_consistent(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        policy in arb_policy(),
+    ) {
+        let mut cache = DocumentCache::new(2_000, policy);
+        for (t, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Lookup { doc, version } => {
+                    let _ = cache.lookup(DocId(doc), version, t as f64);
+                }
+                Op::Insert { doc, version, size } => {
+                    cache.insert(DocId(doc), version, size, 10.0, 0.1, t as f64);
+                }
+                Op::Remove { doc } => {
+                    let _ = cache.remove(DocId(doc));
+                }
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.lookups, s.fresh_hits + s.stale_hits + s.misses);
+        prop_assert!(s.insertions >= cache.len() as u64);
+        prop_assert!(s.evictions <= s.insertions);
+    }
+
+    #[test]
+    fn lookup_after_insert_is_hit_at_same_version(
+        doc in 0usize..50,
+        version in 1u64..100,
+        size in 1u64..900,
+        policy in arb_policy(),
+    ) {
+        let mut cache = DocumentCache::new(1_000, policy);
+        cache.insert(DocId(doc), version, size, 5.0, 0.0, 0.0);
+        prop_assert_eq!(cache.lookup(DocId(doc), version, 1.0), LookupOutcome::Hit);
+        // Any newer origin version makes it stale.
+        prop_assert_eq!(
+            cache.lookup(DocId(doc), version + 1, 2.0),
+            LookupOutcome::Stale
+        );
+    }
+
+    #[test]
+    fn eviction_preserves_newly_inserted_doc(
+        fill in proptest::collection::vec((1u64..400u64, 1u64..3), 2..20),
+        policy in arb_policy(),
+    ) {
+        let mut cache = DocumentCache::new(1_000, policy);
+        for (i, &(size, version)) in fill.iter().enumerate() {
+            cache.insert(DocId(i), version, size, 10.0, 0.0, i as f64);
+            // The just-inserted document must survive its own insertion.
+            prop_assert!(cache.holds_fresh(DocId(i), version), "doc {i} evicted itself");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! K-means initialization strategies.
+//!
+//! The SL and SDSL schemes differ only here: SL draws the `K` initial
+//! cluster centers uniformly ("any cache may be selected to an initial
+//! cluster center with equal probability", §4), while SDSL biases the
+//! draw so "the probability that an edge cache is chosen as an initial
+//! cluster center is made inversely proportional to its distance from
+//! the origin server". [`Initializer::Weighted`] implements that biased
+//! draw for arbitrary weights; k-means++ is included as an extension
+//! baseline for the ablation benches.
+
+use crate::kmeans::{sq_l2, KmeansError};
+use rand::Rng;
+
+/// Strategy for choosing the `k` initial cluster centers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// Uniform random distinct points — the SL scheme's initialization.
+    RandomRepresentative,
+    /// Distinct points drawn without replacement with probability
+    /// proportional to the given per-point weights — the SDSL scheme's
+    /// initialization with `w_j = 1 / Dist(Ec_j, Os)^θ`.
+    ///
+    /// Weights must be non-negative and finite with at least `k` strictly
+    /// positive entries.
+    Weighted(Vec<f64>),
+    /// k-means++ seeding (Arthur & Vassilvitskii '07): each subsequent
+    /// seed is drawn with probability proportional to its squared
+    /// distance from the nearest already-chosen seed. Not in the paper;
+    /// used by the ablation benches as a stronger-initialization
+    /// reference point.
+    KmeansPlusPlus,
+    /// Explicit seed point indices, for tests and deterministic replays.
+    Provided(Vec<usize>),
+}
+
+impl Initializer {
+    /// Selects `k` distinct seed indices out of `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmeansError::BadInitializer`] if the strategy cannot
+    /// produce `k` distinct valid seeds (bad weights, out-of-range or
+    /// duplicate provided indices).
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        points: &[Vec<f64>],
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, KmeansError> {
+        let n = points.len();
+        debug_assert!(n >= k);
+        match self {
+            Initializer::RandomRepresentative => {
+                let mut indices: Vec<usize> = (0..n).collect();
+                // Partial Fisher-Yates: first k slots become the sample.
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    indices.swap(i, j);
+                }
+                indices.truncate(k);
+                Ok(indices)
+            }
+            Initializer::Weighted(weights) => {
+                if weights.len() != n {
+                    return Err(KmeansError::BadInitializer(format!(
+                        "got {} weights for {n} points",
+                        weights.len()
+                    )));
+                }
+                if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(KmeansError::BadInitializer(
+                        "weights must be finite and non-negative".into(),
+                    ));
+                }
+                if weights.iter().filter(|w| **w > 0.0).count() < k {
+                    return Err(KmeansError::BadInitializer(format!(
+                        "need at least {k} positive weights"
+                    )));
+                }
+                let mut remaining = weights.clone();
+                let mut chosen = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let total: f64 = remaining.iter().sum();
+                    let mut target = rng.gen::<f64>() * total;
+                    let mut pick = None;
+                    for (i, &w) in remaining.iter().enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        target -= w;
+                        if target <= 0.0 {
+                            pick = Some(i);
+                            break;
+                        }
+                    }
+                    // Floating-point slack: fall back to the last positive.
+                    let pick = pick.unwrap_or_else(|| {
+                        remaining
+                            .iter()
+                            .rposition(|&w| w > 0.0)
+                            .expect("positive weights remain")
+                    });
+                    chosen.push(pick);
+                    remaining[pick] = 0.0;
+                }
+                Ok(chosen)
+            }
+            Initializer::KmeansPlusPlus => {
+                let mut chosen = Vec::with_capacity(k);
+                chosen.push(rng.gen_range(0..n));
+                let mut dist2: Vec<f64> = points
+                    .iter()
+                    .map(|p| sq_l2(p, &points[chosen[0]]))
+                    .collect();
+                while chosen.len() < k {
+                    let total: f64 = dist2.iter().sum();
+                    let next = if total <= f64::EPSILON {
+                        // All remaining points coincide with chosen seeds:
+                        // fall back to any unchosen index.
+                        (0..n)
+                            .find(|i| !chosen.contains(i))
+                            .expect("n >= k so an unchosen point exists")
+                    } else {
+                        let mut target = rng.gen::<f64>() * total;
+                        let mut pick = n - 1;
+                        for (i, &d) in dist2.iter().enumerate() {
+                            target -= d;
+                            if target <= 0.0 {
+                                pick = i;
+                                break;
+                            }
+                        }
+                        pick
+                    };
+                    chosen.push(next);
+                    for (i, p) in points.iter().enumerate() {
+                        dist2[i] = dist2[i].min(sq_l2(p, &points[next]));
+                    }
+                }
+                Ok(chosen)
+            }
+            Initializer::Provided(indices) => {
+                if indices.len() != k {
+                    return Err(KmeansError::BadInitializer(format!(
+                        "provided {} seeds for k = {k}",
+                        indices.len()
+                    )));
+                }
+                let mut sorted = indices.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != k {
+                    return Err(KmeansError::BadInitializer("duplicate seeds".into()));
+                }
+                if sorted.last().is_some_and(|&m| m >= n) {
+                    return Err(KmeansError::BadInitializer("seed out of range".into()));
+                }
+                Ok(indices.clone())
+            }
+        }
+    }
+}
+
+/// Builds the SDSL initialization weights `w_j = 1 / d_j^θ` from
+/// per-point server distances.
+///
+/// `theta` controls server-distance sensitivity: `0` degenerates to the
+/// uniform SL draw, larger values concentrate the seeds ever closer to
+/// the origin. Distances of zero are clamped to the smallest positive
+/// distance (a cache co-located with the origin is simply "very close").
+///
+/// # Panics
+///
+/// Panics if `theta` is negative/not finite or any distance is
+/// negative/not finite.
+pub fn server_distance_weights(server_distances: &[f64], theta: f64) -> Vec<f64> {
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "theta must be finite and non-negative"
+    );
+    for &d in server_distances {
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "server distances must be finite and non-negative"
+        );
+    }
+    let min_positive = server_distances
+        .iter()
+        .copied()
+        .filter(|&d| d > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let floor = if min_positive.is_finite() {
+        min_positive
+    } else {
+        1.0
+    };
+    server_distances
+        .iter()
+        .map(|&d| 1.0 / d.max(floor).powf(theta))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn random_representative_is_distinct_and_in_range() {
+        let pts = points(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let s = Initializer::RandomRepresentative
+                .select(&pts, 4, &mut rng)
+                .unwrap();
+            assert_eq!(s.len(), 4);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            assert!(sorted.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn random_representative_is_uniform_ish() {
+        // Each of 5 points should be chosen ~ k/n = 2/5 of the time.
+        let pts = points(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        let trials = 5_000;
+        for _ in 0..trials {
+            for i in Initializer::RandomRepresentative
+                .select(&pts, 2, &mut rng)
+                .unwrap()
+            {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.4).abs() < 0.05, "point {i} frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_points() {
+        let pts = points(4);
+        let weights = vec![100.0, 1.0, 1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first_count = 0usize;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let s = Initializer::Weighted(weights.clone())
+                .select(&pts, 1, &mut rng)
+                .unwrap();
+            if s[0] == 0 {
+                first_count += 1;
+            }
+        }
+        let frac = first_count as f64 / trials as f64;
+        assert!(frac > 0.9, "heavy point chosen only {frac} of the time");
+    }
+
+    #[test]
+    fn weighted_draws_without_replacement() {
+        let pts = points(3);
+        let weights = vec![1.0, 1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Initializer::Weighted(weights)
+            .select(&pts, 3, &mut rng)
+            .unwrap();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_ignores_zero_weight_points() {
+        let pts = points(4);
+        let weights = vec![0.0, 1.0, 1.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = Initializer::Weighted(weights.clone())
+                .select(&pts, 2, &mut rng)
+                .unwrap();
+            assert!(!s.contains(&0));
+            assert!(!s.contains(&3));
+        }
+    }
+
+    #[test]
+    fn weighted_errors_on_bad_input() {
+        let pts = points(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for bad in [
+            vec![1.0, 1.0],           // wrong arity
+            vec![1.0, -1.0, 1.0],     // negative
+            vec![f64::NAN, 1.0, 1.0], // NaN
+            vec![1.0, 0.0, 0.0],      // too few positive for k = 2
+        ] {
+            assert!(
+                Initializer::Weighted(bad.clone())
+                    .select(&pts, 2, &mut rng)
+                    .is_err(),
+                "weights {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn kmeanspp_spreads_seeds() {
+        // Two far blobs: with k = 2 the seeds should almost always land
+        // in different blobs.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01]);
+        }
+        for i in 0..10 {
+            pts.push(vec![1_000.0 + i as f64 * 0.01]);
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut split = 0usize;
+        for _ in 0..200 {
+            let s = Initializer::KmeansPlusPlus
+                .select(&pts, 2, &mut rng)
+                .unwrap();
+            let blob = |i: usize| usize::from(i >= 10);
+            if blob(s[0]) != blob(s[1]) {
+                split += 1;
+            }
+        }
+        assert!(split > 190, "seeds split blobs only {split}/200 times");
+    }
+
+    #[test]
+    fn kmeanspp_handles_duplicate_points() {
+        let pts = vec![vec![5.0]; 6];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = Initializer::KmeansPlusPlus
+            .select(&pts, 3, &mut rng)
+            .unwrap();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn provided_validates() {
+        let pts = points(5);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(Initializer::Provided(vec![0, 2])
+            .select(&pts, 2, &mut rng)
+            .is_ok());
+        for bad in [vec![0usize], vec![0, 0], vec![0, 9]] {
+            assert!(Initializer::Provided(bad)
+                .select(&pts, 2, &mut rng)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn server_distance_weights_invert_distance() {
+        let w = server_distance_weights(&[1.0, 2.0, 4.0], 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let w = server_distance_weights(&[1.0, 5.0, 100.0], 0.0);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn higher_theta_sharpens_bias() {
+        let d = [1.0, 10.0];
+        let ratio = |theta: f64| {
+            let w = server_distance_weights(&d, theta);
+            w[0] / w[1]
+        };
+        assert!(ratio(2.0) > ratio(1.0));
+        assert!((ratio(1.0) - 10.0).abs() < 1e-9);
+        assert!((ratio(2.0) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_distance_is_clamped() {
+        let w = server_distance_weights(&[0.0, 2.0], 1.0);
+        assert!(w[0].is_finite());
+        assert!(w[0] >= w[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn negative_theta_panics() {
+        let _ = server_distance_weights(&[1.0], -1.0);
+    }
+}

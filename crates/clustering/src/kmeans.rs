@@ -1,0 +1,560 @@
+//! K-means clustering with pluggable initialization.
+//!
+//! Both the SL and SDSL schemes cluster caches with K-means over feature
+//! vectors (§3.3). The two schemes differ *only* in how the initial
+//! cluster centers are drawn — uniformly for SL, inversely proportional
+//! to server distance for SDSL — so the initializer is a first-class
+//! parameter here (see [`Initializer`]).
+//!
+//! Points are dense `Vec<f64>` rows; feature vectors and GNP coordinates
+//! both convert to this representation trivially.
+
+use crate::init::Initializer;
+use rand::Rng;
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the dimensions differ.
+#[inline]
+pub(crate) fn sq_l2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Configuration of a K-means run.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_clustering::KmeansConfig;
+///
+/// let cfg = KmeansConfig::new(3).max_iterations(50).reassignment_threshold(1);
+/// assert_eq!(cfg.k(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansConfig {
+    k: usize,
+    max_iterations: usize,
+    reassignment_threshold: usize,
+}
+
+impl KmeansConfig {
+    /// Creates a configuration for `k` clusters with the defaults the
+    /// experiments use: at most 100 iterations, terminating once an
+    /// iteration reassigns no points (the paper's "number of caches
+    /// reassigned becomes minimal" condition with minimal = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-means needs at least one cluster");
+        KmeansConfig {
+            k,
+            max_iterations: 100,
+            reassignment_threshold: 0,
+        }
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the termination threshold: the loop stops as soon as an
+    /// iteration reassigns at most this many points.
+    pub fn reassignment_threshold(mut self, threshold: usize) -> Self {
+        self.reassignment_threshold = threshold;
+        self
+    }
+
+    /// Number of clusters `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The iteration cap.
+    pub fn iteration_cap(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// The reassignment termination threshold.
+    pub fn threshold(&self) -> usize {
+        self.reassignment_threshold
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    centers: Vec<Vec<f64>>,
+    iterations: usize,
+    converged: bool,
+}
+
+impl Clustering {
+    /// Assembles a clustering from raw parts (used by the size-capped
+    /// variant in [`crate::balanced`]).
+    pub(crate) fn from_parts(
+        assignments: Vec<usize>,
+        centers: Vec<Vec<f64>>,
+        iterations: usize,
+        converged: bool,
+    ) -> Self {
+        Clustering {
+            assignments,
+            centers,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Cluster index of each input point, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Final cluster centers (mean vectors).
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Iterations of the assign/update loop that ran.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the reassignment threshold was reached before the
+    /// iteration cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Groups the point indices by cluster: entry `c` lists the points
+    /// assigned to cluster `c`, ascending.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k()];
+        for (point, &cluster) in self.assignments.iter().enumerate() {
+            groups[cluster].push(point);
+        }
+        groups
+    }
+
+    /// Number of points in each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &c in &self.assignments {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Within-cluster sum of squared distances to centers — the K-means
+    /// objective value for this clustering.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        self.assignments
+            .iter()
+            .zip(points)
+            .map(|(&c, p)| sq_l2(p, &self.centers[c]))
+            .sum()
+    }
+}
+
+/// Error returned by [`kmeans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KmeansError {
+    /// More clusters than points were requested.
+    TooFewPoints {
+        /// Points provided.
+        points: usize,
+        /// Clusters requested.
+        k: usize,
+    },
+    /// Points do not all share one dimension.
+    DimensionMismatch,
+    /// The initializer returned the wrong number of (or duplicate)
+    /// centers.
+    BadInitializer(String),
+}
+
+impl std::fmt::Display for KmeansError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KmeansError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            KmeansError::DimensionMismatch => {
+                write!(f, "points must all have the same dimension")
+            }
+            KmeansError::BadInitializer(msg) => write!(f, "initializer misbehaved: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KmeansError {}
+
+/// Runs K-means over `points`.
+///
+/// 1. **Initialization** — `initializer` picks `k` distinct seed points;
+///    every point is assigned to its nearest seed.
+/// 2. **Iteration** — recompute each cluster's mean vector, then
+///    re-assign every point to its nearest center; repeat until an
+///    iteration reassigns no more than the configured threshold or the
+///    iteration cap is reached.
+/// 3. **Empty-cluster repair** — a cluster left empty by re-assignment is
+///    re-seeded on the point currently farthest from its own center, so
+///    exactly `k` non-empty groups come out.
+///
+/// # Errors
+///
+/// Returns [`KmeansError`] if there are fewer points than clusters, the
+/// point dimensions disagree, or the initializer returns a bad seed set.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_clustering::{kmeans, Initializer, KmeansConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let points = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], // cluster A
+///     vec![9.0, 9.0], vec![9.1, 9.0], // cluster B
+/// ];
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let result = kmeans(
+///     &points,
+///     KmeansConfig::new(2),
+///     &Initializer::RandomRepresentative,
+///     &mut rng,
+/// )?;
+/// let a = result.assignments();
+/// assert_eq!(a[0], a[1]);
+/// assert_eq!(a[2], a[3]);
+/// assert_ne!(a[0], a[2]);
+/// # Ok::<(), ecg_clustering::KmeansError>(())
+/// ```
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    config: KmeansConfig,
+    initializer: &Initializer,
+    rng: &mut R,
+) -> Result<Clustering, KmeansError> {
+    let n = points.len();
+    let k = config.k;
+    if n < k {
+        return Err(KmeansError::TooFewPoints { points: n, k });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(KmeansError::DimensionMismatch);
+    }
+
+    // Initialization phase.
+    let seeds = initializer.select(points, k, rng)?;
+    let mut centers: Vec<Vec<f64>> = seeds.iter().map(|&i| points[i].clone()).collect();
+    let mut assignments = vec![0usize; n];
+    for (i, p) in points.iter().enumerate() {
+        assignments[i] = nearest_center(p, &centers);
+    }
+
+    // Iterative phase.
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        update_centers(points, &assignments, &mut centers);
+        repair_empty_clusters(points, &mut assignments, &mut centers);
+
+        let mut reassigned = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest_center(p, &centers);
+            if best != assignments[i] {
+                assignments[i] = best;
+                reassigned += 1;
+            }
+        }
+        if reassigned <= config.reassignment_threshold {
+            converged = true;
+            break;
+        }
+    }
+
+    // Termination phase: make centers consistent with final assignments
+    // and guarantee no empty groups.
+    update_centers(points, &assignments, &mut centers);
+    repair_empty_clusters(points, &mut assignments, &mut centers);
+
+    Ok(Clustering {
+        assignments,
+        centers,
+        iterations,
+        converged,
+    })
+}
+
+/// Index of the center nearest to `p` (ties break to the lower index).
+fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d = sq_l2(p, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Recomputes each center as the mean of its assigned points. Centers of
+/// empty clusters are left untouched (repair handles them).
+fn update_centers(points: &[Vec<f64>], assignments: &[usize], centers: &mut [Vec<f64>]) {
+    let dim = points[0].len();
+    let k = centers.len();
+    let mut sums = vec![vec![0.0; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &c) in points.iter().zip(assignments) {
+        counts[c] += 1;
+        for (s, v) in sums[c].iter_mut().zip(p) {
+            *s += v;
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            for (center_v, sum_v) in centers[c].iter_mut().zip(&sums[c]) {
+                *center_v = sum_v / counts[c] as f64;
+            }
+        }
+    }
+}
+
+/// Re-seeds every empty cluster on the point farthest from its current
+/// center, stealing it from its (necessarily non-empty) donor cluster.
+fn repair_empty_clusters(points: &[Vec<f64>], assignments: &mut [usize], centers: &mut [Vec<f64>]) {
+    let k = centers.len();
+    loop {
+        let mut counts = vec![0usize; k];
+        for &c in assignments.iter() {
+            counts[c] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            return;
+        };
+        // Farthest point from its own center, from a cluster with > 1
+        // members so the donor does not become empty itself.
+        let mut donor: Option<(usize, f64)> = None;
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            if counts[c] <= 1 {
+                continue;
+            }
+            let d = sq_l2(p, &centers[c]);
+            if donor.map_or(true, |(_, bd)| d > bd) {
+                donor = Some((i, d));
+            }
+        }
+        let Some((idx, _)) = donor else {
+            // All clusters are singletons or empty and nothing can move;
+            // only possible when n < k, which the entry point rejects.
+            return;
+        };
+        assignments[idx] = empty;
+        centers[empty] = points[idx].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)] {
+            for d in 0..5 {
+                pts.push(vec![cx + d as f64 * 0.1, cy + d as f64 * 0.1]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = three_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = kmeans(
+            &pts,
+            KmeansConfig::new(3),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(r.converged());
+        // Each blob of five lands in one cluster.
+        for blob in 0..3 {
+            let first = r.assignments()[blob * 5];
+            for i in 0..5 {
+                assert_eq!(r.assignments()[blob * 5 + i], first);
+            }
+        }
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn every_cluster_is_non_empty() {
+        // Adversarial: many identical points plus one outlier, k = 4.
+        let mut pts = vec![vec![0.0, 0.0]; 20];
+        pts.push(vec![100.0, 100.0]);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = kmeans(
+                &pts,
+                KmeansConfig::new(4),
+                &Initializer::RandomRepresentative,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(
+                r.cluster_sizes().iter().all(|&s| s > 0),
+                "seed {seed}: {:?}",
+                r.cluster_sizes()
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 10.0]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = kmeans(
+            &pts,
+            KmeansConfig::new(6),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap();
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1; 6]);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let pts = three_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = kmeans(
+            &pts,
+            KmeansConfig::new(1),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(r.cluster_sizes(), vec![pts.len()]);
+        // Center is the global mean.
+        let mean_x = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        assert!((r.centers()[0][0] - mean_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let pts = vec![vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = kmeans(
+            &pts,
+            KmeansConfig::new(2),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, KmeansError::TooFewPoints { points: 1, k: 2 });
+        assert!(err.to_string().contains("2 clusters"));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let pts = vec![vec![1.0], vec![1.0, 2.0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = kmeans(
+            &pts,
+            KmeansConfig::new(1),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, KmeansError::DimensionMismatch);
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_clusters() {
+        let pts = three_blobs();
+        let best_inertia = |k: usize| -> f64 {
+            (0..5)
+                .map(|seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    kmeans(
+                        &pts,
+                        KmeansConfig::new(k),
+                        &Initializer::RandomRepresentative,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .inertia(&pts)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best_inertia(3) <= best_inertia(2) + 1e-9);
+        assert!(best_inertia(2) <= best_inertia(1) + 1e-9);
+    }
+
+    #[test]
+    fn provided_initializer_is_deterministic() {
+        let pts = three_blobs();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(0);
+            kmeans(
+                &pts,
+                KmeansConfig::new(3),
+                &Initializer::Provided(vec![0, 5, 10]),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clusters_partition_the_points() {
+        let pts = three_blobs();
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = kmeans(
+            &pts,
+            KmeansConfig::new(3),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        )
+        .unwrap();
+        let mut all: Vec<usize> = r.clusters().into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..pts.len()).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_k_rejected() {
+        let _ = KmeansConfig::new(0);
+    }
+}

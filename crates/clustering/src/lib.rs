@@ -1,0 +1,53 @@
+//! Clustering algorithms for edge cache group formation.
+//!
+//! The paper partitions edge caches with K-means over landmark feature
+//! vectors; the SL and SDSL schemes differ only in the K-means
+//! *initialization*. This crate keeps that split explicit:
+//!
+//! * [`kmeans()`] — the assign/update loop with the paper's termination
+//!   condition and empty-cluster repair.
+//! * [`Initializer`] — uniform seeding (SL), weighted seeding (SDSL via
+//!   [`server_distance_weights`]), k-means++ (ablation), or explicit
+//!   seeds.
+//! * [`quality`] — average group interaction cost (the paper's accuracy
+//!   metric), silhouettes, size stats.
+//! * [`hierarchical`] — agglomerative clustering over raw dissimilarity
+//!   matrices, used as an ablation baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecg_clustering::{kmeans, Initializer, KmeansConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let points = vec![vec![0.0], vec![1.0], vec![100.0], vec![101.0]];
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let result = kmeans(
+//!     &points,
+//!     KmeansConfig::new(2),
+//!     &Initializer::RandomRepresentative,
+//!     &mut rng,
+//! )?;
+//! assert_eq!(result.cluster_sizes(), vec![2, 2]);
+//! # Ok::<(), ecg_clustering::KmeansError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod hierarchical;
+pub mod init;
+pub mod kmeans;
+pub mod medoids;
+pub mod model_selection;
+pub mod quality;
+
+pub use balanced::{kmeans_capped, CapError};
+pub use init::{server_distance_weights, Initializer};
+pub use kmeans::{kmeans, Clustering, KmeansConfig, KmeansError};
+pub use medoids::{pam, Medoids};
+pub use model_selection::{suggest_k, KSelection};
+pub use quality::{
+    average_group_interaction_cost, group_interaction_cost, group_size_stats, mean_silhouette,
+};

@@ -1,0 +1,193 @@
+//! Choosing the number of groups `K`.
+//!
+//! The paper treats `K` as "a pre-specified parameter" and Figure 3
+//! shows the choice matters — latency is U-shaped in group size. This
+//! module provides the standard unsupervised heuristic: sweep candidate
+//! `K` values, cluster each, and pick the one with the best mean
+//! silhouette (how much closer points sit to their own cluster than to
+//! the nearest other one).
+
+use crate::init::Initializer;
+use crate::kmeans::{kmeans, sq_l2, KmeansConfig, KmeansError};
+use crate::quality::mean_silhouette;
+use rand::Rng;
+
+/// Result of a K sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KSelection {
+    /// The silhouette-maximizing candidate.
+    pub k: usize,
+    /// Its mean silhouette score.
+    pub score: f64,
+    /// Every candidate's `(k, silhouette)`, in candidate order.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Sweeps `candidates` and returns the silhouette-best `K`.
+///
+/// For each candidate, `attempts` K-means runs are performed and the
+/// lowest-inertia clustering is scored (K-means is seed-sensitive;
+/// scoring a bad local optimum would punish the candidate unfairly).
+/// Candidates larger than the point count are skipped. Candidates equal
+/// to 1 or the point count score zero silhouette by convention, so
+/// meaningful candidates should lie strictly between.
+///
+/// # Errors
+///
+/// Returns [`KmeansError`] if no candidate is usable (empty list or all
+/// larger than the point count), or clustering itself fails.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_clustering::model_selection::suggest_k;
+/// use ecg_clustering::Initializer;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Three well-separated blobs of four points.
+/// let mut points = Vec::new();
+/// for center in [0.0, 100.0, 200.0] {
+///     for d in 0..4 {
+///         points.push(vec![center + d as f64]);
+///     }
+/// }
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let selection = suggest_k(
+///     &points,
+///     &[2, 3, 4, 6],
+///     &Initializer::RandomRepresentative,
+///     3,
+///     &mut rng,
+/// )?;
+/// assert_eq!(selection.k, 3);
+/// # Ok::<(), ecg_clustering::KmeansError>(())
+/// ```
+pub fn suggest_k<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    candidates: &[usize],
+    initializer: &Initializer,
+    attempts: usize,
+    rng: &mut R,
+) -> Result<KSelection, KmeansError> {
+    let n = points.len();
+    let usable: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&k| k >= 1 && k <= n)
+        .collect();
+    if usable.is_empty() {
+        return Err(KmeansError::TooFewPoints {
+            points: n,
+            k: candidates.iter().copied().max().unwrap_or(1),
+        });
+    }
+    let attempts = attempts.max(1);
+
+    let cost = |a: usize, b: usize| sq_l2(&points[a], &points[b]).sqrt();
+    let mut scores = Vec::with_capacity(usable.len());
+    for &k in &usable {
+        let mut best: Option<(f64, f64)> = None; // (inertia, silhouette)
+        for _ in 0..attempts {
+            let clustering = kmeans(points, KmeansConfig::new(k), initializer, rng)?;
+            let inertia = clustering.inertia(points);
+            if best.map_or(true, |(bi, _)| inertia < bi) {
+                let silhouette = mean_silhouette(&clustering.clusters(), cost);
+                best = Some((inertia, silhouette));
+            }
+        }
+        scores.push((k, best.expect("attempts >= 1").1));
+    }
+    let &(k, score) = scores
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("silhouettes are not NaN"))
+        .expect("usable candidates exist");
+    Ok(KSelection { k, score, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(centers: &[(f64, f64)], per_blob: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per_blob {
+                points.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn recovers_true_blob_count() {
+        let points = blobs(&[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)], 8, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = suggest_k(
+            &points,
+            &[2, 3, 4, 5, 6],
+            &Initializer::RandomRepresentative,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.k, 4, "scores: {:?}", sel.scores);
+        assert!(sel.score > 0.7);
+    }
+
+    #[test]
+    fn reports_all_candidate_scores() {
+        let points = blobs(&[(0.0, 0.0), (80.0, 0.0)], 6, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = suggest_k(
+            &points,
+            &[2, 3, 4],
+            &Initializer::RandomRepresentative,
+            3,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.scores.len(), 3);
+        assert_eq!(sel.scores[0].0, 2);
+        assert_eq!(sel.k, 2);
+        // The winner's score matches its entry.
+        let winner = sel.scores.iter().find(|(k, _)| *k == sel.k).unwrap();
+        assert_eq!(winner.1, sel.score);
+    }
+
+    #[test]
+    fn oversized_candidates_are_skipped() {
+        let points = blobs(&[(0.0, 0.0), (50.0, 0.0)], 3, 5); // 6 points
+        let mut rng = StdRng::seed_from_u64(6);
+        let sel = suggest_k(
+            &points,
+            &[2, 100],
+            &Initializer::RandomRepresentative,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.scores.len(), 1);
+        assert_eq!(sel.k, 2);
+    }
+
+    #[test]
+    fn no_usable_candidate_is_an_error() {
+        let points = blobs(&[(0.0, 0.0)], 3, 7); // 3 points
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = suggest_k(
+            &points,
+            &[10, 20],
+            &Initializer::RandomRepresentative,
+            2,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KmeansError::TooFewPoints { .. }));
+    }
+}

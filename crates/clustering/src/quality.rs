@@ -1,0 +1,180 @@
+//! Cluster quality metrics.
+//!
+//! The paper's headline accuracy metric is the **average group
+//! interaction cost** (§2): the interaction cost of a group is the mean
+//! pairwise cost between its members, and the network-wide figure is the
+//! mean over groups. This module computes that plus standard clustering
+//! diagnostics (within-cluster scatter, silhouette) used by the ablation
+//! benches.
+
+/// Group interaction cost of one group: the mean of `cost(a, b)` over all
+/// unordered member pairs (§2's `GICost`).
+///
+/// A group with fewer than two members has no pairs; its interaction cost
+/// is zero (its members never talk to a peer).
+pub fn group_interaction_cost(members: &[usize], cost: impl Fn(usize, usize) -> f64) -> f64 {
+    let n = members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += cost(members[i], members[j]);
+        }
+    }
+    sum / (n * (n - 1) / 2) as f64
+}
+
+/// Average group interaction cost over a set of groups — the paper's
+/// clustering-accuracy metric ("the mean of the group interaction costs
+/// of all groups within the edge cache network").
+///
+/// Returns `0.0` for an empty group set.
+pub fn average_group_interaction_cost(
+    groups: &[Vec<usize>],
+    cost: impl Fn(usize, usize) -> f64,
+) -> f64 {
+    if groups.is_empty() {
+        return 0.0;
+    }
+    groups
+        .iter()
+        .map(|g| group_interaction_cost(g, &cost))
+        .sum::<f64>()
+        / groups.len() as f64
+}
+
+/// Mean silhouette coefficient of a clustering under an arbitrary
+/// dissimilarity, in `[-1, 1]`; higher is better.
+///
+/// Points in singleton clusters contribute a silhouette of zero (the
+/// standard convention). Returns `0.0` when there are fewer than two
+/// clusters or fewer than two points.
+pub fn mean_silhouette(groups: &[Vec<usize>], cost: impl Fn(usize, usize) -> f64) -> f64 {
+    let total: usize = groups.iter().map(Vec::len).sum();
+    if groups.len() < 2 || total < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (gi, group) in groups.iter().enumerate() {
+        for &p in group {
+            if group.len() < 2 {
+                continue; // silhouette 0 for singletons
+            }
+            // a = mean intra-cluster dissimilarity.
+            let a = group
+                .iter()
+                .filter(|&&q| q != p)
+                .map(|&q| cost(p, q))
+                .sum::<f64>()
+                / (group.len() - 1) as f64;
+            // b = min over other clusters of mean dissimilarity.
+            let mut b = f64::INFINITY;
+            for (gj, other) in groups.iter().enumerate() {
+                if gj == gi || other.is_empty() {
+                    continue;
+                }
+                let mean = other.iter().map(|&q| cost(p, q)).sum::<f64>() / other.len() as f64;
+                b = b.min(mean);
+            }
+            if b.is_finite() {
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    sum += (b - a) / denom;
+                }
+            }
+        }
+    }
+    sum / total as f64
+}
+
+/// Size statistics of a group set: (min, mean, max) member counts.
+///
+/// Returns `(0, 0.0, 0)` for an empty group set.
+pub fn group_size_stats(groups: &[Vec<usize>]) -> (usize, f64, usize) {
+    if groups.is_empty() {
+        return (0, 0.0, 0);
+    }
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let min = *sizes.iter().min().expect("non-empty");
+    let max = *sizes.iter().max().expect("non-empty");
+    let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    (min, mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_cost(a: usize, b: usize) -> f64 {
+        (a as f64 - b as f64).abs()
+    }
+
+    #[test]
+    fn single_group_cost_is_mean_pairwise() {
+        // Members 0, 2, 6 on a line: pairs (0,2)=2, (0,6)=6, (2,6)=4.
+        let gic = group_interaction_cost(&[0, 2, 6], line_cost);
+        assert!((gic - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_groups_cost_zero() {
+        assert_eq!(group_interaction_cost(&[], line_cost), 0.0);
+        assert_eq!(group_interaction_cost(&[3], line_cost), 0.0);
+    }
+
+    #[test]
+    fn average_over_groups() {
+        let groups = vec![vec![0, 2], vec![10, 16]];
+        // Group costs 2 and 6 → average 4.
+        let avg = average_group_interaction_cost(&groups, line_cost);
+        assert!((avg - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_no_groups_is_zero() {
+        assert_eq!(average_group_interaction_cost(&[], line_cost), 0.0);
+    }
+
+    #[test]
+    fn tight_clusters_beat_loose_ones() {
+        // Points 0..4 and 100..104; correct split vs. mixed split.
+        let good = vec![vec![0, 1, 2, 3], vec![100, 101, 102, 103]];
+        let bad = vec![vec![0, 1, 102, 103], vec![2, 3, 100, 101]];
+        assert!(
+            average_group_interaction_cost(&good, line_cost)
+                < average_group_interaction_cost(&bad, line_cost)
+        );
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_clusters() {
+        let groups = vec![vec![0, 1, 2], vec![100, 101, 102]];
+        let s = mean_silhouette(&groups, line_cost);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_shuffled_clusters() {
+        let groups = vec![vec![0, 100, 2], vec![1, 101, 102]];
+        let s = mean_silhouette(&groups, line_cost);
+        assert!(s < 0.5, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        assert_eq!(mean_silhouette(&[], line_cost), 0.0);
+        assert_eq!(mean_silhouette(&[vec![1, 2, 3]], line_cost), 0.0);
+        // Singletons contribute zero.
+        let s = mean_silhouette(&[vec![0], vec![9]], line_cost);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn size_stats() {
+        let groups = vec![vec![1], vec![2, 3], vec![4, 5, 6]];
+        assert_eq!(group_size_stats(&groups), (1, 2.0, 3));
+        assert_eq!(group_size_stats(&[]), (0, 0.0, 0));
+    }
+}

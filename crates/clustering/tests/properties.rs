@@ -1,0 +1,187 @@
+//! Property-based tests for the clustering crate.
+
+use ecg_clustering::hierarchical::{agglomerative, Linkage};
+use ecg_clustering::{
+    average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped,
+    server_distance_weights, Initializer, KmeansConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, 2), 2..40)
+}
+
+proptest! {
+    #[test]
+    fn kmeans_output_is_a_partition(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = kmeans(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        ).unwrap();
+        // Every point assigned to a valid cluster.
+        prop_assert_eq!(r.assignments().len(), points.len());
+        prop_assert!(r.assignments().iter().all(|&c| c < k));
+        // Exactly k non-empty clusters.
+        let sizes = r.cluster_sizes();
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
+    fn kmeans_assigns_each_point_to_nearest_center(
+        points in arb_points(),
+        seed in any::<u64>(),
+    ) {
+        let k = (points.len() / 3).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = kmeans(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+        ).unwrap();
+        if !r.converged() {
+            // Iteration cap hit: the invariant may not hold yet.
+            return Ok(());
+        }
+        let sq = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        for (i, p) in points.iter().enumerate() {
+            let assigned = sq(p, &r.centers()[r.assignments()[i]]);
+            for center in r.centers() {
+                prop_assert!(assigned <= sq(p, center) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_init_with_uniform_weights_matches_contract(
+        points in arb_points(),
+        seed in any::<u64>(),
+    ) {
+        let k = (points.len() / 2).max(1);
+        let weights = vec![1.0; points.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chosen = Initializer::Weighted(weights)
+            .select(&points, k, &mut rng)
+            .unwrap();
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+    }
+
+    #[test]
+    fn server_distance_weights_are_monotone_decreasing(
+        mut distances in proptest::collection::vec(0.1f64..1000.0, 2..30),
+        theta in 0.0f64..4.0,
+    ) {
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let w = server_distance_weights(&distances, theta);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gic_is_scale_equivariant(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0usize..20, 0..6), 1..5),
+        scale in 0.1f64..10.0,
+    ) {
+        let cost = |a: usize, b: usize| (a as f64 - b as f64).abs();
+        let scaled = |a: usize, b: usize| scale * cost(a, b);
+        let base = average_group_interaction_cost(&groups, cost);
+        let after = average_group_interaction_cost(&groups, scaled);
+        prop_assert!((after - scale * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gic_bounded_by_max_pair_cost(
+        members in proptest::collection::vec(0usize..50, 2..10),
+    ) {
+        let cost = |a: usize, b: usize| (a as f64 - b as f64).abs();
+        let gic = group_interaction_cost(&members, cost);
+        let max = members.iter().flat_map(|&a| {
+            members.iter().map(move |&b| cost(a, b))
+        }).fold(0.0f64, f64::max);
+        prop_assert!(gic <= max + 1e-12);
+        prop_assert!(gic >= 0.0);
+    }
+
+    #[test]
+    fn agglomerative_is_a_partition(
+        n in 1usize..25,
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let k = ((n as f64 * k_frac).ceil() as usize).clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pos: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let clusters = agglomerative(n, k, linkage, |a, b| (pos[a] - pos[b]).abs());
+            prop_assert_eq!(clusters.len(), k);
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn capped_kmeans_respects_cap_and_partitions(
+        points in arb_points(),
+        k_frac in 0.05f64..1.0,
+        slack in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = points.len();
+        let k = ((n as f64 * k_frac).ceil() as usize).clamp(1, n);
+        let max_size = n.div_ceil(k) + slack;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = kmeans_capped(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            max_size,
+            &mut rng,
+        ).unwrap();
+        let sizes = r.cluster_sizes();
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s >= 1 && s <= max_size), "{:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn capped_kmeans_with_loose_cap_is_a_valid_partition(
+        points in arb_points(),
+        seed in any::<u64>(),
+    ) {
+        let n = points.len();
+        let k = (n / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // cap = n is never binding.
+        let r = kmeans_capped(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            n,
+            &mut rng,
+        ).unwrap();
+        let mut all: Vec<usize> = r.clusters().into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,243 @@
+//! Landmark feature vectors.
+//!
+//! The SL scheme represents each node's position as the vector of its
+//! measured RTTs to the landmark set — "a simple feature vector
+//! representation wherein the feature vector of a cache `Ec_j` contains
+//! the network distance values between the cache and various landmark
+//! points" (§3.2). Positional dissimilarity between two nodes is the L2
+//! distance between their feature vectors.
+
+use crate::probe::Prober;
+use rand::Rng;
+use std::fmt;
+use std::ops::Index;
+
+/// A node's measured RTTs to each landmark, in landmark order.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_coords::FeatureVector;
+///
+/// let a = FeatureVector::new(vec![3.0, 4.0]);
+/// let b = FeatureVector::new(vec![0.0, 0.0]);
+/// assert_eq!(a.l2_distance(&b), 5.0);
+/// assert_eq!(a.dim(), 2);
+/// assert_eq!(a[1], 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Wraps measured landmark RTTs as a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or not finite.
+    pub fn new(values: Vec<f64>) -> Self {
+        for &v in &values {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "feature components must be finite and non-negative, got {v}"
+            );
+        }
+        FeatureVector { values }
+    }
+
+    /// Number of landmarks the vector spans.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for the zero-dimensional vector.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw component slice, in landmark order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Euclidean (L2) distance to another feature vector — the paper's
+    /// positional-dissimilarity measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn l2_distance(&self, other: &FeatureVector) -> f64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "feature vectors must share a landmark set"
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Component-wise mean of a non-empty set of vectors — the cluster
+    /// centroid computation K-means uses.
+    ///
+    /// Returns `None` if `vectors` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree on dimension.
+    pub fn mean<'a, I>(vectors: I) -> Option<FeatureVector>
+    where
+        I: IntoIterator<Item = &'a FeatureVector>,
+    {
+        let mut iter = vectors.into_iter();
+        let first = iter.next()?;
+        let mut acc = first.values.clone();
+        let mut count = 1usize;
+        for v in iter {
+            assert_eq!(v.dim(), acc.len(), "mixed dimensions in mean");
+            for (a, b) in acc.iter_mut().zip(&v.values) {
+                *a += b;
+            }
+            count += 1;
+        }
+        for a in &mut acc {
+            *a /= count as f64;
+        }
+        Some(FeatureVector { values: acc })
+    }
+}
+
+impl Index<usize> for FeatureVector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<f64>> for FeatureVector {
+    fn from(values: Vec<f64>) -> Self {
+        FeatureVector::new(values)
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.1}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builds the feature vector of every node in `nodes` by probing each
+/// landmark through `prober` (§3.2 of the paper, step 2 of both schemes).
+///
+/// Returned vectors are in `nodes` order; component `k` of a vector is the
+/// measured RTT to `landmarks[k]`. A node that is itself a landmark
+/// measures distance zero to itself, exactly as in Figure 2 of the paper.
+pub fn build_feature_vectors<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    nodes: &[usize],
+    landmarks: &[usize],
+    rng: &mut R,
+) -> Vec<FeatureVector> {
+    nodes
+        .iter()
+        .map(|&node| FeatureVector::new(prober.measure_all(node, landmarks, rng)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeConfig;
+    use ecg_topology::fixtures::paper_figure1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn l2_distance_matches_pythagoras() {
+        let a = FeatureVector::new(vec![1.0, 2.0, 2.0]);
+        let b = FeatureVector::new(vec![1.0, 0.0, 0.0]);
+        assert!((a.l2_distance(&b) - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = FeatureVector::new(vec![5.0, 1.0]);
+        let b = FeatureVector::new(vec![2.0, 9.0]);
+        assert_eq!(a.l2_distance(&b), b.l2_distance(&a));
+        assert_eq!(a.l2_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark set")]
+    fn mismatched_dims_panic() {
+        let a = FeatureVector::new(vec![1.0]);
+        let b = FeatureVector::new(vec![1.0, 2.0]);
+        let _ = a.l2_distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_component() {
+        let _ = FeatureVector::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let vs = [
+            FeatureVector::new(vec![0.0, 4.0]),
+            FeatureVector::new(vec![2.0, 0.0]),
+            FeatureVector::new(vec![4.0, 2.0]),
+        ];
+        let m = FeatureVector::mean(vs.iter()).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(FeatureVector::mean([].iter()), None);
+    }
+
+    #[test]
+    fn feature_vectors_match_paper_figure2() {
+        // With noiseless probing and landmarks {Os, Ec0, Ec4} (matrix
+        // indices 0, 1, 5), Ec1's feature vector is its RTT row to those
+        // landmarks: (8.0, 4.0, 17.0).
+        let m = paper_figure1();
+        let prober = Prober::new(&m, ProbeConfig::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let fvs = build_feature_vectors(&prober, &nodes, &landmarks, &mut rng);
+        assert_eq!(fvs.len(), 6);
+        // Ec0 (matrix index 1) is itself a landmark: zero in slot 1.
+        assert_eq!(fvs[0].as_slice(), &[12.0, 0.0, 17.0]);
+        // Ec1 (matrix index 2): 8.0 to Os, 4.0 to Ec0, 14.4 to Ec4.
+        assert_eq!(fvs[1].as_slice(), &[8.0, 4.0, 14.4]);
+        // Ec4 (matrix index 5) is a landmark too.
+        assert_eq!(fvs[4].as_slice(), &[12.0, 17.0, 0.0]);
+    }
+
+    #[test]
+    fn display_renders_components() {
+        let v = FeatureVector::new(vec![1.0, 2.5]);
+        assert_eq!(v.to_string(), "[1.0, 2.5]");
+    }
+
+    #[test]
+    fn indexing_works() {
+        let v = FeatureVector::from(vec![7.0, 8.0]);
+        assert_eq!(v[0], 7.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Quality metrics for position representations.
+//!
+//! Used by the experiment harness to report how faithfully feature
+//! vectors, GNP coordinates, and Vivaldi coordinates preserve the
+//! underlying RTT space.
+
+use crate::feature::FeatureVector;
+
+/// Summary statistics of a sample of non-negative errors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl ErrorStats {
+    /// Computes stats over a sample; returns the zero stats for an empty
+    /// sample.
+    pub fn from_samples(samples: &[f64]) -> ErrorStats {
+        if samples.is_empty() {
+            return ErrorStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are not NaN"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        ErrorStats {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median: pct(0.5),
+            p90: pct(0.9),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Relative error of pairwise feature-vector distances against ground
+/// truth RTTs: `|l2(i, j) - rtt(i, j)| / rtt(i, j)` over all pairs with
+/// positive RTT.
+///
+/// Note the paper's point (§5.2): feature-vector L2 distances do *not*
+/// need to approximate RTTs well for clustering to work — they only need
+/// to preserve relative proximity. This metric quantifies the gap.
+pub fn feature_vector_distance_error(
+    vectors: &[FeatureVector],
+    truth: impl Fn(usize, usize) -> f64,
+) -> ErrorStats {
+    let mut samples = Vec::new();
+    for i in 0..vectors.len() {
+        for j in (i + 1)..vectors.len() {
+            let t = truth(i, j);
+            if t > f64::EPSILON {
+                samples.push((vectors[i].l2_distance(&vectors[j]) - t).abs() / t);
+            }
+        }
+    }
+    ErrorStats::from_samples(&samples)
+}
+
+/// Fraction of node triples `(i, j, k)` whose *proximity order* is
+/// preserved: if `rtt(i, j) < rtt(i, k)` then `d(i, j) < d(i, k)` for the
+/// representation's distance `d`.
+///
+/// This is the property clustering actually relies on. Sampled
+/// exhaustively; for `n` nodes the cost is `O(n^3)`, fine at experiment
+/// scale.
+pub fn proximity_order_preservation(
+    n: usize,
+    rep_distance: impl Fn(usize, usize) -> f64,
+    truth: impl Fn(usize, usize) -> f64,
+) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                if i == j || i == k || j == k {
+                    continue;
+                }
+                let (tj, tk) = (truth(i, j), truth(i, k));
+                if (tj - tk).abs() < f64::EPSILON {
+                    continue;
+                }
+                total += 1;
+                let (dj, dk) = (rep_distance(i, j), rep_distance(i, k));
+                if (tj < tk) == (dj < dk) {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stats_on_known_sample() {
+        let s = ErrorStats::from_samples(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p90, 4.0);
+    }
+
+    #[test]
+    fn error_stats_empty_sample() {
+        assert_eq!(ErrorStats::from_samples(&[]), ErrorStats::default());
+    }
+
+    #[test]
+    fn identical_representation_has_zero_error() {
+        // Feature vectors = 1-D coordinates on a line; truth = |a - b|.
+        let coords = [0.0, 3.0, 7.0, 20.0];
+        let vectors: Vec<FeatureVector> = coords
+            .iter()
+            .map(|&c| FeatureVector::new(vec![c]))
+            .collect();
+        let stats = feature_vector_distance_error(&vectors, |i, j| (coords[i] - coords[j]).abs());
+        assert!(stats.mean < 1e-12);
+        assert!(stats.max < 1e-12);
+    }
+
+    #[test]
+    fn order_preservation_perfect_for_identity() {
+        let coords = [0.0f64, 1.0, 5.0, 9.0];
+        let d = |i: usize, j: usize| (coords[i] - coords[j]).abs();
+        assert_eq!(proximity_order_preservation(4, d, d), 1.0);
+    }
+
+    #[test]
+    fn order_preservation_detects_inversion() {
+        let coords = [0.0f64, 1.0, 5.0, 9.0];
+        let truth = |i: usize, j: usize| (coords[i] - coords[j]).abs();
+        // A representation that inverts the order agrees on ~nothing.
+        let inverted = |i: usize, j: usize| 100.0 - truth(i, j);
+        let frac = proximity_order_preservation(4, inverted, truth);
+        assert!(frac < 0.1, "got {frac}");
+    }
+
+    #[test]
+    fn order_preservation_trivial_when_no_comparable_triples() {
+        // All distances equal: no strict orderings to preserve.
+        let frac = proximity_order_preservation(3, |_, _| 1.0, |_, _| 1.0);
+        assert_eq!(frac, 1.0);
+    }
+}

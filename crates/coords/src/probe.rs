@@ -1,0 +1,304 @@
+//! RTT probing model.
+//!
+//! Real deployments measure RTTs by sending probe packets; measurements
+//! jitter around the propagation delay. The paper's schemes compensate by
+//! probing each target "multiple times and recording the average RTT".
+//! [`Prober`] reproduces that: each probe multiplies the ground-truth RTT
+//! by log-normal noise, and a measurement averages a configurable number
+//! of probes.
+
+use ecg_topology::RttMatrix;
+use rand::Rng;
+
+/// Configuration of the probing model.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_coords::ProbeConfig;
+///
+/// let cfg = ProbeConfig::default().probes_per_measurement(5).noise_sigma(0.1);
+/// assert_eq!(cfg.probes(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeConfig {
+    probes: usize,
+    noise_sigma: f64,
+}
+
+impl Default for ProbeConfig {
+    /// Three probes per measurement with 5% log-normal jitter — a light
+    /// but realistic measurement error.
+    fn default() -> Self {
+        ProbeConfig {
+            probes: 3,
+            noise_sigma: 0.05,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a noise-free configuration (measurements equal ground
+    /// truth exactly); useful for isolating algorithmic error.
+    pub fn noiseless() -> Self {
+        ProbeConfig {
+            probes: 1,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// Sets how many probes are averaged per measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes == 0`.
+    pub fn probes_per_measurement(mut self, probes: usize) -> Self {
+        assert!(probes > 0, "need at least one probe per measurement");
+        self.probes = probes;
+        self
+    }
+
+    /// Sets the standard deviation of the log-normal noise factor.
+    ///
+    /// Each probe observes `rtt × exp(σ·z)` with `z ~ N(0, 1)`. A sigma of
+    /// `0.05` jitters probes by about ±5%.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn noise_sigma(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative"
+        );
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Number of probes averaged per measurement.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Standard deviation of the log-normal noise factor.
+    pub fn sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+///
+/// Implemented locally to keep the dependency set down to `rand` itself.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A simulated prober over a ground-truth RTT matrix.
+///
+/// Node indices follow the matrix the prober wraps; for an
+/// [`EdgeNetwork`](ecg_topology::EdgeNetwork) matrix, index `0` is the
+/// origin and `i + 1` is cache `Ec_i`.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_coords::{ProbeConfig, Prober};
+/// use ecg_topology::fixtures::paper_figure1;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let matrix = paper_figure1();
+/// let prober = Prober::new(&matrix, ProbeConfig::noiseless());
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert_eq!(prober.measure(1, 2, &mut rng), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prober<'a> {
+    truth: &'a RttMatrix,
+    config: ProbeConfig,
+    probes_sent: std::cell::Cell<u64>,
+}
+
+impl<'a> Prober<'a> {
+    /// Wraps a ground-truth matrix with the given probing behaviour.
+    pub fn new(truth: &'a RttMatrix, config: ProbeConfig) -> Self {
+        Prober {
+            truth,
+            config,
+            probes_sent: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of nodes visible to the prober.
+    pub fn node_count(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// The probing configuration.
+    pub fn config(&self) -> ProbeConfig {
+        self.config
+    }
+
+    /// Total probes sent so far — the measurement overhead the paper's
+    /// greedy PLSet construction is designed to bound.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent.get()
+    }
+
+    /// Measures the RTT between `a` and `b`: the average of
+    /// `config.probes()` noisy probes, in milliseconds.
+    ///
+    /// Probing yourself returns `0.0` without sending probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range of the wrapped matrix.
+    pub fn measure<R: Rng + ?Sized>(&self, a: usize, b: usize, rng: &mut R) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let truth = self.truth.get(a, b);
+        let mut sum = 0.0;
+        for _ in 0..self.config.probes {
+            let noise = if self.config.noise_sigma == 0.0 {
+                1.0
+            } else {
+                (self.config.noise_sigma * standard_normal(rng)).exp()
+            };
+            sum += truth * noise;
+        }
+        self.probes_sent
+            .set(self.probes_sent.get() + self.config.probes as u64);
+        sum / self.config.probes as f64
+    }
+
+    /// Measures the RTT from `from` to every node in `targets`, in order.
+    pub fn measure_all<R: Rng + ?Sized>(
+        &self,
+        from: usize,
+        targets: &[usize],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        targets
+            .iter()
+            .map(|&t| self.measure(from, t, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecg_topology::fixtures::paper_figure1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_probe_returns_truth() {
+        let m = paper_figure1();
+        let p = Prober::new(&m, ProbeConfig::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(p.measure(i, j, &mut rng), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn self_probe_is_zero_and_free() {
+        let m = paper_figure1();
+        let p = Prober::new(&m, ProbeConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.measure(3, 3, &mut rng), 0.0);
+        assert_eq!(p.probes_sent(), 0);
+    }
+
+    #[test]
+    fn probe_accounting_counts_each_probe() {
+        let m = paper_figure1();
+        let p = Prober::new(&m, ProbeConfig::default().probes_per_measurement(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        p.measure(0, 1, &mut rng);
+        p.measure(1, 2, &mut rng);
+        assert_eq!(p.probes_sent(), 8);
+    }
+
+    #[test]
+    fn noisy_measurements_are_near_truth() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::default()
+                .probes_per_measurement(50)
+                .noise_sigma(0.05),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let measured = p.measure(0, 1, &mut rng);
+        let truth = m.get(0, 1);
+        assert!(
+            (measured - truth).abs() / truth < 0.05,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn more_probes_reduce_error() {
+        let m = paper_figure1();
+        let truth = m.get(0, 1);
+        let mean_abs_err = |probes: usize| {
+            let p = Prober::new(
+                &m,
+                ProbeConfig::default()
+                    .probes_per_measurement(probes)
+                    .noise_sigma(0.3),
+            );
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut err = 0.0;
+            for _ in 0..200 {
+                err += (p.measure(0, 1, &mut rng) - truth).abs();
+            }
+            err / 200.0
+        };
+        assert!(mean_abs_err(16) < mean_abs_err(1));
+    }
+
+    #[test]
+    fn measure_all_orders_targets() {
+        let m = paper_figure1();
+        let p = Prober::new(&m, ProbeConfig::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = p.measure_all(1, &[0, 2, 3], &mut rng);
+        assert_eq!(v, vec![12.0, 4.0, 17.0]);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_rejected() {
+        let _ = ProbeConfig::default().probes_per_measurement(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_rejected() {
+        let _ = ProbeConfig::default().noise_sigma(-0.1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! GNP (Ng & Zhang, INFOCOM '02) solves its coordinate-fitting problems
+//! with a generic derivative-free minimizer; the original implementation
+//! used the downhill simplex method. This module provides that optimizer
+//! for [`crate::gnp`], kept general enough to minimize any
+//! `Fn(&[f64]) -> f64`.
+
+/// Options controlling a Nelder–Mead run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence threshold on the absolute spread between the best and
+    /// worst simplex vertex values.
+    pub tolerance: f64,
+    /// Initial displacement applied per dimension to build the simplex.
+    pub initial_step: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 2_000,
+            tolerance: 1e-9,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexResult {
+    /// The best point found.
+    pub point: Vec<f64>,
+    /// Objective value at `point`.
+    pub value: f64,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `initial`, returning the best point found.
+///
+/// Standard Nelder–Mead with reflection 1, expansion 2, contraction ½ and
+/// shrink ½. Deterministic: no randomness is used, so results are fully
+/// reproducible for a given start point.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty or the objective returns NaN at the start
+/// simplex.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_coords::simplex::{minimize, SimplexOptions};
+///
+/// // Minimize (x-3)^2 + (y+1)^2.
+/// let r = minimize(
+///     |p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2),
+///     &[0.0, 0.0],
+///     SimplexOptions::default(),
+/// );
+/// assert!(r.converged);
+/// assert!((r.point[0] - 3.0).abs() < 1e-4);
+/// assert!((r.point[1] + 1.0).abs() < 1e-4);
+/// ```
+pub fn minimize<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    initial: &[f64],
+    options: SimplexOptions,
+) -> SimplexResult {
+    let dim = initial.len();
+    assert!(dim > 0, "cannot minimize over zero dimensions");
+
+    // Build the initial simplex: the start point plus one vertex displaced
+    // along each axis.
+    let mut vertices: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    vertices.push(initial.to_vec());
+    for d in 0..dim {
+        let mut v = initial.to_vec();
+        v[d] += if v[d].abs() > 1e-12 {
+            options.initial_step * 0.1 * v[d].abs().max(1.0)
+        } else {
+            options.initial_step
+        };
+        vertices.push(v);
+    }
+    let mut values: Vec<f64> = vertices.iter().map(|v| f(v)).collect();
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "objective returned NaN on the initial simplex"
+    );
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+
+        // Order vertices by objective value.
+        let mut order: Vec<usize> = (0..=dim).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+        let best = order[0];
+        let worst = order[dim];
+        let second_worst = order[dim - 1];
+
+        if (values[worst] - values[best]).abs() <= options.tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; dim];
+        for &i in order.iter().take(dim) {
+            for d in 0..dim {
+                centroid[d] += vertices[i][d];
+            }
+        }
+        for c in &mut centroid {
+            *c /= dim as f64;
+        }
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = blend(&centroid, &vertices[worst], -1.0);
+        let fr = f(&reflected);
+        if fr < values[best] {
+            // Expansion.
+            let expanded = blend(&centroid, &vertices[worst], -2.0);
+            let fe = f(&expanded);
+            if fe < fr {
+                vertices[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                vertices[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            vertices[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            // Contraction (inside if reflection is no better than worst).
+            let towards = if fr < values[worst] { -0.5 } else { 0.5 };
+            let contracted = blend(&centroid, &vertices[worst], towards);
+            let fc = f(&contracted);
+            if fc < values[worst].min(fr) {
+                vertices[worst] = contracted;
+                values[worst] = fc;
+            } else {
+                // Shrink everything towards the best vertex.
+                let best_v = vertices[best].clone();
+                for i in 0..=dim {
+                    if i == best {
+                        continue;
+                    }
+                    vertices[i] = blend(&best_v, &vertices[i], 0.5);
+                    values[i] = f(&vertices[i]);
+                }
+            }
+        }
+    }
+
+    let (best_idx, &value) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("simplex is non-empty");
+    SimplexResult {
+        point: vertices[best_idx].clone(),
+        value,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = minimize(
+            |p| p.iter().map(|x| (x - 2.0) * (x - 2.0)).sum(),
+            &[10.0, -10.0, 0.0],
+            SimplexOptions::default(),
+        );
+        assert!(r.converged, "did not converge in {} iters", r.iterations);
+        for x in r.point {
+            assert!((x - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosenbrock = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let r = minimize(
+            rosenbrock,
+            &[-1.2, 1.0],
+            SimplexOptions {
+                max_iterations: 10_000,
+                tolerance: 1e-12,
+                initial_step: 0.5,
+            },
+        );
+        assert!((r.point[0] - 1.0).abs() < 1e-3, "x = {}", r.point[0]);
+        assert!((r.point[1] - 1.0).abs() < 1e-3, "y = {}", r.point[1]);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = minimize(|p| (p[0] + 5.0).abs(), &[3.0], SimplexOptions::default());
+        assert!((r.point[0] + 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let r = minimize(
+            |p| p[0] * p[0],
+            &[100.0],
+            SimplexOptions {
+                max_iterations: 3,
+                tolerance: 0.0,
+                initial_step: 1.0,
+            },
+        );
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            minimize(
+                |p| (p[0] - 1.0).powi(2) + (p[1] - 2.0).powi(2),
+                &[9.0, 9.0],
+                SimplexOptions::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimensions")]
+    fn empty_start_panics() {
+        let _ = minimize(|_| 0.0, &[], SimplexOptions::default());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the position-estimation crate.
+
+use ecg_coords::simplex::{minimize, SimplexOptions};
+use ecg_coords::{build_feature_vectors, FeatureVector, ProbeConfig, Prober};
+use ecg_topology::RttMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_feature_vector(dim: usize) -> impl Strategy<Value = FeatureVector> {
+    proptest::collection::vec(0.0f64..500.0, dim).prop_map(FeatureVector::new)
+}
+
+proptest! {
+    #[test]
+    fn l2_is_a_metric(
+        a in arb_feature_vector(4),
+        b in arb_feature_vector(4),
+        c in arb_feature_vector(4),
+    ) {
+        // Non-negativity and identity.
+        prop_assert!(a.l2_distance(&b) >= 0.0);
+        prop_assert!(a.l2_distance(&a) < 1e-12);
+        // Symmetry.
+        prop_assert!((a.l2_distance(&b) - b.l2_distance(&a)).abs() < 1e-12);
+        // Triangle inequality.
+        prop_assert!(a.l2_distance(&c) <= a.l2_distance(&b) + b.l2_distance(&c) + 1e-9);
+    }
+
+    #[test]
+    fn mean_lies_within_componentwise_bounds(
+        vs in proptest::collection::vec(arb_feature_vector(3), 1..10)
+    ) {
+        let mean = FeatureVector::mean(vs.iter()).unwrap();
+        for k in 0..3 {
+            let lo = vs.iter().map(|v| v[k]).fold(f64::INFINITY, f64::min);
+            let hi = vs.iter().map(|v| v[k]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean[k] >= lo - 1e-9 && mean[k] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn noiseless_probing_reproduces_matrix(seed in any::<u64>(), n in 2usize..10) {
+        let m = RttMatrix::from_fn(n, |i, j| ((i + 1) * (j + 2)) as f64);
+        let prober = Prober::new(&m, ProbeConfig::noiseless());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(prober.measure(i, j, &mut rng), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_probes_are_positive_and_bounded(
+        seed in any::<u64>(),
+        sigma in 0.0f64..0.5,
+    ) {
+        let m = RttMatrix::from_fn(4, |i, j| (10 * (i + j)) as f64);
+        let prober = Prober::new(
+            &m,
+            ProbeConfig::default().noise_sigma(sigma).probes_per_measurement(2),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let v = prober.measure(0, 3, &mut rng);
+            prop_assert!(v > 0.0);
+            prop_assert!(v.is_finite());
+            // exp(σz) with |z| < 6 virtually always: generous envelope.
+            let truth = m.get(0, 3);
+            prop_assert!(v < truth * (6.0 * (sigma + 0.01)).exp());
+        }
+    }
+
+    #[test]
+    fn feature_vectors_have_zero_at_own_landmark_slot(
+        seed in any::<u64>(),
+        n in 3usize..12,
+    ) {
+        let m = RttMatrix::from_fn(n, |i, j| (i + j) as f64 * 3.0 + 1.0);
+        let prober = Prober::new(&m, ProbeConfig::noiseless());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let landmarks: Vec<usize> = (0..n.min(3)).collect();
+        let nodes: Vec<usize> = (0..n).collect();
+        let fvs = build_feature_vectors(&prober, &nodes, &landmarks, &mut rng);
+        for (node, fv) in nodes.iter().zip(&fvs) {
+            for (slot, lm) in landmarks.iter().enumerate() {
+                if node == lm {
+                    prop_assert_eq!(fv[slot], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplex_never_worsens_the_start_point(
+        start in proptest::collection::vec(-50.0f64..50.0, 1..5),
+        target in -10.0f64..10.0,
+    ) {
+        let f = |p: &[f64]| -> f64 {
+            p.iter().map(|x| (x - target) * (x - target)).sum()
+        };
+        let start_value = f(&start);
+        let r = minimize(f, &start, SimplexOptions::default());
+        prop_assert!(r.value <= start_value + 1e-12);
+    }
+}

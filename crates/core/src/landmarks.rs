@@ -1,0 +1,368 @@
+//! Landmark selection (§3.1 of the paper).
+//!
+//! The quality of the landmark set determines the accuracy of every
+//! downstream position estimate, and a good set is *well dispersed*. The
+//! SL scheme approximates the dispersal criterion cheaply:
+//!
+//! 1. The origin server is always a landmark.
+//! 2. A random *potential landmark set* (PLSet) of `M × (L-1)` caches is
+//!    drawn; only those caches measure their pairwise distances — this
+//!    bounds the probing overhead to `O((M·L)²)` instead of `O(N²)`.
+//! 3. `L-1` caches are picked from the PLSet greedily, each maximizing
+//!    the current `MinDist(LmSet)` (the minimum pairwise distance within
+//!    the landmark set).
+//!
+//! The module also implements the two comparison selectors of §5.1:
+//! uniform random selection, and the adversarial *Min-Dist* selector
+//! that greedily *minimizes* `MinDist(LmSet)`.
+
+use ecg_coords::Prober;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Strategy for choosing the landmark set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LandmarkSelector {
+    /// The SL scheme's greedy max–min dispersal selection from the
+    /// PLSet. The default.
+    #[default]
+    GreedyMaxMin,
+    /// Uniform random landmarks (first baseline of Figure 4/5/6).
+    Random,
+    /// Greedy *minimum* dispersal — the pathological baseline the paper
+    /// calls the "minimum distance landmarks selection technique".
+    MinDist,
+}
+
+impl fmt::Display for LandmarkSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LandmarkSelector::GreedyMaxMin => "greedy (SL)",
+            LandmarkSelector::Random => "random",
+            LandmarkSelector::MinDist => "min-dist",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error from [`select_landmarks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LandmarkError {
+    /// Fewer than two landmarks were requested (the origin alone is not
+    /// a frame of reference).
+    TooFewLandmarks {
+        /// Requested landmark count.
+        requested: usize,
+    },
+    /// The network has fewer caches than `L - 1`.
+    TooFewCaches {
+        /// Caches available.
+        caches: usize,
+        /// Landmarks requested.
+        landmarks: usize,
+    },
+    /// `M` must be at least 1.
+    BadMultiplier,
+}
+
+impl fmt::Display for LandmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LandmarkError::TooFewLandmarks { requested } => {
+                write!(f, "need at least 2 landmarks, requested {requested}")
+            }
+            LandmarkError::TooFewCaches { caches, landmarks } => write!(
+                f,
+                "{landmarks} landmarks need {} caches, only {caches} available",
+                landmarks - 1
+            ),
+            LandmarkError::BadMultiplier => write!(f, "PLSet multiplier M must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for LandmarkError {}
+
+/// Result of landmark selection.
+///
+/// Node indices follow the prober's matrix: `0` is the origin server,
+/// `i + 1` is cache `Ec_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandmarkSelection {
+    /// The chosen landmark node indices; `landmarks[0] == 0` (the
+    /// origin) always.
+    pub landmarks: Vec<usize>,
+    /// The potential landmark set the greedy phase drew from (empty for
+    /// the random selector, which probes nothing).
+    pub plset: Vec<usize>,
+    /// `MinDist(LmSet)` of the final set under the *measured* distances,
+    /// or `None` for the random selector (it never measures).
+    pub min_dist_ms: Option<f64>,
+}
+
+/// Selects `l` landmarks for the network behind `prober`.
+///
+/// # Errors
+///
+/// Returns [`LandmarkError`] if `l < 2`, `m < 1`, or the network is too
+/// small.
+///
+/// # Examples
+///
+/// Reproduces the worked example of Figure 1 (PLSet `{Ec0, Ec1, Ec3,
+/// Ec4}`, `L = 3`): the greedy phase picks `Ec0` (12 ms from the origin)
+/// then `Ec4`, giving landmarks `{Os, Ec0, Ec4}` with
+/// `MinDist = 12 ms` — see this module's tests.
+pub fn select_landmarks<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    selector: LandmarkSelector,
+    l: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<LandmarkSelection, LandmarkError> {
+    if l < 2 {
+        return Err(LandmarkError::TooFewLandmarks { requested: l });
+    }
+    if m < 1 {
+        return Err(LandmarkError::BadMultiplier);
+    }
+    let caches = prober.node_count() - 1;
+    if caches < l - 1 {
+        return Err(LandmarkError::TooFewCaches {
+            caches,
+            landmarks: l,
+        });
+    }
+
+    if selector == LandmarkSelector::Random {
+        // Uniform L-1 caches plus the origin; no measurement phase.
+        let mut indices: Vec<usize> = (1..=caches).collect();
+        for i in 0..(l - 1) {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        let mut landmarks = vec![0usize];
+        landmarks.extend_from_slice(&indices[..l - 1]);
+        return Ok(LandmarkSelection {
+            landmarks,
+            plset: Vec::new(),
+            min_dist_ms: None,
+        });
+    }
+
+    // Phase 1: draw the PLSet — M·(L-1) distinct caches (capped at N).
+    let plset_size = (m * (l - 1)).min(caches);
+    let mut indices: Vec<usize> = (1..=caches).collect();
+    for i in 0..plset_size {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    let plset: Vec<usize> = indices[..plset_size].to_vec();
+
+    // The potential landmarks measure their distances to each other and
+    // to the origin.
+    let mut measured: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut nodes = vec![0usize];
+    nodes.extend_from_slice(&plset);
+    for (a_pos, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(a_pos + 1) {
+            let d = prober.measure(a, b, rng);
+            measured.insert((a.min(b), a.max(b)), d);
+        }
+    }
+    let dist = |a: usize, b: usize| -> f64 { measured[&(a.min(b), a.max(b))] };
+
+    // Phase 2: greedy max–min (SL) or min (Min-Dist baseline).
+    let maximize = selector == LandmarkSelector::GreedyMaxMin;
+    let mut lm_set = vec![0usize];
+    let mut remaining = plset.clone();
+    while lm_set.len() < l {
+        let (best_pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &cand)| {
+                // MinDist(LmSet ∪ {cand}) is limited by the candidate's
+                // distance to the current set (the set's own MinDist is
+                // fixed), so comparing candidates by their min distance
+                // to the set is equivalent.
+                let to_set = lm_set
+                    .iter()
+                    .map(|&s| dist(s, cand))
+                    .fold(f64::INFINITY, f64::min);
+                (pos, to_set)
+            })
+            .max_by(|a, b| {
+                let ord = a.1.partial_cmp(&b.1).expect("distances are not NaN");
+                if maximize { ord } else { ord.reverse() }
+                    // Stable preference for the earliest PLSet entry on ties
+                    // comes from max_by keeping the *last* max; reverse the
+                    // index to prefer the first.
+                    .then_with(|| b.0.cmp(&a.0))
+            })
+            .expect("PLSet has candidates");
+        lm_set.push(remaining.swap_remove(best_pos));
+    }
+
+    let mut min_dist = f64::INFINITY;
+    for (a_pos, &a) in lm_set.iter().enumerate() {
+        for &b in lm_set.iter().skip(a_pos + 1) {
+            min_dist = min_dist.min(dist(a, b));
+        }
+    }
+    Ok(LandmarkSelection {
+        landmarks: lm_set,
+        plset,
+        min_dist_ms: Some(min_dist),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecg_coords::ProbeConfig;
+    use ecg_topology::fixtures::paper_figure1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A prober over the Figure 1 matrix with exact measurements.
+    fn prober(m: &ecg_topology::RttMatrix) -> Prober<'_> {
+        Prober::new(m, ProbeConfig::noiseless())
+    }
+
+    /// Reproduces the paper's worked example with a forced PLSet. Since
+    /// the PLSet draw is random, we search seeds until the PLSet matches
+    /// the figure's `{Ec0, Ec1, Ec3, Ec4}` (matrix indices 1, 2, 4, 5).
+    #[test]
+    fn figure1_worked_example() {
+        let m = paper_figure1();
+        for seed in 0..5_000u64 {
+            let p = prober(&m);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 3, 2, &mut rng).unwrap();
+            let mut plset_sorted = sel.plset.clone();
+            plset_sorted.sort_unstable();
+            if plset_sorted == vec![1, 2, 4, 5] {
+                // Greedy picks Ec0 or Ec4 first (both 12.0 from Os) and
+                // the other second: final set {Os, Ec0, Ec4}.
+                let mut lms = sel.landmarks.clone();
+                lms.sort_unstable();
+                assert_eq!(lms, vec![0, 1, 5], "seed {seed}: {:?}", sel.landmarks);
+                assert_eq!(sel.min_dist_ms, Some(12.0));
+                return;
+            }
+        }
+        panic!("no seed produced the figure's PLSet");
+    }
+
+    #[test]
+    fn origin_is_always_a_landmark() {
+        let m = paper_figure1();
+        for selector in [
+            LandmarkSelector::GreedyMaxMin,
+            LandmarkSelector::Random,
+            LandmarkSelector::MinDist,
+        ] {
+            let p = prober(&m);
+            let mut rng = StdRng::seed_from_u64(3);
+            let sel = select_landmarks(&p, selector, 3, 2, &mut rng).unwrap();
+            assert_eq!(sel.landmarks[0], 0, "{selector}");
+            assert_eq!(sel.landmarks.len(), 3);
+            // All distinct.
+            let mut sorted = sel.landmarks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_mindist_on_dispersal() {
+        let m = paper_figure1();
+        let mut greedy_total = 0.0;
+        let mut mindist_total = 0.0;
+        for seed in 0..20 {
+            let p = prober(&m);
+            let mut rng = StdRng::seed_from_u64(seed);
+            greedy_total += select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 3, 3, &mut rng)
+                .unwrap()
+                .min_dist_ms
+                .unwrap();
+            let p = prober(&m);
+            let mut rng = StdRng::seed_from_u64(seed);
+            mindist_total += select_landmarks(&p, LandmarkSelector::MinDist, 3, 3, &mut rng)
+                .unwrap()
+                .min_dist_ms
+                .unwrap();
+        }
+        assert!(
+            greedy_total > mindist_total,
+            "greedy {greedy_total} vs mindist {mindist_total}"
+        );
+    }
+
+    #[test]
+    fn random_selector_probes_nothing() {
+        let m = paper_figure1();
+        let p = prober(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = select_landmarks(&p, LandmarkSelector::Random, 4, 2, &mut rng).unwrap();
+        assert_eq!(p.probes_sent(), 0);
+        assert!(sel.plset.is_empty());
+        assert_eq!(sel.min_dist_ms, None);
+    }
+
+    #[test]
+    fn greedy_probing_is_bounded_by_plset() {
+        let m = paper_figure1();
+        let p = prober(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = 3usize;
+        let mm = 2usize;
+        let _ = select_landmarks(&p, LandmarkSelector::GreedyMaxMin, l, mm, &mut rng).unwrap();
+        // PLSet ∪ {Os} has M(L-1)+1 = 5 nodes → 10 pairs, 1 probe each
+        // under the noiseless config.
+        assert_eq!(p.probes_sent(), 10);
+    }
+
+    #[test]
+    fn plset_is_capped_at_cache_count() {
+        let m = paper_figure1();
+        let p = prober(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        // M(L-1) = 5*6 = 30 > 6 caches: PLSet covers all caches.
+        let sel = select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 7, 5, &mut rng).unwrap();
+        assert_eq!(sel.plset.len(), 6);
+        assert_eq!(sel.landmarks.len(), 7);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let m = paper_figure1();
+        let p = prober(&m);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 1, 2, &mut rng),
+            Err(LandmarkError::TooFewLandmarks { requested: 1 })
+        );
+        assert_eq!(
+            select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 3, 0, &mut rng),
+            Err(LandmarkError::BadMultiplier)
+        );
+        assert_eq!(
+            select_landmarks(&p, LandmarkSelector::GreedyMaxMin, 8, 2, &mut rng),
+            Err(LandmarkError::TooFewCaches {
+                caches: 6,
+                landmarks: 8
+            })
+        );
+        assert!(LandmarkError::BadMultiplier.to_string().contains('M'));
+    }
+
+    #[test]
+    fn selector_display_names() {
+        assert_eq!(LandmarkSelector::GreedyMaxMin.to_string(), "greedy (SL)");
+        assert_eq!(LandmarkSelector::Random.to_string(), "random");
+        assert_eq!(LandmarkSelector::MinDist.to_string(), "min-dist");
+    }
+}

@@ -1,0 +1,398 @@
+//! Incremental group maintenance for dynamic edge networks.
+//!
+//! The paper assumes "the scale of the edge cache network, and the
+//! locations of the edge caches ... are pre-decided" (§2) and leaves
+//! dynamics open. Deployments are not static: caches are added during
+//! capacity expansion and drained for maintenance. This module provides
+//! the incremental operations a GF-Coordinator needs between full
+//! re-clusterings:
+//!
+//! * **admit** — a joining cache probes the existing landmark set,
+//!   builds its feature vector, and joins the group with the nearest
+//!   cluster center; no other cache moves.
+//! * **retire** — a leaving cache is dropped from its group.
+//! * **drift tracking** — the maintained interaction cost is compared
+//!   against the formation-time cost, so operators can trigger a full
+//!   re-run of the scheme once incremental decay crosses a threshold.
+
+use crate::scheme::{GroupingOutcome, SchemeError};
+use ecg_coords::{ProbeConfig, Prober};
+use ecg_topology::{CacheId, EdgeNetwork};
+use rand::Rng;
+use std::fmt;
+
+/// Error from the maintenance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintenanceError {
+    /// The network passed in does not have the expected cache count.
+    CacheCountMismatch {
+        /// Caches the maintainer tracks.
+        expected: usize,
+        /// Caches in the supplied network.
+        actual: usize,
+    },
+    /// Retiring this cache would empty its group.
+    WouldEmptyGroup {
+        /// The group that would become empty.
+        group: usize,
+    },
+    /// The cache id is unknown.
+    UnknownCache(CacheId),
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceError::CacheCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "maintainer tracks {expected} caches, network has {actual}"
+                )
+            }
+            MaintenanceError::WouldEmptyGroup { group } => {
+                write!(f, "retiring the cache would empty group {group}")
+            }
+            MaintenanceError::UnknownCache(c) => write!(f, "unknown cache {c}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// Maintains a formed grouping as caches join and leave.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_core::{GfCoordinator, GroupMaintainer, SchemeConfig};
+/// use ecg_coords::ProbeConfig;
+/// use ecg_topology::{fixtures::paper_figure1, EdgeNetwork};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let outcome = GfCoordinator::new(
+///     SchemeConfig::sl(3).landmarks(3).plset_multiplier(2)
+///         .probe(ProbeConfig::noiseless()),
+/// )
+/// .form_groups(&network, &mut rng)?;
+///
+/// let mut maintainer = GroupMaintainer::new(&network, outcome, ProbeConfig::noiseless());
+/// // A new cache joins 1 ms from Ec0 (and far from everyone else):
+/// let grown = network.with_added_cache(
+///     12.5,
+///     &[1.0, 4.5, 18.0, 15.0, 18.0, 15.0],
+/// );
+/// let group = maintainer.admit(&grown, &mut rng)?;
+/// // It lands in Ec0's group.
+/// assert_eq!(group, maintainer.group_of(ecg_topology::CacheId(0)).unwrap());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMaintainer {
+    groups: Vec<Vec<CacheId>>,
+    assignments: Vec<Option<usize>>,
+    landmarks: Vec<usize>,
+    centers: Vec<Vec<f64>>,
+    probe: ProbeConfig,
+    formation_cost: f64,
+    retired: Vec<CacheId>,
+}
+
+impl GroupMaintainer {
+    /// Wraps a freshly formed grouping for incremental maintenance.
+    ///
+    /// The formation-time average interaction cost (under raw RTTs) is
+    /// recorded as the drift baseline.
+    pub fn new(network: &EdgeNetwork, outcome: GroupingOutcome, probe: ProbeConfig) -> Self {
+        let formation_cost = outcome.average_interaction_cost(|a, b| network.cache_to_cache(a, b));
+        GroupMaintainer {
+            groups: outcome.groups().to_vec(),
+            assignments: outcome.assignments().iter().map(|&g| Some(g)).collect(),
+            landmarks: outcome.landmarks().landmarks.clone(),
+            centers: outcome.centers().to_vec(),
+            probe,
+            formation_cost,
+            retired: Vec::new(),
+        }
+    }
+
+    /// Current groups (retired caches removed, admitted caches added).
+    pub fn groups(&self) -> &[Vec<CacheId>] {
+        &self.groups
+    }
+
+    /// Group of `cache`, or `None` if it was retired or never admitted.
+    pub fn group_of(&self, cache: CacheId) -> Option<usize> {
+        self.assignments.get(cache.index()).copied().flatten()
+    }
+
+    /// Number of caches currently assigned to groups.
+    pub fn active_caches(&self) -> usize {
+        self.assignments.iter().flatten().count()
+    }
+
+    /// Caches retired so far, in retirement order.
+    pub fn retired(&self) -> &[CacheId] {
+        &self.retired
+    }
+
+    /// Admits the newest cache of `network` (id `N-1`, appended via
+    /// [`EdgeNetwork::with_added_cache`]) into the nearest group.
+    ///
+    /// The newcomer probes the original landmark set and is assigned to
+    /// the group whose K-means center is closest in feature space —
+    /// exactly the assignment rule the clustering itself used, so
+    /// admission is consistent with formation.
+    ///
+    /// Returns the group index it joined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaintenanceError::CacheCountMismatch`] if `network`
+    /// does not contain exactly one more cache than currently tracked.
+    pub fn admit<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        rng: &mut R,
+    ) -> Result<usize, MaintenanceError> {
+        let expected = self.assignments.len() + 1;
+        if network.cache_count() != expected {
+            return Err(MaintenanceError::CacheCountMismatch {
+                expected,
+                actual: network.cache_count(),
+            });
+        }
+        let newcomer = CacheId(expected - 1);
+        let prober = Prober::new(network.rtt_matrix(), self.probe);
+        let fv = prober.measure_all(newcomer.index() + 1, &self.landmarks, rng);
+
+        let (best_group, _) = self
+            .centers
+            .iter()
+            .enumerate()
+            .map(|(g, center)| {
+                let d: f64 = center.iter().zip(&fv).map(|(a, b)| (a - b) * (a - b)).sum();
+                (g, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+            .expect("at least one group");
+        self.groups[best_group].push(newcomer);
+        self.assignments.push(Some(best_group));
+        Ok(best_group)
+    }
+
+    /// Retires `cache` from its group. Its id stays reserved (ids are
+    /// stable), it simply stops belonging to any group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache is unknown/already retired, or if
+    /// removing it would leave its group empty (re-form instead).
+    pub fn retire(&mut self, cache: CacheId) -> Result<(), MaintenanceError> {
+        let Some(group) = self.group_of(cache) else {
+            return Err(MaintenanceError::UnknownCache(cache));
+        };
+        if self.groups[group].len() == 1 {
+            return Err(MaintenanceError::WouldEmptyGroup { group });
+        }
+        self.groups[group].retain(|&c| c != cache);
+        self.assignments[cache.index()] = None;
+        self.retired.push(cache);
+        Ok(())
+    }
+
+    /// Current average group interaction cost under `cost`, over the
+    /// active membership.
+    pub fn current_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64) -> f64 {
+        let groups_idx: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|c| c.index()).collect())
+            .collect();
+        ecg_clustering::average_group_interaction_cost(&groups_idx, |a, b| {
+            cost(CacheId(a), CacheId(b))
+        })
+    }
+
+    /// Ratio of the current interaction cost (under the given network's
+    /// RTTs) to the formation-time cost. `1.0` means no drift; values
+    /// above ~1.2–1.5 are a reasonable re-clustering trigger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaintenanceError::CacheCountMismatch`] if `network`
+    /// covers fewer caches than the highest active id.
+    pub fn drift(&self, network: &EdgeNetwork) -> Result<f64, MaintenanceError> {
+        if network.cache_count() < self.assignments.len() {
+            return Err(MaintenanceError::CacheCountMismatch {
+                expected: self.assignments.len(),
+                actual: network.cache_count(),
+            });
+        }
+        let current = self.current_cost(|a, b| network.cache_to_cache(a, b));
+        Ok(if self.formation_cost > 0.0 {
+            current / self.formation_cost
+        } else if current > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        })
+    }
+
+    /// Returns `true` once drift exceeds `threshold` — the signal to run
+    /// the full scheme again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MaintenanceError`] from [`GroupMaintainer::drift`].
+    pub fn needs_reformation(
+        &self,
+        network: &EdgeNetwork,
+        threshold: f64,
+    ) -> Result<bool, MaintenanceError> {
+        Ok(self.drift(network)? > threshold)
+    }
+
+    /// Consumes the maintainer and re-forms groups from scratch with the
+    /// given coordinator, returning a fresh maintainer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchemeError`] from the coordinator.
+    pub fn reform<R: Rng + ?Sized>(
+        self,
+        coordinator: &crate::scheme::GfCoordinator,
+        network: &EdgeNetwork,
+        rng: &mut R,
+    ) -> Result<GroupMaintainer, SchemeError> {
+        let outcome = coordinator.form_groups(network, rng)?;
+        Ok(GroupMaintainer::new(network, outcome, self.probe))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{GfCoordinator, SchemeConfig};
+    use ecg_topology::fixtures::paper_figure1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn formed() -> (EdgeNetwork, GroupMaintainer, StdRng) {
+        let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+        // Find a seed that yields the natural pairs for determinism.
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = GfCoordinator::new(
+                SchemeConfig::sl(3)
+                    .landmarks(3)
+                    .plset_multiplier(2)
+                    .probe(ProbeConfig::noiseless()),
+            )
+            .form_groups(&network, &mut rng)
+            .unwrap();
+            let mut groups: Vec<Vec<usize>> = outcome
+                .groups()
+                .iter()
+                .map(|g| g.iter().map(|c| c.index()).collect())
+                .collect();
+            groups.sort();
+            if groups == vec![vec![0, 1], vec![2, 3], vec![4, 5]] {
+                let m = GroupMaintainer::new(&network, outcome, ProbeConfig::noiseless());
+                return (network, m, rng);
+            }
+        }
+        panic!("no seed produced the natural pairs");
+    }
+
+    #[test]
+    fn admit_joins_nearest_group() {
+        let (network, mut m, mut rng) = formed();
+        // Newcomer adjacent to the Ec4/Ec5 pair.
+        let grown = network.with_added_cache(8.2, &[14.4, 11.3, 14.4, 11.3, 1.0, 1.0]);
+        let g = m.admit(&grown, &mut rng).unwrap();
+        assert_eq!(g, m.group_of(CacheId(4)).unwrap());
+        assert_eq!(m.group_of(CacheId(6)), Some(g));
+        assert_eq!(m.active_caches(), 7);
+        assert!(m.groups()[g].contains(&CacheId(6)));
+    }
+
+    #[test]
+    fn admit_requires_grown_network() {
+        let (network, mut m, mut rng) = formed();
+        let err = m.admit(&network, &mut rng).unwrap_err();
+        assert!(matches!(err, MaintenanceError::CacheCountMismatch { .. }));
+    }
+
+    #[test]
+    fn retire_removes_from_group() {
+        let (_, mut m, _) = formed();
+        let group = m.group_of(CacheId(0)).unwrap();
+        m.retire(CacheId(0)).unwrap();
+        assert_eq!(m.group_of(CacheId(0)), None);
+        assert!(!m.groups()[group].contains(&CacheId(0)));
+        assert_eq!(m.retired(), &[CacheId(0)]);
+        assert_eq!(m.active_caches(), 5);
+        // Retiring again is an error.
+        assert_eq!(
+            m.retire(CacheId(0)),
+            Err(MaintenanceError::UnknownCache(CacheId(0)))
+        );
+    }
+
+    #[test]
+    fn retire_refuses_to_empty_a_group() {
+        let (_, mut m, _) = formed();
+        m.retire(CacheId(0)).unwrap();
+        let err = m.retire(CacheId(1)).unwrap_err();
+        assert!(matches!(err, MaintenanceError::WouldEmptyGroup { .. }));
+    }
+
+    #[test]
+    fn drift_is_one_when_nothing_changes() {
+        let (network, m, _) = formed();
+        let drift = m.drift(&network).unwrap();
+        assert!((drift - 1.0).abs() < 1e-9, "drift {drift}");
+        assert!(!m.needs_reformation(&network, 1.2).unwrap());
+    }
+
+    #[test]
+    fn bad_admissions_raise_drift() {
+        let (network, mut m, mut rng) = formed();
+        // A newcomer far from everyone joins some group and stretches it.
+        let grown = network.with_added_cache(200.0, &[190.0; 6]);
+        m.admit(&grown, &mut rng).unwrap();
+        let drift = m.drift(&grown).unwrap();
+        assert!(drift > 1.5, "drift {drift}");
+        assert!(m.needs_reformation(&grown, 1.2).unwrap());
+    }
+
+    #[test]
+    fn reform_resets_drift() {
+        let (network, mut m, mut rng) = formed();
+        let grown = network.with_added_cache(200.0, &[190.0; 6]);
+        m.admit(&grown, &mut rng).unwrap();
+        let coordinator = GfCoordinator::new(
+            SchemeConfig::sl(3)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .probe(ProbeConfig::noiseless()),
+        );
+        let fresh = m.reform(&coordinator, &grown, &mut rng).unwrap();
+        let drift = fresh.drift(&grown).unwrap();
+        assert!((drift - 1.0).abs() < 1e-9);
+        assert_eq!(fresh.active_caches(), 7);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MaintenanceError::WouldEmptyGroup { group: 2 };
+        assert!(e.to_string().contains("group 2"));
+        let e = MaintenanceError::CacheCountMismatch {
+            expected: 5,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('4'));
+    }
+}

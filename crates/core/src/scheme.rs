@@ -1,0 +1,842 @@
+//! The SL and SDSL group formation schemes.
+//!
+//! Both schemes share the same three-step pipeline, coordinated by the
+//! [`GfCoordinator`] (the paper's *Group Formation-Coordinator*):
+//!
+//! 1. **Landmark selection** (§3.1) — [`crate::landmarks`].
+//! 2. **Position estimation** (§3.2) — landmark feature vectors, or the
+//!    GNP Euclidean embedding for the Figure-7 comparison.
+//! 3. **Clustering** (§3.3 / §4.1) — K-means; SL seeds the initial
+//!    centers uniformly, SDSL with probability
+//!    `Pr(Ec_j) ∝ 1 / Dist(Ec_j, Os)^θ`.
+
+use crate::landmarks::{select_landmarks, LandmarkError, LandmarkSelection, LandmarkSelector};
+use ecg_clustering::{
+    kmeans, kmeans_capped, server_distance_weights, CapError, Initializer, KmeansConfig,
+    KmeansError,
+};
+use ecg_coords::{
+    build_feature_vectors, embed_network, run_vivaldi, GnpConfig, ProbeConfig, Prober,
+    VivaldiConfig,
+};
+use ecg_topology::{CacheId, EdgeNetwork};
+use rand::Rng;
+use std::fmt;
+
+/// How node positions are represented for clustering (§3.2 vs §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Representation {
+    /// The paper's simple feature vectors: measured RTTs to each
+    /// landmark. The default.
+    #[default]
+    FeatureVectors,
+    /// GNP Euclidean-space coordinates — the computationally expensive
+    /// comparator of Figure 7.
+    Gnp(GnpConfig),
+    /// Decentralized Vivaldi coordinates (Dabek et al., cited in the
+    /// paper's related work). Landmark-free: every cache refines
+    /// spring-model coordinates against random peers, so the landmark
+    /// set is used only for SDSL's server distances. An extension, not
+    /// in the paper's evaluation.
+    Vivaldi(VivaldiConfig),
+}
+
+/// How the K-means initial centers are drawn — the only difference
+/// between SL and SDSL.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GroupInit {
+    /// Uniform over caches (SL, §3.3): "any cache may be selected to an
+    /// initial cluster center with equal probability".
+    #[default]
+    Uniform,
+    /// Server-distance-biased (SDSL, §4.1):
+    /// `Pr(Ec_j) ∝ 1 / Dist(Ec_j, Os)^θ`. Higher `theta` means more
+    /// sensitivity to server distance.
+    ServerDistance {
+        /// The sensitivity exponent θ.
+        theta: f64,
+    },
+    /// k-means++ seeding — not in the paper; available for the
+    /// initialization ablation.
+    KmeansPlusPlus,
+}
+
+/// Full configuration of a group formation run.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_core::SchemeConfig;
+///
+/// let sl = SchemeConfig::sl(10);
+/// let sdsl = SchemeConfig::sdsl(10, 1.0);
+/// assert_eq!(sl.groups(), 10);
+/// assert_ne!(sl, sdsl);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeConfig {
+    landmarks: usize,
+    plset_multiplier: usize,
+    groups: usize,
+    probe: ProbeConfig,
+    selector: LandmarkSelector,
+    representation: Representation,
+    init: GroupInit,
+    kmeans_max_iterations: usize,
+    max_group_size: Option<usize>,
+}
+
+impl SchemeConfig {
+    /// The SL scheme with `k` groups and the paper's defaults: 25
+    /// landmarks, PLSet multiplier `M = 4`, greedy max–min selection,
+    /// feature vectors, uniform K-means seeding.
+    pub fn sl(k: usize) -> Self {
+        SchemeConfig {
+            landmarks: 25,
+            plset_multiplier: 4,
+            groups: k,
+            probe: ProbeConfig::default(),
+            selector: LandmarkSelector::GreedyMaxMin,
+            representation: Representation::FeatureVectors,
+            init: GroupInit::Uniform,
+            kmeans_max_iterations: 100,
+            max_group_size: None,
+        }
+    }
+
+    /// The SDSL scheme: SL plus server-distance-sensitive seeding with
+    /// exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite.
+    pub fn sdsl(k: usize, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
+        SchemeConfig {
+            init: GroupInit::ServerDistance { theta },
+            ..SchemeConfig::sl(k)
+        }
+    }
+
+    /// Sets the number of landmarks `L`.
+    pub fn landmarks(mut self, l: usize) -> Self {
+        self.landmarks = l;
+        self
+    }
+
+    /// Sets the PLSet multiplier `M`.
+    pub fn plset_multiplier(mut self, m: usize) -> Self {
+        self.plset_multiplier = m;
+        self
+    }
+
+    /// Sets the number of groups `K`.
+    pub fn groups_count(mut self, k: usize) -> Self {
+        self.groups = k;
+        self
+    }
+
+    /// Sets the probing model.
+    pub fn probe(mut self, probe: ProbeConfig) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Sets the landmark selector.
+    pub fn selector(mut self, selector: LandmarkSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Sets the position representation.
+    pub fn representation(mut self, representation: Representation) -> Self {
+        self.representation = representation;
+        self
+    }
+
+    /// Sets the K-means initialization rule directly.
+    pub fn init(mut self, init: GroupInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the K-means iteration cap.
+    pub fn kmeans_max_iterations(mut self, iters: usize) -> Self {
+        self.kmeans_max_iterations = iters;
+        self
+    }
+
+    /// Caps every group at `max` members (an extension beyond the
+    /// paper): clustering switches to the size-constrained K-means of
+    /// [`ecg_clustering::balanced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    pub fn max_group_size(mut self, max: usize) -> Self {
+        assert!(max > 0, "group size cap must be positive");
+        self.max_group_size = Some(max);
+        self
+    }
+
+    /// Number of groups `K`.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of landmarks `L`.
+    pub fn landmark_count(&self) -> usize {
+        self.landmarks
+    }
+}
+
+/// Error from [`GfCoordinator::form_groups`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeError {
+    /// Landmark selection failed.
+    Landmarks(LandmarkError),
+    /// Clustering failed.
+    Clustering(KmeansError),
+    /// More groups than caches were requested.
+    TooManyGroups {
+        /// Groups requested.
+        groups: usize,
+        /// Caches available.
+        caches: usize,
+    },
+    /// The configured group-size cap cannot hold all caches.
+    CapTooTight {
+        /// Groups requested.
+        groups: usize,
+        /// Per-group cap.
+        max_group_size: usize,
+        /// Caches to place.
+        caches: usize,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::Landmarks(e) => write!(f, "landmark selection failed: {e}"),
+            SchemeError::Clustering(e) => write!(f, "clustering failed: {e}"),
+            SchemeError::TooManyGroups { groups, caches } => {
+                write!(f, "cannot form {groups} groups from {caches} caches")
+            }
+            SchemeError::CapTooTight {
+                groups,
+                max_group_size,
+                caches,
+            } => write!(
+                f,
+                "{groups} groups capped at {max_group_size} cannot hold {caches} caches"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchemeError::Landmarks(e) => Some(e),
+            SchemeError::Clustering(e) => Some(e),
+            SchemeError::TooManyGroups { .. } | SchemeError::CapTooTight { .. } => None,
+        }
+    }
+}
+
+impl From<LandmarkError> for SchemeError {
+    fn from(e: LandmarkError) -> Self {
+        SchemeError::Landmarks(e)
+    }
+}
+
+impl From<KmeansError> for SchemeError {
+    fn from(e: KmeansError) -> Self {
+        SchemeError::Clustering(e)
+    }
+}
+
+/// The result of forming cooperative groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingOutcome {
+    groups: Vec<Vec<CacheId>>,
+    assignments: Vec<usize>,
+    landmarks: LandmarkSelection,
+    server_distances_ms: Vec<f64>,
+    probes_sent: u64,
+    kmeans_iterations: usize,
+    centers: Vec<Vec<f64>>,
+    points: Vec<Vec<f64>>,
+}
+
+impl GroupingOutcome {
+    /// The cooperative groups: `K` disjoint, non-empty, ascending-sorted
+    /// member lists covering every cache.
+    pub fn groups(&self) -> &[Vec<CacheId>] {
+        &self.groups
+    }
+
+    /// Group index of each cache, in cache order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Group index of one cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn group_of(&self, cache: CacheId) -> usize {
+        self.assignments[cache.index()]
+    }
+
+    /// The landmark selection used.
+    pub fn landmarks(&self) -> &LandmarkSelection {
+        &self.landmarks
+    }
+
+    /// Measured cache-to-origin RTTs (ms), in cache order — the server
+    /// distances SDSL weights by.
+    pub fn server_distances_ms(&self) -> &[f64] {
+        &self.server_distances_ms
+    }
+
+    /// Total probe packets the run sent — the scheme's measurement
+    /// overhead.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// K-means iterations until termination.
+    pub fn kmeans_iterations(&self) -> usize {
+        self.kmeans_iterations
+    }
+
+    /// Final cluster centers in position space (feature-vector or GNP
+    /// coordinates, per the configured representation). Used by
+    /// [`crate::maintenance`] to admit new caches without re-clustering.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// The per-cache position estimates that were clustered, in cache
+    /// order.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Average group interaction cost of the grouping under a pairwise
+    /// cost function — the paper's clustering accuracy metric (§2).
+    pub fn average_interaction_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64) -> f64 {
+        let as_indices: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|c| c.index()).collect())
+            .collect();
+        ecg_clustering::average_group_interaction_cost(&as_indices, |a, b| {
+            cost(CacheId(a), CacheId(b))
+        })
+    }
+}
+
+/// The Group Formation-Coordinator: runs the configured scheme against
+/// an edge network.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_core::{GfCoordinator, SchemeConfig};
+/// use ecg_topology::{fixtures::paper_figure1, EdgeNetwork};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+/// let coordinator = GfCoordinator::new(
+///     SchemeConfig::sl(3).landmarks(3).plset_multiplier(2),
+/// );
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let outcome = coordinator.form_groups(&network, &mut rng)?;
+/// assert_eq!(outcome.groups().len(), 3);
+/// # Ok::<(), ecg_core::SchemeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GfCoordinator {
+    config: SchemeConfig,
+}
+
+impl GfCoordinator {
+    /// Creates a coordinator for the given configuration.
+    pub fn new(config: SchemeConfig) -> Self {
+        GfCoordinator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// Sweeps candidate group counts on this network and returns the
+    /// silhouette-best `K` (see
+    /// [`ecg_clustering::model_selection::suggest_k`]).
+    ///
+    /// Landmark selection and position estimation run once; only the
+    /// clustering is repeated per candidate, so the probing cost is the
+    /// same as a single [`GfCoordinator::form_groups`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError`] if the pipeline fails or no candidate is
+    /// usable for the network size.
+    pub fn suggest_groups<R: Rng + ?Sized>(
+        &self,
+        network: &EdgeNetwork,
+        candidates: &[usize],
+        rng: &mut R,
+    ) -> Result<ecg_clustering::KSelection, SchemeError> {
+        // Reuse the pipeline with K = 1 (always valid) to obtain the
+        // position estimates, then sweep.
+        let probe_run = GfCoordinator::new(self.config.clone().groups_count(1));
+        let outcome = probe_run.form_groups(network, rng)?;
+        let initializer = match self.config.init {
+            GroupInit::Uniform => Initializer::RandomRepresentative,
+            GroupInit::ServerDistance { theta } => Initializer::Weighted(server_distance_weights(
+                outcome.server_distances_ms(),
+                theta,
+            )),
+            GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
+        };
+        ecg_clustering::suggest_k(outcome.points(), candidates, &initializer, 3, rng)
+            .map_err(SchemeError::Clustering)
+    }
+
+    /// Runs the full pipeline and returns the cooperative groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError`] if the network is too small for the
+    /// requested landmarks or groups, or clustering fails.
+    pub fn form_groups<R: Rng + ?Sized>(
+        &self,
+        network: &EdgeNetwork,
+        rng: &mut R,
+    ) -> Result<GroupingOutcome, SchemeError> {
+        let cfg = &self.config;
+        let n = network.cache_count();
+        if cfg.groups > n {
+            return Err(SchemeError::TooManyGroups {
+                groups: cfg.groups,
+                caches: n,
+            });
+        }
+
+        let prober = Prober::new(network.rtt_matrix(), cfg.probe);
+
+        // Step 1: landmark selection.
+        let selection = select_landmarks(
+            &prober,
+            cfg.selector,
+            cfg.landmarks.min(n + 1),
+            cfg.plset_multiplier,
+            rng,
+        )?;
+
+        // Step 2: position estimation. Cache Ec_i is matrix index i + 1.
+        let nodes: Vec<usize> = (1..=n).collect();
+        let (points, server_distances_ms): (Vec<Vec<f64>>, Vec<f64>) = match cfg.representation {
+            Representation::FeatureVectors => {
+                let fvs = build_feature_vectors(&prober, &nodes, &selection.landmarks, rng);
+                // landmarks[0] is always the origin, so component 0
+                // of every feature vector *is* the measured server
+                // distance — SDSL reuses it for free.
+                let dists = fvs.iter().map(|fv| fv[0]).collect();
+                (
+                    fvs.into_iter().map(|fv| fv.as_slice().to_vec()).collect(),
+                    dists,
+                )
+            }
+            Representation::Gnp(gnp) => {
+                let coords = embed_network(gnp, &prober, &nodes, &selection.landmarks, rng);
+                let dists = nodes
+                    .iter()
+                    .map(|&node| prober.measure(node, 0, rng))
+                    .collect();
+                (
+                    coords.into_iter().map(|c| c.as_slice().to_vec()).collect(),
+                    dists,
+                )
+            }
+            Representation::Vivaldi(vivaldi) => {
+                let states = run_vivaldi(vivaldi, &prober, &nodes, rng);
+                let dists = nodes
+                    .iter()
+                    .map(|&node| prober.measure(node, 0, rng))
+                    .collect();
+                (
+                    states
+                        .into_iter()
+                        .map(|s| s.coords().as_slice().to_vec())
+                        .collect(),
+                    dists,
+                )
+            }
+        };
+
+        // Step 3: clustering with the scheme's initialization.
+        let initializer = match cfg.init {
+            GroupInit::Uniform => Initializer::RandomRepresentative,
+            GroupInit::ServerDistance { theta } => {
+                Initializer::Weighted(server_distance_weights(&server_distances_ms, theta))
+            }
+            GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
+        };
+        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let clustering = match cfg.max_group_size {
+            None => kmeans(&points, kmeans_config, &initializer, rng)?,
+            Some(cap) => kmeans_capped(&points, kmeans_config, &initializer, cap, rng).map_err(
+                |e| match e {
+                    CapError::InsufficientCapacity {
+                        points: caches,
+                        k,
+                        max_size,
+                    } => SchemeError::CapTooTight {
+                        groups: k,
+                        max_group_size: max_size,
+                        caches,
+                    },
+                    CapError::Kmeans(inner) => SchemeError::Clustering(inner),
+                },
+            )?,
+        };
+
+        let groups: Vec<Vec<CacheId>> = clustering
+            .clusters()
+            .into_iter()
+            .map(|members| members.into_iter().map(CacheId).collect())
+            .collect();
+        Ok(GroupingOutcome {
+            groups,
+            assignments: clustering.assignments().to_vec(),
+            landmarks: selection,
+            server_distances_ms,
+            probes_sent: prober.probes_sent(),
+            kmeans_iterations: clustering.iterations(),
+            centers: clustering.centers().to_vec(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecg_topology::fixtures::paper_figure1;
+    use ecg_topology::RttMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn figure1_network() -> EdgeNetwork {
+        EdgeNetwork::from_rtt_matrix(paper_figure1())
+    }
+
+    fn noiseless(cfg: SchemeConfig) -> SchemeConfig {
+        cfg.probe(ProbeConfig::noiseless())
+    }
+
+    #[test]
+    fn sl_forms_k_disjoint_covering_groups() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3).landmarks(3).plset_multiplier(2),
+        ));
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        assert_eq!(outcome.groups().len(), 3);
+        let mut all: Vec<usize> = outcome
+            .groups()
+            .iter()
+            .flatten()
+            .map(|c| c.index())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // assignments agree with groups.
+        for (g, members) in outcome.groups().iter().enumerate() {
+            for &c in members {
+                assert_eq!(outcome.group_of(c), g);
+            }
+        }
+    }
+
+    #[test]
+    fn sl_recovers_figure1_natural_pairs() {
+        // The Figure 1 network has three obvious 4ms pairs
+        // ({Ec0,Ec1}, {Ec2,Ec3}, {Ec4,Ec5}) — the grouping the paper's
+        // Figure 2 walkthrough produces. K-means is seed-dependent, but
+        // a majority of seeds should land exactly there.
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3).landmarks(3).plset_multiplier(2),
+        ));
+        let seeds = 30;
+        let mut exact = 0;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = coord.form_groups(&net, &mut rng).unwrap();
+            let mut sorted: Vec<Vec<usize>> = outcome
+                .groups()
+                .iter()
+                .map(|g| g.iter().map(|c| c.index()).collect())
+                .collect();
+            sorted.sort();
+            if sorted == vec![vec![0, 1], vec![2, 3], vec![4, 5]] {
+                exact += 1;
+                // When the pairs are found, the mean pairwise cost within
+                // each group is exactly the 4ms pair RTT.
+                let cost = outcome.average_interaction_cost(|a, b| net.cache_to_cache(a, b));
+                assert!((cost - 4.0).abs() < 1e-9, "GIC {cost}");
+            }
+        }
+        assert!(
+            exact * 2 > seeds,
+            "pairs found on only {exact}/{seeds} seeds"
+        );
+    }
+
+    #[test]
+    fn server_distances_match_ground_truth_when_noiseless() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3).landmarks(3).plset_multiplier(2),
+        ));
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        for (i, &d) in outcome.server_distances_ms().iter().enumerate() {
+            assert_eq!(d, net.cache_to_origin(CacheId(i)));
+        }
+    }
+
+    /// A 12-cache network in four 3-cache sites at increasing distance
+    /// from the origin (10, 40, 70, 100 ms). Intra-site RTT is 2 ms.
+    fn gradient_network() -> EdgeNetwork {
+        let site_dist = [10.0, 40.0, 70.0, 100.0];
+        let m = RttMatrix::from_fn(13, |i, j| {
+            if i == 0 || j == 0 {
+                // Origin to cache: the cache's site distance.
+                let c = i.max(j) - 1;
+                site_dist[c / 3]
+            } else {
+                let (a, b) = (i - 1, j - 1);
+                if a / 3 == b / 3 {
+                    2.0
+                } else {
+                    // Inter-site: through the origin's vicinity.
+                    site_dist[a / 3] + site_dist[b / 3]
+                }
+            }
+        });
+        EdgeNetwork::from_rtt_matrix(m)
+    }
+
+    #[test]
+    fn sdsl_places_smaller_groups_near_origin() {
+        let net = gradient_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sdsl(6, 3.0).landmarks(5).plset_multiplier(2),
+        ));
+        // Average, over seeds, the size of the group containing the
+        // nearest cache vs. the one containing the farthest cache.
+        let (mut near_sum, mut far_sum) = (0.0, 0.0);
+        let seeds = 40;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = coord.form_groups(&net, &mut rng).unwrap();
+            let near_group = outcome.group_of(CacheId(0));
+            let far_group = outcome.group_of(CacheId(11));
+            near_sum += outcome.groups()[near_group].len() as f64;
+            far_sum += outcome.groups()[far_group].len() as f64;
+        }
+        let (near, far) = (near_sum / seeds as f64, far_sum / seeds as f64);
+        assert!(
+            near < far,
+            "near-origin mean group size {near} vs far {far}"
+        );
+    }
+
+    #[test]
+    fn sdsl_theta_zero_behaves_like_sl_distribution() {
+        // θ = 0 gives uniform weights: same initializer family as SL.
+        let net = gradient_network();
+        let sl = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(4).landmarks(5).plset_multiplier(2),
+        ));
+        let sdsl0 = GfCoordinator::new(noiseless(
+            SchemeConfig::sdsl(4, 0.0).landmarks(5).plset_multiplier(2),
+        ));
+        // Not bit-identical (different RNG consumption), but the average
+        // interaction costs over seeds should be statistically close.
+        let avg = |coord: &GfCoordinator| -> f64 {
+            (0..30)
+                .map(|seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    coord
+                        .form_groups(&net, &mut rng)
+                        .unwrap()
+                        .average_interaction_cost(|a, b| net.cache_to_cache(a, b))
+                })
+                .sum::<f64>()
+                / 30.0
+        };
+        let (a, b) = (avg(&sl), avg(&sdsl0));
+        assert!((a - b).abs() / a.max(b) < 0.35, "sl {a} vs sdsl(0) {b}");
+    }
+
+    #[test]
+    fn gnp_representation_also_forms_valid_groups() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .representation(Representation::Gnp(
+                    ecg_coords::GnpConfig::default().dimensions(2).restarts(2),
+                )),
+        ));
+        let mut rng = StdRng::seed_from_u64(8);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        assert_eq!(outcome.groups().len(), 3);
+        let total: usize = outcome.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn vivaldi_representation_also_forms_valid_groups() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .representation(Representation::Vivaldi(
+                    ecg_coords::VivaldiConfig::default()
+                        .dimensions(2)
+                        .rounds(150),
+                )),
+        ));
+        let mut rng = StdRng::seed_from_u64(12);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        assert_eq!(outcome.groups().len(), 3);
+        let total: usize = outcome.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        // Points are the 2-D Vivaldi coordinates.
+        assert!(outcome.points().iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn too_many_groups_is_an_error() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(SchemeConfig::sl(10).landmarks(3));
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = coord.form_groups(&net, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            SchemeError::TooManyGroups {
+                groups: 10,
+                caches: 6
+            }
+        );
+        assert!(err.to_string().contains("10 groups"));
+    }
+
+    #[test]
+    fn landmark_count_is_capped_at_network_size() {
+        // L = 25 default exceeds 6 caches + origin: capped, not an error.
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(SchemeConfig::sl(2)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        assert_eq!(outcome.landmarks().landmarks.len(), 7);
+    }
+
+    #[test]
+    fn probe_accounting_is_exposed() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(2).landmarks(3).plset_multiplier(2),
+        ));
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = coord.form_groups(&net, &mut rng).unwrap();
+        // Selection probes + 6 caches × 3 landmarks feature probes.
+        assert!(outcome.probes_sent() >= 18);
+    }
+
+    #[test]
+    fn suggest_groups_finds_the_natural_k() {
+        // The Figure 1 network has three natural pairs: K = 3 should
+        // win the silhouette sweep.
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(1).landmarks(3).plset_multiplier(2),
+        ));
+        let mut hits = 0;
+        let seeds = 10;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = coord.suggest_groups(&net, &[2, 3, 4], &mut rng).unwrap();
+            assert_eq!(sel.scores.len(), 3);
+            if sel.k == 3 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > seeds,
+            "K = 3 chosen on only {hits}/{seeds} seeds"
+        );
+    }
+
+    #[test]
+    fn group_size_cap_is_enforced() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .max_group_size(2),
+        ));
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = coord.form_groups(&net, &mut rng).unwrap();
+            let sizes: Vec<usize> = outcome.groups().iter().map(Vec::len).collect();
+            assert!(sizes.iter().all(|&s| s == 2), "seed {seed}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn impossible_cap_is_an_error() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(2)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .max_group_size(2),
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = coord.form_groups(&net, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            SchemeError::CapTooTight {
+                groups: 2,
+                max_group_size: 2,
+                caches: 6
+            }
+        );
+        assert!(err.to_string().contains("capped at 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn sdsl_rejects_bad_theta() {
+        let _ = SchemeConfig::sdsl(3, f64::NAN);
+    }
+}

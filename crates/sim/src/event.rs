@@ -1,0 +1,164 @@
+//! The discrete event queue.
+
+use crate::time::SimTime;
+use ecg_topology::CacheId;
+use ecg_workload::DocId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event processed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A document update lands at the origin server.
+    OriginUpdate {
+        /// The updated document.
+        doc: DocId,
+    },
+    /// A client request arrives at an edge cache.
+    ClientRequest {
+        /// The cache the client hits.
+        cache: CacheId,
+        /// The requested document.
+        doc: DocId,
+    },
+}
+
+/// A scheduled event. Ordered by time, then by insertion sequence so
+/// same-time events are processed FIFO (which also keeps runs
+/// deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_sim::event::{Event, EventQueue};
+/// use ecg_sim::SimTime;
+/// use ecg_topology::CacheId;
+/// use ecg_workload::DocId;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ms(2.0), Event::OriginUpdate { doc: DocId(1) });
+/// q.schedule(
+///     SimTime::from_ms(1.0),
+///     Event::ClientRequest { cache: CacheId(0), doc: DocId(1) },
+/// );
+/// let (t, _) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_ms(1.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cache: usize, doc: usize) -> Event {
+        Event::ClientRequest {
+            cache: CacheId(cache),
+            doc: DocId(doc),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(3.0), req(0, 0));
+        q.schedule(SimTime::from_ms(1.0), req(1, 1));
+        q.schedule(SimTime::from_ms(2.0), req(2, 2));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ms())
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        q.schedule(t, req(0, 0));
+        q.schedule(t, req(1, 1));
+        q.schedule(t, req(2, 2));
+        let caches: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ClientRequest { cache, .. } => cache.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(caches, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(5.0), req(0, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-event simulator for cooperative edge cache networks.
+//!
+//! Models the system the paper evaluates: an origin server publishing
+//! dynamic documents, `N` edge caches partitioned into cooperative
+//! groups, ICP-style cooperative miss handling within each group, and an
+//! update stream that invalidates cached copies. The simulator replays a
+//! workload trace ([`ecg_workload`]) over an edge network
+//! ([`ecg_topology::EdgeNetwork`]) and reports the paper's metrics:
+//! average cache latency, group hit rates, and traffic breakdowns.
+//!
+//! * [`SimTime`] — microsecond-resolution simulation clock.
+//! * [`event`] — the time-ordered event queue.
+//! * [`LatencyModel`] — RTT + bandwidth transfer-cost model.
+//! * [`GroupMap`] — validated cache-to-group partition.
+//! * [`simulate`] — the driver; see its docs for the protocol details.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecg_sim::{simulate, GroupMap, SimConfig};
+//! use ecg_topology::{fixtures::paper_figure1, EdgeNetwork};
+//! use ecg_workload::{merge_streams, generate_updates, CatalogConfig, RequestConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let catalog = CatalogConfig::default().documents(200).generate(&mut rng);
+//! let requests = RequestConfig::default().generate(&catalog, 6, 30_000.0, &mut rng);
+//! let updates = generate_updates(&catalog, 30_000.0, &mut rng);
+//! let trace = merge_streams(&requests, &updates);
+//!
+//! let groups = GroupMap::one_group(6);
+//! let report = simulate(&network, &groups, &catalog, &trace, SimConfig::default())?;
+//! println!("avg latency: {:.2} ms", report.average_latency_ms());
+//! # Ok::<(), ecg_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod groups;
+pub mod histogram;
+pub mod latency;
+pub mod metrics;
+pub mod origin;
+mod sim;
+pub mod time;
+
+pub use groups::{GroupMap, GroupMapError};
+pub use histogram::LatencyHistogram;
+pub use latency::LatencyModel;
+pub use metrics::{CacheAggregate, GroupAggregate, MetricsRecorder, ServedBy};
+pub use origin::OriginServer;
+pub use sim::{simulate, FreshnessProtocol, SimConfig, SimError, SimReport};
+pub use time::SimTime;

@@ -1,0 +1,355 @@
+//! Simulation metrics.
+//!
+//! The paper's client-side metric is the **average cache latency** (§4):
+//! the mean of `T_S - T_A` over all requests in a window. The recorder
+//! keeps per-cache aggregates so the Figure-3 breakdowns (all caches, 50
+//! nearest the origin, 50 farthest) fall out of one run.
+
+use crate::groups::GroupMap;
+use crate::histogram::LatencyHistogram;
+use ecg_topology::CacheId;
+
+/// How a request was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Fresh copy in the local cache.
+    Local,
+    /// Fetched from a cooperating peer cache in the same group.
+    Peer,
+    /// Fetched from the origin server after a group-wide miss.
+    Origin,
+}
+
+/// Per-cache latency and outcome aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheAggregate {
+    /// Requests served at this cache.
+    pub requests: u64,
+    /// Sum of request latencies, ms.
+    pub latency_sum_ms: f64,
+    /// Maximum single-request latency, ms.
+    pub latency_max_ms: f64,
+    /// Requests served from the local cache.
+    pub local_hits: u64,
+    /// Requests served by a group peer.
+    pub peer_hits: u64,
+    /// Requests that went to the origin.
+    pub origin_fetches: u64,
+}
+
+impl CacheAggregate {
+    /// Mean latency at this cache, or `None` before any request.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.latency_sum_ms / self.requests as f64)
+        }
+    }
+
+    /// Fraction of requests answered locally or by a peer (the *group
+    /// hit rate* in the paper's terms), or `None` before any request.
+    pub fn group_hit_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some((self.local_hits + self.peer_hits) as f64 / self.requests as f64)
+        }
+    }
+}
+
+/// Aggregates for one cooperative group, derived from its members'
+/// per-cache aggregates by [`MetricsRecorder::per_group`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupAggregate {
+    /// Group index within the [`GroupMap`].
+    pub group: usize,
+    /// Number of member caches.
+    pub members: usize,
+    /// Requests arriving at the group's members.
+    pub requests: u64,
+    /// Sum of member latencies, ms.
+    pub latency_sum_ms: f64,
+    /// Requests answered locally or by a group peer.
+    pub group_hits: u64,
+}
+
+impl GroupAggregate {
+    /// Mean latency over the group's requests, or `None` before any.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.latency_sum_ms / self.requests as f64)
+        }
+    }
+
+    /// The group's hit rate (local + peer), or `None` before any
+    /// request.
+    pub fn group_hit_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.group_hits as f64 / self.requests as f64)
+        }
+    }
+}
+
+/// Collects per-request observations during a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecorder {
+    per_cache: Vec<CacheAggregate>,
+    histogram: LatencyHistogram,
+    /// Total bytes moved between group peers (cooperation traffic).
+    pub peer_bytes: u64,
+    /// Total bytes fetched from the origin.
+    pub origin_bytes: u64,
+    /// Control messages (peer queries + replies) sent.
+    pub control_messages: u64,
+    /// Push invalidations sent by the origin (multicast protocol only).
+    pub invalidations_sent: u64,
+    /// Requests served with a version older than the origin's current
+    /// one (TTL lease protocol): the client-visible staleness cost.
+    pub stale_served: u64,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `cache_count` caches.
+    pub fn new(cache_count: usize) -> Self {
+        MetricsRecorder {
+            per_cache: vec![CacheAggregate::default(); cache_count],
+            histogram: LatencyHistogram::default(),
+            peer_bytes: 0,
+            origin_bytes: 0,
+            control_messages: 0,
+            invalidations_sent: 0,
+            stale_served: 0,
+        }
+    }
+
+    /// Records one served request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range or the latency is negative/not
+    /// finite.
+    pub fn record(&mut self, cache: CacheId, latency_ms: f64, served_by: ServedBy) {
+        assert!(
+            latency_ms.is_finite() && latency_ms >= 0.0,
+            "latency must be finite and >= 0, got {latency_ms}"
+        );
+        self.histogram.record(latency_ms);
+        let agg = &mut self.per_cache[cache.index()];
+        agg.requests += 1;
+        agg.latency_sum_ms += latency_ms;
+        agg.latency_max_ms = agg.latency_max_ms.max(latency_ms);
+        match served_by {
+            ServedBy::Local => agg.local_hits += 1,
+            ServedBy::Peer => agg.peer_hits += 1,
+            ServedBy::Origin => agg.origin_fetches += 1,
+        }
+    }
+
+    /// The latency distribution over all recorded requests.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
+    /// The `p`-quantile of request latency in ms (e.g. `0.95` for p95),
+    /// or `None` before any request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn latency_percentile_ms(&self, p: f64) -> Option<f64> {
+        self.histogram.percentile(p)
+    }
+
+    /// Per-cache aggregates, indexed by cache id.
+    pub fn per_cache(&self) -> &[CacheAggregate] {
+        &self.per_cache
+    }
+
+    /// Total requests across all caches.
+    pub fn total_requests(&self) -> u64 {
+        self.per_cache.iter().map(|a| a.requests).sum()
+    }
+
+    /// Mean latency over *all requests* network-wide, or `None` if no
+    /// request was recorded.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let total = self.total_requests();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self.per_cache.iter().map(|a| a.latency_sum_ms).sum();
+        Some(sum / total as f64)
+    }
+
+    /// Mean latency restricted to the requests arriving at `caches`, or
+    /// `None` if those caches served nothing. This computes the paper's
+    /// "average latency of the 50 caches nearest/farthest from the
+    /// origin" curves.
+    pub fn mean_latency_of(&self, caches: &[CacheId]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for &c in caches {
+            let agg = &self.per_cache[c.index()];
+            sum += agg.latency_sum_ms;
+            count += agg.requests;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// Folds the per-cache aggregates into per-group aggregates under
+    /// the given partition — the per-group view Figures 3's analysis
+    /// wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map covers a different cache count.
+    pub fn per_group(&self, groups: &GroupMap) -> Vec<GroupAggregate> {
+        assert_eq!(
+            groups.cache_count(),
+            self.per_cache.len(),
+            "group map does not match the recorded cache count"
+        );
+        let mut out: Vec<GroupAggregate> = (0..groups.group_count())
+            .map(|g| GroupAggregate {
+                group: g,
+                members: groups.groups()[g].len(),
+                ..Default::default()
+            })
+            .collect();
+        for (idx, agg) in self.per_cache.iter().enumerate() {
+            let g = groups.group_of(CacheId(idx));
+            out[g].requests += agg.requests;
+            out[g].latency_sum_ms += agg.latency_sum_ms;
+            out[g].group_hits += agg.local_hits + agg.peer_hits;
+        }
+        out
+    }
+
+    /// Network-wide group hit rate (local + peer), or `None` with no
+    /// requests.
+    pub fn group_hit_rate(&self) -> Option<f64> {
+        let total = self.total_requests();
+        if total == 0 {
+            return None;
+        }
+        let hits: u64 = self
+            .per_cache
+            .iter()
+            .map(|a| a.local_hits + a.peer_hits)
+            .sum();
+        Some(hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_cache() {
+        let mut m = MetricsRecorder::new(2);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(0), 30.0, ServedBy::Origin);
+        m.record(CacheId(1), 20.0, ServedBy::Peer);
+        let a0 = m.per_cache()[0];
+        assert_eq!(a0.requests, 2);
+        assert_eq!(a0.mean_latency_ms(), Some(20.0));
+        assert_eq!(a0.latency_max_ms, 30.0);
+        assert_eq!(a0.local_hits, 1);
+        assert_eq!(a0.origin_fetches, 1);
+        assert_eq!(m.per_cache()[1].peer_hits, 1);
+    }
+
+    #[test]
+    fn network_wide_mean_weights_by_requests() {
+        let mut m = MetricsRecorder::new(2);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(1), 50.0, ServedBy::Origin);
+        // (3*10 + 50) / 4 = 20.
+        assert_eq!(m.mean_latency_ms(), Some(20.0));
+        assert_eq!(m.total_requests(), 4);
+        // Percentiles come from the histogram: p50 near 10, p100 >= 50.
+        let p50 = m.latency_percentile_ms(0.5).unwrap();
+        assert!(p50 >= 10.0 && p50 < 15.0, "p50 {p50}");
+        assert!(m.latency_percentile_ms(1.0).unwrap() >= 50.0);
+        assert_eq!(m.latency_histogram().count(), 4);
+    }
+
+    #[test]
+    fn subset_mean_latency() {
+        let mut m = MetricsRecorder::new(3);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(1), 20.0, ServedBy::Local);
+        m.record(CacheId(2), 90.0, ServedBy::Origin);
+        assert_eq!(m.mean_latency_of(&[CacheId(0), CacheId(1)]), Some(15.0));
+        assert_eq!(m.mean_latency_of(&[]), None);
+    }
+
+    #[test]
+    fn rates_and_empty_behaviour() {
+        let m = MetricsRecorder::new(1);
+        assert_eq!(m.mean_latency_ms(), None);
+        assert_eq!(m.group_hit_rate(), None);
+        assert_eq!(m.per_cache()[0].group_hit_rate(), None);
+
+        let mut m = m;
+        m.record(CacheId(0), 5.0, ServedBy::Local);
+        m.record(CacheId(0), 5.0, ServedBy::Peer);
+        m.record(CacheId(0), 5.0, ServedBy::Origin);
+        m.record(CacheId(0), 5.0, ServedBy::Origin);
+        assert_eq!(m.group_hit_rate(), Some(0.5));
+        assert_eq!(m.per_cache()[0].group_hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn per_group_folds_member_aggregates() {
+        let groups =
+            GroupMap::new(3, vec![vec![CacheId(0), CacheId(2)], vec![CacheId(1)]]).unwrap();
+        let mut m = MetricsRecorder::new(3);
+        m.record(CacheId(0), 10.0, ServedBy::Local);
+        m.record(CacheId(2), 30.0, ServedBy::Peer);
+        m.record(CacheId(1), 50.0, ServedBy::Origin);
+        let per_group = m.per_group(&groups);
+        assert_eq!(per_group.len(), 2);
+        assert_eq!(per_group[0].members, 2);
+        assert_eq!(per_group[0].requests, 2);
+        assert_eq!(per_group[0].mean_latency_ms(), Some(20.0));
+        assert_eq!(per_group[0].group_hit_rate(), Some(1.0));
+        assert_eq!(per_group[1].requests, 1);
+        assert_eq!(per_group[1].group_hit_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn per_group_empty_recorder() {
+        let groups = GroupMap::singletons(2);
+        let m = MetricsRecorder::new(2);
+        let per_group = m.per_group(&groups);
+        assert_eq!(per_group.len(), 2);
+        assert!(per_group.iter().all(|g| g.mean_latency_ms().is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn per_group_rejects_mismatched_map() {
+        let m = MetricsRecorder::new(3);
+        let _ = m.per_group(&GroupMap::singletons(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn negative_latency_panics() {
+        let mut m = MetricsRecorder::new(1);
+        m.record(CacheId(0), -1.0, ServedBy::Local);
+    }
+}

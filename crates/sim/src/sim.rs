@@ -1,0 +1,864 @@
+//! The simulation driver.
+//!
+//! Replays a merged workload trace against a cooperative edge cache
+//! network and records the paper's client-side metric (average cache
+//! latency) plus hit-rate and traffic breakdowns.
+//!
+//! ## Cooperative miss handling
+//!
+//! On a local miss (or stale copy), the cache queries **all** its group
+//! peers in parallel, ICP-style:
+//!
+//! * fanning the query out costs per-member processing time
+//!   (`peers × peer_query_cost`), so group interaction overhead grows
+//!   with group size — the paper's efficiency/effectiveness trade-off;
+//! * if some peer holds a fresh copy, the nearest fresh holder's hit
+//!   reply carries the document body (the piggyback optimization
+//!   cooperative caches use to avoid a second round trip), so
+//!   `latency = fanout + rtt(c, p*) + size/bw`;
+//! * if no peer holds it, the cache has waited for the *slowest* peer's
+//!   negative reply before giving up — this is exactly how group spread
+//!   hurts far-flung groups — and then pays the origin fetch:
+//!   `latency = fanout + max_p rtt(c, p) + rtt(c, Os) + processing + size/bw`.
+//!
+//! Requests do not queue (each is served analytically from the latency
+//! model); contention effects are out of scope, as in the paper's
+//! latency-oriented evaluation.
+
+use crate::event::{Event, EventQueue};
+use crate::groups::GroupMap;
+use crate::latency::LatencyModel;
+use crate::metrics::{MetricsRecorder, ServedBy};
+use crate::origin::OriginServer;
+use crate::time::SimTime;
+use ecg_cache::{CacheStats, DocumentCache, LookupOutcome, PolicyKind};
+use ecg_topology::{CacheId, EdgeNetwork};
+use ecg_workload::{DocumentCatalog, TraceEvent};
+use std::fmt;
+
+/// How cached copies learn about origin updates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FreshnessProtocol {
+    /// Staleness is detected lazily at access time: every lookup and
+    /// peer probe carries the origin's current version and an older
+    /// copy counts as a miss. The default, and the model the headline
+    /// experiments use.
+    #[default]
+    InvalidateOnAccess,
+    /// The origin pushes an invalidation to every cache holding the
+    /// document the moment it updates (idealized multicast: instant,
+    /// reliable). Clients never see stale data; each invalidation is a
+    /// control message.
+    OriginMulticast,
+    /// TTL leases: a cached copy is served for `ttl_ms` after it was
+    /// fetched *regardless* of origin updates. Cheapest in messages,
+    /// but clients may be served stale versions — counted in
+    /// [`MetricsRecorder::stale_served`].
+    TtlLease {
+        /// Lease duration in milliseconds.
+        ttl_ms: f64,
+    },
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    cache_capacity_bytes: u64,
+    policy: PolicyKind,
+    latency: LatencyModel,
+    warmup_ms: f64,
+    freshness: FreshnessProtocol,
+}
+
+impl Default for SimConfig {
+    /// 1 MiB per cache, utility-based replacement (the paper's setting),
+    /// default latency model, no warm-up exclusion.
+    fn default() -> Self {
+        SimConfig {
+            cache_capacity_bytes: 1 << 20,
+            policy: PolicyKind::Utility,
+            latency: LatencyModel::default(),
+            warmup_ms: 0.0,
+            freshness: FreshnessProtocol::InvalidateOnAccess,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-cache capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn cache_capacity_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "capacity must be positive");
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the replacement policy used by every cache.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the network latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Excludes the first `ms` of the trace from the metrics (caches
+    /// still warm up during it).
+    pub fn warmup_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "warmup must be >= 0");
+        self.warmup_ms = ms;
+        self
+    }
+
+    /// Sets the freshness protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a TTL lease is configured with a non-positive TTL.
+    pub fn freshness(mut self, protocol: FreshnessProtocol) -> Self {
+        if let FreshnessProtocol::TtlLease { ttl_ms } = protocol {
+            assert!(
+                ttl_ms.is_finite() && ttl_ms > 0.0,
+                "lease ttl must be positive"
+            );
+        }
+        self.freshness = protocol;
+        self
+    }
+
+    /// The configured latency model.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// The configured freshness protocol.
+    pub fn freshness_protocol(&self) -> FreshnessProtocol {
+        self.freshness
+    }
+}
+
+/// Error from [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The group map covers a different number of caches than the
+    /// network.
+    CacheCountMismatch {
+        /// Caches in the network.
+        network: usize,
+        /// Caches in the group map.
+        groups: usize,
+    },
+    /// A trace request targets a cache outside the network.
+    RequestCacheOutOfRange {
+        /// The offending cache index.
+        cache: usize,
+    },
+    /// A trace event references a document outside the catalog.
+    DocOutOfRange {
+        /// The offending document index.
+        doc: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CacheCountMismatch { network, groups } => write!(
+                f,
+                "group map covers {groups} caches but the network has {network}"
+            ),
+            SimError::RequestCacheOutOfRange { cache } => {
+                write!(f, "trace request targets unknown cache {cache}")
+            }
+            SimError::DocOutOfRange { doc } => {
+                write!(f, "trace references unknown document {doc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-request metrics (latencies, outcome breakdowns).
+    pub metrics: MetricsRecorder,
+    /// Aggregated cache statistics across all edge caches.
+    pub cache_stats: CacheStats,
+    /// Updates the origin applied.
+    pub origin_updates: u64,
+    /// Fetches the origin served.
+    pub origin_fetches: u64,
+}
+
+impl SimReport {
+    /// Network-wide average cache latency in ms — the paper's headline
+    /// client metric. Zero if the run recorded no requests.
+    pub fn average_latency_ms(&self) -> f64 {
+        self.metrics.mean_latency_ms().unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for SimReport {
+    /// A compact multi-line human summary (used by the `ecg` CLI).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "requests          {}", self.metrics.total_requests())?;
+        writeln!(f, "avg latency       {:.2} ms", self.average_latency_ms())?;
+        for (label, p) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            if let Some(v) = self.metrics.latency_percentile_ms(p) {
+                writeln!(f, "{label} latency       {v:.2} ms")?;
+            }
+        }
+        writeln!(
+            f,
+            "group hit rate    {:.1}%",
+            100.0 * self.metrics.group_hit_rate().unwrap_or(0.0)
+        )?;
+        writeln!(f, "origin fetches    {}", self.origin_fetches)?;
+        writeln!(f, "origin updates    {}", self.origin_updates)?;
+        writeln!(f, "stale served      {}", self.metrics.stale_served)?;
+        writeln!(f, "peer bytes        {}", self.metrics.peer_bytes)?;
+        write!(f, "control messages  {}", self.metrics.control_messages)
+    }
+}
+
+/// Replays `trace` against the network and returns the collected
+/// metrics.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the group map does not match the network or
+/// the trace references unknown caches/documents.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_sim::{simulate, GroupMap, SimConfig};
+/// use ecg_topology::{fixtures::paper_figure1, EdgeNetwork};
+/// use ecg_workload::{merge_streams, CatalogConfig, RequestConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let catalog = CatalogConfig::default().documents(100).generate(&mut rng);
+/// let requests = RequestConfig::default().generate(&catalog, 6, 10_000.0, &mut rng);
+/// let trace = merge_streams(&requests, &[]);
+/// let groups = GroupMap::one_group(6);
+/// let report = simulate(&network, &groups, &catalog, &trace, SimConfig::default())?;
+/// assert!(report.average_latency_ms() > 0.0);
+/// # Ok::<(), ecg_sim::SimError>(())
+/// ```
+pub fn simulate(
+    network: &EdgeNetwork,
+    groups: &GroupMap,
+    catalog: &DocumentCatalog,
+    trace: &[TraceEvent],
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    let n = network.cache_count();
+    if groups.cache_count() != n {
+        return Err(SimError::CacheCountMismatch {
+            network: n,
+            groups: groups.cache_count(),
+        });
+    }
+
+    // Load the trace into the event queue, validating references.
+    let mut queue = EventQueue::new();
+    for event in trace {
+        match event {
+            TraceEvent::Request(r) => {
+                if r.cache >= n {
+                    return Err(SimError::RequestCacheOutOfRange { cache: r.cache });
+                }
+                if r.doc.index() >= catalog.len() {
+                    return Err(SimError::DocOutOfRange { doc: r.doc.index() });
+                }
+                queue.schedule(
+                    SimTime::from_ms(r.time_ms),
+                    Event::ClientRequest {
+                        cache: CacheId(r.cache),
+                        doc: r.doc,
+                    },
+                );
+            }
+            TraceEvent::Update(u) => {
+                if u.doc.index() >= catalog.len() {
+                    return Err(SimError::DocOutOfRange { doc: u.doc.index() });
+                }
+                queue.schedule(
+                    SimTime::from_ms(u.time_ms),
+                    Event::OriginUpdate { doc: u.doc },
+                );
+            }
+        }
+    }
+
+    let mut caches: Vec<DocumentCache> = (0..n)
+        .map(|_| DocumentCache::new(config.cache_capacity_bytes, config.policy))
+        .collect();
+    let mut origin = OriginServer::new(catalog);
+    let mut metrics = MetricsRecorder::new(n);
+    let model = config.latency;
+    let warmup = SimTime::from_ms(config.warmup_ms);
+
+    let freshness = config.freshness;
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::OriginUpdate { doc } => {
+                origin.apply_update(doc);
+                if freshness == FreshnessProtocol::OriginMulticast {
+                    // Idealized push invalidation: drop every copy now;
+                    // one control message per holding cache.
+                    for cache in &mut caches {
+                        if cache.remove(doc).is_some() {
+                            metrics.invalidations_sent += 1;
+                        }
+                    }
+                }
+            }
+            Event::ClientRequest { cache, doc } => {
+                let now_ms = now.as_ms();
+                let current_version = origin.version(doc);
+                let size = catalog.document(doc).size_bytes;
+                let update_rate = catalog.document(doc).update_rate_per_sec;
+
+                // Local lookup: Some(served version) on a hit.
+                let local_hit: Option<u64> = match freshness {
+                    FreshnessProtocol::InvalidateOnAccess | FreshnessProtocol::OriginMulticast => {
+                        match caches[cache.index()].lookup(doc, current_version, now_ms) {
+                            LookupOutcome::Hit => Some(current_version),
+                            _ => None,
+                        }
+                    }
+                    FreshnessProtocol::TtlLease { ttl_ms } => {
+                        caches[cache.index()].lookup_ttl(doc, now_ms, ttl_ms)
+                    }
+                };
+
+                let (latency, served_by, served_version) = match local_hit {
+                    Some(v) => (model.local_hit(), ServedBy::Local, v),
+                    None => {
+                        let peers = groups.peers(cache);
+                        // One query out and one reply back per peer; the
+                        // fan-out itself costs per-member processing time.
+                        metrics.control_messages += 2 * peers.len() as u64;
+                        let fanout = model.query_fanout(peers.len());
+
+                        // Nearest peer holding a servable copy, if any.
+                        let mut holder: Option<(CacheId, f64, u64)> = None;
+                        let mut slowest_reply = 0.0f64;
+                        for &p in peers {
+                            let rtt = network.cache_to_cache(cache, p);
+                            slowest_reply = slowest_reply.max(rtt);
+                            let peer_version = match freshness {
+                                FreshnessProtocol::InvalidateOnAccess
+                                | FreshnessProtocol::OriginMulticast => caches[p.index()]
+                                    .holds_fresh(doc, current_version)
+                                    .then_some(current_version),
+                                FreshnessProtocol::TtlLease { ttl_ms } => {
+                                    caches[p.index()].holds_unexpired(doc, now_ms, ttl_ms)
+                                }
+                            };
+                            if let Some(v) = peer_version {
+                                if holder.map_or(true, |(_, best, _)| rtt < best) {
+                                    holder = Some((p, rtt, v));
+                                }
+                            }
+                        }
+
+                        match holder {
+                            Some((peer, rtt, v)) => {
+                                caches[peer.index()].note_peer_serve(doc, v, now_ms);
+                                metrics.peer_bytes += size;
+                                // Hit reply piggybacks the body: fan-out
+                                // plus one RTT plus serialization.
+                                let latency = fanout + model.transfer(rtt, size);
+                                caches[cache.index()].insert(
+                                    doc,
+                                    v,
+                                    size,
+                                    latency,
+                                    update_rate,
+                                    now_ms,
+                                );
+                                (latency, ServedBy::Peer, v)
+                            }
+                            None => {
+                                let fetched_version = origin.serve_fetch(doc);
+                                metrics.origin_bytes += size;
+                                let rtt_origin = network.cache_to_origin(cache);
+                                let latency =
+                                    fanout + slowest_reply + model.origin_fetch(rtt_origin, size);
+                                caches[cache.index()].insert(
+                                    doc,
+                                    fetched_version,
+                                    size,
+                                    latency,
+                                    update_rate,
+                                    now_ms,
+                                );
+                                (latency, ServedBy::Origin, fetched_version)
+                            }
+                        }
+                    }
+                };
+                if now >= warmup {
+                    metrics.record(cache, latency, served_by);
+                    if served_version < current_version {
+                        metrics.stale_served += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let cache_stats = caches
+        .iter()
+        .map(|c| c.stats())
+        .fold(CacheStats::default(), |acc, s| acc + s);
+    Ok(SimReport {
+        metrics,
+        cache_stats,
+        origin_updates: origin.updates_applied(),
+        origin_fetches: origin.fetches_served(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecg_topology::fixtures::paper_figure1;
+    use ecg_workload::{merge_streams, CatalogConfig, DocId, Request, Update};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network() -> EdgeNetwork {
+        EdgeNetwork::from_rtt_matrix(paper_figure1())
+    }
+
+    fn catalog(n: usize) -> DocumentCatalog {
+        CatalogConfig::default()
+            .documents(n)
+            .dynamic_fraction(0.0)
+            .generate(&mut StdRng::seed_from_u64(0))
+    }
+
+    fn request(time_ms: f64, cache: usize, doc: usize) -> TraceEvent {
+        TraceEvent::Request(Request {
+            time_ms,
+            cache,
+            doc: DocId(doc),
+        })
+    }
+
+    fn update(time_ms: f64, doc: usize) -> TraceEvent {
+        TraceEvent::Update(Update {
+            time_ms,
+            doc: DocId(doc),
+        })
+    }
+
+    #[test]
+    fn first_request_misses_second_hits() {
+        let net = network();
+        let cat = catalog(10);
+        let trace = vec![request(0.0, 0, 3), request(100.0, 0, 3)];
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let agg = report.metrics.per_cache()[0];
+        assert_eq!(agg.requests, 2);
+        assert_eq!(agg.origin_fetches, 1);
+        assert_eq!(agg.local_hits, 1);
+        assert_eq!(report.origin_fetches, 1);
+    }
+
+    #[test]
+    fn group_peer_serves_second_cache() {
+        let net = network();
+        let cat = catalog(10);
+        // Ec0 fetches doc 3 from the origin; Ec1 (same group) then gets
+        // it from Ec0 instead of the origin.
+        let groups = GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1)],
+                vec![CacheId(2), CacheId(3)],
+                vec![CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap();
+        let trace = vec![request(0.0, 0, 3), request(100.0, 1, 3)];
+        let report = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        assert_eq!(report.metrics.per_cache()[1].peer_hits, 1);
+        assert_eq!(report.origin_fetches, 1);
+        assert!(report.metrics.peer_bytes > 0);
+        // Two control messages for Ec0's miss (1 peer), two for Ec1's.
+        assert_eq!(report.metrics.control_messages, 4);
+    }
+
+    #[test]
+    fn peer_hit_is_faster_than_origin_for_nearby_peer() {
+        // Ec0–Ec1 RTT is 4ms while Ec0–origin is 12ms, so a peer hit at
+        // Ec1 must beat an origin fetch.
+        let net = network();
+        let cat = catalog(10);
+        let groups = GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1)],
+                vec![CacheId(2), CacheId(3)],
+                vec![CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap();
+        let trace_peer = vec![request(0.0, 1, 3), request(100.0, 0, 3)];
+        let report = simulate(&net, &groups, &cat, &trace_peer, SimConfig::default()).unwrap();
+        let peer_latency = report.metrics.per_cache()[0].latency_sum_ms;
+
+        let trace_alone = vec![request(0.0, 0, 3)];
+        let report2 = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace_alone,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let origin_latency = report2.metrics.per_cache()[0].latency_sum_ms;
+        assert!(
+            peer_latency < origin_latency,
+            "peer {peer_latency} vs origin {origin_latency}"
+        );
+    }
+
+    #[test]
+    fn update_invalidates_cached_copy() {
+        let net = network();
+        let cat = catalog(10);
+        let trace = vec![request(0.0, 0, 2), update(50.0, 2), request(100.0, 0, 2)];
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        // Both requests had to hit the origin: the second found a stale
+        // copy.
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.origin_updates, 1);
+        assert_eq!(report.cache_stats.stale_hits, 1);
+    }
+
+    #[test]
+    fn group_wide_miss_pays_slowest_peer_wait() {
+        let net = network();
+        let cat = catalog(10);
+        // Ec0 in a group with the far Ec2 (17ms) and near Ec1 (4ms):
+        // a full miss waits for the slowest reply (17ms) on top of the
+        // origin fetch.
+        let groups = GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1), CacheId(2)],
+                vec![CacheId(3), CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap();
+        let trace = vec![request(0.0, 0, 5)];
+        let report = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        let solo = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let grouped_latency = report.metrics.per_cache()[0].latency_sum_ms;
+        let solo_latency = solo.metrics.per_cache()[0].latency_sum_ms;
+        // Extra cost = slowest negative reply (17 ms) + 2-peer fan-out.
+        let fanout = SimConfig::default().latency_model().query_fanout(2);
+        assert!((grouped_latency - solo_latency - 17.0 - fanout).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_excludes_early_requests_from_metrics() {
+        let net = network();
+        let cat = catalog(10);
+        let trace = vec![request(0.0, 0, 1), request(2_000.0, 0, 1)];
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default().warmup_ms(1_000.0),
+        )
+        .unwrap();
+        // Only the second request is recorded — and it hits.
+        assert_eq!(report.metrics.total_requests(), 1);
+        assert_eq!(report.metrics.per_cache()[0].local_hits, 1);
+        // But the cache stats still saw both.
+        assert_eq!(report.cache_stats.lookups, 2);
+    }
+
+    #[test]
+    fn mismatched_groups_are_rejected() {
+        let net = network();
+        let cat = catalog(5);
+        let err = simulate(
+            &net,
+            &GroupMap::singletons(4),
+            &cat,
+            &[],
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CacheCountMismatch {
+                network: 6,
+                groups: 4
+            }
+        );
+    }
+
+    #[test]
+    fn bad_trace_references_are_rejected() {
+        let net = network();
+        let cat = catalog(5);
+        let groups = GroupMap::singletons(6);
+        let err = simulate(
+            &net,
+            &groups,
+            &cat,
+            &[request(0.0, 9, 0)],
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::RequestCacheOutOfRange { cache: 9 });
+        let err = simulate(
+            &net,
+            &groups,
+            &cat,
+            &[request(0.0, 0, 99)],
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::DocOutOfRange { doc: 99 });
+        let err = simulate(
+            &net,
+            &groups,
+            &cat,
+            &[update(0.0, 99)],
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::DocOutOfRange { doc: 99 });
+    }
+
+    #[test]
+    fn cooperation_beats_isolation_on_shared_workload() {
+        // Dynamic content, shared interest, tight pair groups: after an
+        // origin update, the first group member refreshes from the
+        // origin and the rest pick the fresh copy up from it — the
+        // collaborative-freshness benefit that makes cooperation pay for
+        // dynamic content delivery.
+        let mut rng = StdRng::seed_from_u64(42);
+        let cat = CatalogConfig::default()
+            .documents(50)
+            .dynamic_fraction(1.0)
+            .dynamic_update_rate_per_sec(0.01)
+            .generate(&mut rng);
+        let net = network();
+        let requests = ecg_workload::RequestConfig::default()
+            .rate_per_sec_per_cache(5.0)
+            .similarity(1.0)
+            .generate(&cat, 6, 600_000.0, &mut rng);
+        let updates = ecg_workload::generate_updates(&cat, 600_000.0, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let config = SimConfig::default()
+            .cache_capacity_bytes(1 << 22)
+            .latency(crate::latency::LatencyModel::default().bandwidth_mbps(100.0));
+
+        let paired = GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1)],
+                vec![CacheId(2), CacheId(3)],
+                vec![CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap();
+        let grouped = simulate(&net, &paired, &cat, &trace, config).unwrap();
+        let solo = simulate(&net, &GroupMap::singletons(6), &cat, &trace, config).unwrap();
+        assert!(
+            grouped.average_latency_ms() < solo.average_latency_ms(),
+            "grouped {} vs solo {}",
+            grouped.average_latency_ms(),
+            solo.average_latency_ms()
+        );
+        assert!(grouped.origin_fetches < solo.origin_fetches);
+    }
+
+    #[test]
+    fn multicast_invalidation_prevents_stale_hits() {
+        let net = network();
+        let cat = catalog(10);
+        let trace = vec![request(0.0, 0, 2), update(50.0, 2), request(100.0, 0, 2)];
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default().freshness(FreshnessProtocol::OriginMulticast),
+        )
+        .unwrap();
+        // The update pushed the copy out: no stale hit, a clean miss.
+        assert_eq!(report.cache_stats.stale_hits, 0);
+        assert_eq!(report.cache_stats.misses, 2);
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.metrics.invalidations_sent, 1);
+        assert_eq!(report.metrics.stale_served, 0);
+    }
+
+    #[test]
+    fn ttl_lease_serves_stale_within_lease() {
+        let net = network();
+        let cat = catalog(10);
+        let trace = vec![
+            request(0.0, 0, 2),
+            update(50.0, 2),
+            request(100.0, 0, 2),   // within lease: stale serve
+            request(2_000.0, 0, 2), // past lease: refetch
+        ];
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default().freshness(FreshnessProtocol::TtlLease { ttl_ms: 1_000.0 }),
+        )
+        .unwrap();
+        assert_eq!(report.metrics.stale_served, 1);
+        assert_eq!(report.origin_fetches, 2);
+        let agg = report.metrics.per_cache()[0];
+        assert_eq!(agg.local_hits, 1);
+    }
+
+    #[test]
+    fn ttl_lease_peer_serves_unexpired_copy() {
+        let net = network();
+        let cat = catalog(10);
+        let groups = GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1)],
+                vec![CacheId(2), CacheId(3)],
+                vec![CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap();
+        let trace = vec![
+            request(0.0, 0, 3),
+            update(10.0, 3),
+            // Ec1 misses locally; Ec0 has an unexpired (stale) copy.
+            request(100.0, 1, 3),
+        ];
+        let report = simulate(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            SimConfig::default().freshness(FreshnessProtocol::TtlLease { ttl_ms: 5_000.0 }),
+        )
+        .unwrap();
+        assert_eq!(report.metrics.per_cache()[1].peer_hits, 1);
+        assert_eq!(report.metrics.stale_served, 1);
+        assert_eq!(report.origin_fetches, 1);
+    }
+
+    #[test]
+    fn protocols_trade_staleness_for_origin_load() {
+        // Update-heavy shared workload: multicast minimizes staleness,
+        // the TTL lease minimizes origin fetches, invalidate-on-access
+        // sits between.
+        let net = network();
+        let mut rng = StdRng::seed_from_u64(77);
+        let cat = CatalogConfig::default()
+            .documents(30)
+            .dynamic_fraction(1.0)
+            .dynamic_update_rate_per_sec(0.05)
+            .generate(&mut rng);
+        let requests = ecg_workload::RequestConfig::default()
+            .rate_per_sec_per_cache(4.0)
+            .similarity(1.0)
+            .generate(&cat, 6, 200_000.0, &mut rng);
+        let updates = ecg_workload::generate_updates(&cat, 200_000.0, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let groups = GroupMap::one_group(6);
+
+        let run = |freshness: FreshnessProtocol| {
+            simulate(
+                &net,
+                &groups,
+                &cat,
+                &trace,
+                SimConfig::default().freshness(freshness),
+            )
+            .unwrap()
+        };
+        let lazy = run(FreshnessProtocol::InvalidateOnAccess);
+        let push = run(FreshnessProtocol::OriginMulticast);
+        let lease = run(FreshnessProtocol::TtlLease { ttl_ms: 60_000.0 });
+
+        assert_eq!(lazy.metrics.stale_served, 0);
+        assert_eq!(push.metrics.stale_served, 0);
+        assert!(
+            lease.metrics.stale_served > 0,
+            "lease must serve stale data"
+        );
+        assert!(
+            lease.origin_fetches < lazy.origin_fetches,
+            "lease {} vs lazy {}",
+            lease.origin_fetches,
+            lazy.origin_fetches
+        );
+        assert!(push.metrics.invalidations_sent > 0);
+        assert_eq!(lazy.metrics.invalidations_sent, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let net = network();
+        let cat = catalog(20);
+        let mut rng = StdRng::seed_from_u64(9);
+        let requests = ecg_workload::RequestConfig::default().generate(&cat, 6, 30_000.0, &mut rng);
+        let updates = ecg_workload::generate_updates(&cat, 30_000.0, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let groups = GroupMap::one_group(6);
+        let a = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        let b = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation clock.
+//!
+//! The simulator keeps time as integer microseconds so timestamps have a
+//! total order (no NaN) and event-queue comparisons are exact; workload
+//! traces use `f64` milliseconds at the boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since the run started.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_sim::SimTime;
+///
+/// let t = SimTime::from_ms(1.5);
+/// assert_eq!(t.as_micros(), 1_500);
+/// assert_eq!(t.as_ms(), 1.5);
+/// let later = t + SimTime::from_ms(0.5);
+/// assert!(later > t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from (non-negative, finite) milliseconds, rounding
+    /// to the nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative, NaN, or infinite.
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be finite and >= 0, got {ms}"
+        );
+        SimTime((ms * 1_000.0).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating difference, as milliseconds.
+    pub fn ms_since(self, earlier: SimTime) -> f64 {
+        (self.0.saturating_sub(earlier.0)) as f64 / 1_000.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// Saturating subtraction: time never goes negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_round_trip() {
+        let t = SimTime::from_ms(123.456);
+        assert!((t.as_ms() - 123.456).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(5.0);
+        let b = SimTime::from_ms(3.0);
+        assert_eq!((a + b).as_ms(), 8.0);
+        assert_eq!((a - b).as_ms(), 2.0);
+        // Saturating.
+        assert_eq!((b - a).as_ms(), 0.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ms(), 8.0);
+    }
+
+    #[test]
+    fn ms_since_saturates() {
+        let a = SimTime::from_ms(5.0);
+        let b = SimTime::from_ms(9.0);
+        assert_eq!(b.ms_since(a), 4.0);
+        assert_eq!(a.ms_since(b), 0.0);
+    }
+
+    #[test]
+    fn display_shows_ms() {
+        assert_eq!(SimTime::from_ms(1.5).to_string(), "1.500ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_ms_panics() {
+        let _ = SimTime::from_ms(-1.0);
+    }
+}

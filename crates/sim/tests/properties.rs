@@ -1,0 +1,192 @@
+//! Property-based tests for the simulator.
+
+use ecg_sim::{simulate, FreshnessProtocol, GroupMap, LatencyModel, SimConfig};
+use ecg_topology::{CacheId, EdgeNetwork, RttMatrix};
+use ecg_workload::{generate_updates, merge_streams, CatalogConfig, RequestConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random edge network: origin plus n caches with synthetic RTTs.
+fn arb_network(seed: u64, caches: usize) -> EdgeNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = RttMatrix::from_fn(caches + 1, |_, _| rng.gen_range(1.0..80.0));
+    EdgeNetwork::from_rtt_matrix(m)
+}
+
+/// A random valid partition of `n` caches into at most `max_k` groups.
+fn arb_partition(seed: u64, n: usize, max_k: usize) -> GroupMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = rng.gen_range(1..=max_k.min(n));
+    loop {
+        let mut groups: Vec<Vec<CacheId>> = vec![Vec::new(); k];
+        for c in 0..n {
+            groups[rng.gen_range(0..k)].push(CacheId(c));
+        }
+        groups.retain(|g| !g.is_empty());
+        if let Ok(map) = GroupMap::new(n, groups) {
+            return map;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn report_invariants_hold(
+        seed in any::<u64>(),
+        caches in 2usize..10,
+        duration in 5_000.0f64..30_000.0,
+    ) {
+        let net = arb_network(seed, caches);
+        let groups = arb_partition(seed.wrapping_add(1), caches, 4);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let cat = CatalogConfig::default()
+            .documents(60)
+            .dynamic_fraction(0.3)
+            .dynamic_update_rate_per_sec(0.05)
+            .generate(&mut rng);
+        let requests = RequestConfig::default().generate(&cat, caches, duration, &mut rng);
+        let updates = generate_updates(&cat, duration, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let report = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+
+        // Every request is accounted for exactly once.
+        prop_assert_eq!(report.metrics.total_requests(), requests.len() as u64);
+        let (mut local, mut peer, mut origin) = (0u64, 0u64, 0u64);
+        for agg in report.metrics.per_cache() {
+            local += agg.local_hits;
+            peer += agg.peer_hits;
+            origin += agg.origin_fetches;
+            prop_assert_eq!(agg.local_hits + agg.peer_hits + agg.origin_fetches, agg.requests);
+        }
+        prop_assert_eq!(local + peer + origin, requests.len() as u64);
+        // The origin served exactly the origin-fetch requests.
+        prop_assert_eq!(report.origin_fetches, origin);
+        prop_assert_eq!(report.origin_updates, updates.len() as u64);
+        // Latency is non-negative and finite.
+        let mean = report.average_latency_ms();
+        prop_assert!(mean.is_finite() && mean >= 0.0);
+        // Cache stats tie out with metric outcomes: every fresh hit in
+        // the cache layer is a local hit in the metrics.
+        prop_assert_eq!(report.cache_stats.fresh_hits, local);
+    }
+
+    #[test]
+    fn singleton_groups_never_use_peers(
+        seed in any::<u64>(),
+        caches in 2usize..8,
+    ) {
+        let net = arb_network(seed, caches);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default().documents(30).generate(&mut rng);
+        let requests = RequestConfig::default().generate(&cat, caches, 10_000.0, &mut rng);
+        let trace = merge_streams(&requests, &[]);
+        let report = simulate(
+            &net,
+            &GroupMap::singletons(caches),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(report.metrics.peer_bytes, 0);
+        prop_assert_eq!(report.metrics.control_messages, 0);
+        for agg in report.metrics.per_cache() {
+            prop_assert_eq!(agg.peer_hits, 0);
+        }
+    }
+
+    #[test]
+    fn faster_network_is_never_slower(
+        seed in any::<u64>(),
+        caches in 2usize..6,
+    ) {
+        // Scaling every RTT down scales latency down (same trace, same
+        // groups): a sanity check that latency is monotone in network
+        // distance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = RttMatrix::from_fn(caches + 1, |_, _| rng.gen_range(5.0..60.0));
+        let slow = EdgeNetwork::from_rtt_matrix(base.clone());
+        let fast = EdgeNetwork::from_rtt_matrix(RttMatrix::from_fn(caches + 1, |i, j| {
+            base.get(i, j) * 0.5
+        }));
+        let cat = CatalogConfig::default().documents(40).generate(&mut rng);
+        let requests = RequestConfig::default().generate(&cat, caches, 20_000.0, &mut rng);
+        let trace = merge_streams(&requests, &[]);
+        let groups = GroupMap::one_group(caches);
+        let cfg = SimConfig::default();
+        let slow_report = simulate(&slow, &groups, &cat, &trace, cfg).unwrap();
+        let fast_report = simulate(&fast, &groups, &cat, &trace, cfg).unwrap();
+        prop_assert!(
+            fast_report.average_latency_ms() <= slow_report.average_latency_ms() + 1e-9
+        );
+    }
+
+    #[test]
+    fn higher_bandwidth_is_never_slower(
+        seed in any::<u64>(),
+        caches in 2usize..6,
+    ) {
+        let net = arb_network(seed, caches);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default().documents(40).generate(&mut rng);
+        let requests = RequestConfig::default().generate(&cat, caches, 20_000.0, &mut rng);
+        let trace = merge_streams(&requests, &[]);
+        let groups = GroupMap::one_group(caches);
+        let slow = simulate(
+            &net, &groups, &cat, &trace,
+            SimConfig::default().latency(LatencyModel::default().bandwidth_mbps(5.0)),
+        ).unwrap();
+        let fast = simulate(
+            &net, &groups, &cat, &trace,
+            SimConfig::default().latency(LatencyModel::default().bandwidth_mbps(500.0)),
+        ).unwrap();
+        prop_assert!(fast.average_latency_ms() <= slow.average_latency_ms() + 1e-9);
+    }
+
+    #[test]
+    fn freshness_protocol_invariants(
+        seed in any::<u64>(),
+        caches in 2usize..6,
+        ttl in 1_000.0f64..60_000.0,
+    ) {
+        let net = arb_network(seed, caches);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default()
+            .documents(40)
+            .dynamic_fraction(0.5)
+            .dynamic_update_rate_per_sec(0.05)
+            .generate(&mut rng);
+        let requests = RequestConfig::default().generate(&cat, caches, 30_000.0, &mut rng);
+        let updates = generate_updates(&cat, 30_000.0, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let groups = GroupMap::one_group(caches);
+
+        let run = |protocol| {
+            simulate(&net, &groups, &cat, &trace,
+                SimConfig::default().freshness(protocol)).unwrap()
+        };
+        let lazy = run(FreshnessProtocol::InvalidateOnAccess);
+        let push = run(FreshnessProtocol::OriginMulticast);
+        let lease = run(FreshnessProtocol::TtlLease { ttl_ms: ttl });
+
+        // Version-checked protocols never serve stale data.
+        prop_assert_eq!(lazy.metrics.stale_served, 0);
+        prop_assert_eq!(push.metrics.stale_served, 0);
+        // Only multicast sends push invalidations.
+        prop_assert_eq!(lazy.metrics.invalidations_sent, 0);
+        prop_assert_eq!(lease.metrics.invalidations_sent, 0);
+        // Every protocol accounts for every request.
+        for r in [&lazy, &push, &lease] {
+            prop_assert_eq!(r.metrics.total_requests(), requests.len() as u64);
+            prop_assert_eq!(r.origin_updates, updates.len() as u64);
+        }
+        // Staleness served is bounded by total requests.
+        prop_assert!(lease.metrics.stale_served <= lease.metrics.total_requests());
+        // Note: the lease can fetch either more (short TTL expires
+        // never-updated documents) or less (long TTL rides out updates)
+        // than the version-checked protocols, so no ordering holds.
+    }
+}

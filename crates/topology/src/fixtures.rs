@@ -1,0 +1,86 @@
+//! Shared test and documentation fixtures.
+//!
+//! The fixture network reproduces Figure 1 of the paper so examples and
+//! tests across the workspace can check behaviour against the worked
+//! example: 6 edge caches plus the origin, `N = 6`, with the exact RTT
+//! values from the figure's distance matrix.
+
+use crate::rtt::RttMatrix;
+
+/// The 7-node RTT matrix from Figure 1 of the paper.
+///
+/// Index `0` is the origin server `Os`; index `i + 1` is cache `Ec_i`.
+/// The matrix exhibits three natural cache pairs — `{Ec0, Ec1}`,
+/// `{Ec2, Ec3}`, `{Ec4, Ec5}` — each 4 ms apart internally and ≥ 11.3 ms
+/// from the others, which is why the paper's example forms exactly those
+/// three groups with `K = 3`.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_topology::fixtures::paper_figure1;
+///
+/// let m = paper_figure1();
+/// assert_eq!(m.len(), 7);
+/// assert_eq!(m.get(1, 2), 4.0); // Ec0 – Ec1
+/// assert_eq!(m.get(1, 0), 12.0); // Ec0 – Os
+/// ```
+pub fn paper_figure1() -> RttMatrix {
+    let vals = [
+        (0usize, 1usize, 12.0f64),
+        (0, 2, 8.0),
+        (0, 3, 12.0),
+        (0, 4, 8.0),
+        (0, 5, 12.0),
+        (0, 6, 8.0),
+        (1, 2, 4.0),
+        (1, 3, 17.0),
+        (1, 4, 14.4),
+        (1, 5, 17.0),
+        (1, 6, 14.4),
+        (2, 3, 14.4),
+        (2, 4, 11.3),
+        (2, 5, 14.4),
+        (2, 6, 11.3),
+        (3, 4, 4.0),
+        (3, 5, 17.0),
+        (3, 6, 14.4),
+        (4, 5, 14.4),
+        (4, 6, 11.3),
+        (5, 6, 4.0),
+    ];
+    let mut m = RttMatrix::zeros(7);
+    for (i, j, v) in vals {
+        m.set(i, j, v);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_matches_paper_values() {
+        let m = paper_figure1();
+        // Spot-check a handful of entries against the printed matrix.
+        assert_eq!(m.get(0, 1), 12.0);
+        assert_eq!(m.get(0, 2), 8.0);
+        assert_eq!(m.get(3, 4), 4.0);
+        assert_eq!(m.get(2, 6), 11.3);
+        assert_eq!(m.get(5, 6), 4.0);
+    }
+
+    #[test]
+    fn fixture_cache_pairs_are_tight() {
+        let m = paper_figure1();
+        for (a, b) in [(1, 2), (3, 4), (5, 6)] {
+            assert_eq!(m.get(a, b), 4.0);
+            for other in 1..7 {
+                if other != a && other != b {
+                    assert!(m.get(a, other) > 4.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Text serialization for latency graphs.
+//!
+//! Edge-list format for persisting generated topologies (so a study can
+//! pin one topology across tool invocations, or import a measured one):
+//!
+//! ```text
+//! # optional comments
+//! graph 4 3         # header: node count, edge count
+//! 0 1 2.5           # one edge per line: a b latency_ms
+//! 1 2 10.0
+//! 2 3 0.75
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error from [`read_graph`].
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed header or edge line; carries the 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph i/o error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "malformed graph at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Writes `graph` in the edge-list format above.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_graph<W: Write>(mut writer: W, graph: &Graph) -> io::Result<()> {
+    writeln!(
+        writer,
+        "graph {} {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for edge in graph.edges() {
+        writeln!(
+            writer,
+            "{} {} {}",
+            edge.a.index(),
+            edge.b.index(),
+            edge.latency_ms
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_graph`].
+///
+/// Blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Parse`] on bad headers, wrong edge counts,
+/// out-of-range endpoints, self loops, or invalid latencies.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim().to_string();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        lines.push((idx + 1, trimmed));
+    }
+    let Some((header_line, header)) = lines.first() else {
+        return Err(GraphIoError::Parse {
+            line: 1,
+            message: "empty input".into(),
+        });
+    };
+    let parts: Vec<&str> = header.split_ascii_whitespace().collect();
+    let (nodes, edges) = match parts.as_slice() {
+        ["graph", n, e] => match (n.parse::<usize>(), e.parse::<usize>()) {
+            (Ok(n), Ok(e)) => (n, e),
+            _ => {
+                return Err(GraphIoError::Parse {
+                    line: *header_line,
+                    message: format!("bad header counts in {header:?}"),
+                })
+            }
+        },
+        _ => {
+            return Err(GraphIoError::Parse {
+                line: *header_line,
+                message: format!("expected `graph <nodes> <edges>`, got {header:?}"),
+            })
+        }
+    };
+    let edge_lines = &lines[1..];
+    if edge_lines.len() != edges {
+        return Err(GraphIoError::Parse {
+            line: edge_lines.last().map(|(l, _)| *l).unwrap_or(*header_line),
+            message: format!("expected {edges} edge lines, got {}", edge_lines.len()),
+        });
+    }
+    let mut graph = Graph::with_nodes(nodes);
+    for (line_no, text) in edge_lines {
+        let parts: Vec<&str> = text.split_ascii_whitespace().collect();
+        let [a, b, latency] = parts.as_slice() else {
+            return Err(GraphIoError::Parse {
+                line: *line_no,
+                message: format!("expected `a b latency`, got {text:?}"),
+            });
+        };
+        let parse_err = |message: String| GraphIoError::Parse {
+            line: *line_no,
+            message,
+        };
+        let a: usize = a
+            .parse()
+            .map_err(|_| parse_err(format!("bad endpoint {a:?}")))?;
+        let b: usize = b
+            .parse()
+            .map_err(|_| parse_err(format!("bad endpoint {b:?}")))?;
+        let latency: f64 = latency
+            .parse()
+            .map_err(|_| parse_err(format!("bad latency {latency:?}")))?;
+        graph
+            .try_add_edge(NodeId(a), NodeId(b), latency)
+            .map_err(|e| parse_err(e.to_string()))?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitStubConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_generated_topology() {
+        let topo = TransitStubConfig::default()
+            .transit_domains(2)
+            .transit_nodes_per_domain(2)
+            .stub_domains_per_transit_node(2)
+            .stub_nodes_per_domain(4)
+            .generate(&mut StdRng::seed_from_u64(9));
+        let mut buf = Vec::new();
+        write_graph(&mut buf, topo.graph()).unwrap();
+        let back = read_graph(&buf[..]).unwrap();
+        assert_eq!(back.node_count(), topo.graph().node_count());
+        assert_eq!(back.edge_count(), topo.graph().edge_count());
+        // Edge sets match exactly.
+        let mut original: Vec<_> = topo
+            .graph()
+            .edges()
+            .map(|e| (e.a, e.b, e.latency_ms.to_bits()))
+            .collect();
+        let mut reloaded: Vec<_> = back
+            .edges()
+            .map(|e| (e.a, e.b, e.latency_ms.to_bits()))
+            .collect();
+        original.sort_unstable();
+        reloaded.sort_unstable();
+        assert_eq!(original, reloaded);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# topo\ngraph 3 2\n\n0 1 5.5\n# middle\n1 2 2.25\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_line_numbers() {
+        for (text, expect_line) in [
+            ("nonsense\n", 1usize),
+            ("graph x 1\n0 1 1.0\n", 1),
+            ("graph 2 1\n0 1\n", 2),      // missing latency
+            ("graph 2 1\n0 5 1.0\n", 2),  // endpoint out of range
+            ("graph 2 1\n0 0 1.0\n", 2),  // self loop
+            ("graph 2 1\n0 1 -3.0\n", 2), // bad latency
+            ("graph 2 2\n0 1 1.0\n", 2),  // missing edge line
+        ] {
+            match read_graph(text.as_bytes()) {
+                Err(GraphIoError::Parse { line, .. }) => {
+                    assert_eq!(line, expect_line, "input {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::with_nodes(5);
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let back = read_graph(&buf[..]).unwrap();
+        assert_eq!(back.node_count(), 5);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = GraphIoError::Parse {
+            line: 4,
+            message: "oops".into(),
+        };
+        assert!(err.to_string().contains('4'));
+    }
+}

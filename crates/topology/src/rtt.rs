@@ -1,0 +1,309 @@
+//! Symmetric round-trip-time matrices.
+//!
+//! [`RttMatrix`] is the currency every other crate trades in: the group
+//! formation schemes read it through the probing model, the clustering
+//! quality metrics average over it, and the simulator uses it as the
+//! ground-truth network delay between caches.
+
+use std::fmt;
+
+/// A symmetric matrix of round-trip times in milliseconds.
+///
+/// Storage is a dense `n × n` `Vec<f64>`; `set` writes both `(i, j)` and
+/// `(j, i)` so symmetry holds by construction, and the diagonal is pinned
+/// at zero.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_topology::RttMatrix;
+///
+/// let mut m = RttMatrix::zeros(3);
+/// m.set(0, 1, 10.0);
+/// m.set(1, 2, 4.0);
+/// assert_eq!(m.get(1, 0), 10.0);
+/// assert_eq!(m.get(2, 2), 0.0);
+/// assert_eq!(m.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl RttMatrix {
+    /// Creates an `n × n` matrix of zeros.
+    pub fn zeros(n: usize) -> Self {
+        RttMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every `i < j`.
+    ///
+    /// The function is called once per unordered pair; the result is
+    /// mirrored and the diagonal stays zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = RttMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Builds an RTT matrix from per-source *one-way* latency rows, i.e.
+    /// the output of an all-pairs shortest path run. RTT is twice the
+    /// one-way latency; asymmetries from floating-point noise are averaged
+    /// away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not square, or if any entry is infinite
+    /// (disconnected graph) or NaN.
+    pub fn from_rows_one_way(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has length {} != {n}", row.len());
+        }
+        RttMatrix::from_fn(n, |i, j| {
+            let one_way = 0.5 * (rows[i][j] + rows[j][i]);
+            assert!(
+                one_way.is_finite(),
+                "infinite latency between {i} and {j}: graph disconnected?"
+            );
+            2.0 * one_way
+        })
+    }
+
+    /// Matrix dimension (number of nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the 0 × 0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// RTT between nodes `i` and `j` in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "rtt index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the RTT between `i` and `j` (and `j` and `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, if `i == j` with a non-zero
+    /// value, or if the value is negative or not finite.
+    pub fn set(&mut self, i: usize, j: usize, rtt_ms: f64) {
+        assert!(i < self.n && j < self.n, "rtt index out of range");
+        assert!(
+            rtt_ms.is_finite() && rtt_ms >= 0.0,
+            "rtt must be finite and non-negative, got {rtt_ms}"
+        );
+        if i == j {
+            assert!(rtt_ms == 0.0, "diagonal rtt must be zero");
+            return;
+        }
+        self.data[i * self.n + j] = rtt_ms;
+        self.data[j * self.n + i] = rtt_ms;
+    }
+
+    /// Extracts the sub-matrix over `indices`, in the given order.
+    ///
+    /// Entry `(a, b)` of the result is `self.get(indices[a], indices[b])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn submatrix(&self, indices: &[usize]) -> RttMatrix {
+        RttMatrix::from_fn(indices.len(), |a, b| self.get(indices[a], indices[b]))
+    }
+
+    /// Mean RTT over all unordered distinct pairs, or `None` if `n < 2`.
+    pub fn mean_off_diagonal(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                sum += self.get(i, j);
+                count += 1;
+            }
+        }
+        Some(sum / count as f64)
+    }
+
+    /// Maximum off-diagonal RTT, or `None` if `n < 2`.
+    pub fn max_off_diagonal(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let v = self.get(i, j);
+                if best.map_or(true, |b| v > b) {
+                    best = Some(v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Indices of the `k` nodes nearest to `from` (excluding `from`),
+    /// sorted by ascending RTT. Returns fewer than `k` if the matrix is
+    /// small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn nearest_to(&self, from: usize, k: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..self.n).filter(|&i| i != from).collect();
+        others.sort_by(|&a, &b| {
+            self.get(from, a)
+                .partial_cmp(&self.get(from, b))
+                .expect("rtts are not NaN")
+                .then(a.cmp(&b))
+        });
+        others.truncate(k);
+        others
+    }
+
+    /// Indices of the `k` nodes farthest from `from` (excluding `from`),
+    /// sorted by descending RTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn farthest_from(&self, from: usize, k: usize) -> Vec<usize> {
+        let mut others = self.nearest_to(from, self.n.saturating_sub(1));
+        others.reverse();
+        others.truncate(k);
+        others
+    }
+}
+
+impl fmt::Display for RttMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RttMatrix({} nodes)", self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:8.2}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fixtures::paper_figure1;
+
+    #[test]
+    fn symmetric_by_construction() {
+        let m = paper_figure1();
+        for i in 0..7 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..7 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_fills_upper_triangle() {
+        let m = RttMatrix::from_fn(4, |i, j| (i + j) as f64);
+        assert_eq!(m.get(1, 3), 4.0);
+        assert_eq!(m.get(3, 1), 4.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn from_rows_averages_asymmetry() {
+        let rows = vec![vec![0.0, 3.0], vec![5.0, 0.0]];
+        let m = RttMatrix::from_rows_one_way(&rows);
+        assert_eq!(m.get(0, 1), 8.0); // 2 * (3+5)/2
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn from_rows_rejects_infinite() {
+        let rows = vec![vec![0.0, f64::INFINITY], vec![f64::INFINITY, 0.0]];
+        let _ = RttMatrix::from_rows_one_way(&rows);
+    }
+
+    #[test]
+    fn submatrix_reindexes() {
+        let m = paper_figure1();
+        let sub = m.submatrix(&[1, 3, 5]); // Ec0, Ec2, Ec4
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.get(0, 1), 17.0); // Ec0-Ec2
+        assert_eq!(sub.get(1, 2), 17.0); // Ec2-Ec4
+    }
+
+    #[test]
+    fn mean_and_max_off_diagonal() {
+        let mut m = RttMatrix::zeros(3);
+        m.set(0, 1, 2.0);
+        m.set(0, 2, 4.0);
+        m.set(1, 2, 6.0);
+        assert_eq!(m.mean_off_diagonal(), Some(4.0));
+        assert_eq!(m.max_off_diagonal(), Some(6.0));
+        assert_eq!(RttMatrix::zeros(1).mean_off_diagonal(), None);
+        assert_eq!(RttMatrix::zeros(0).max_off_diagonal(), None);
+    }
+
+    #[test]
+    fn nearest_and_farthest_are_ordered() {
+        let m = paper_figure1();
+        // From the origin (index 0): Ec1 (8), Ec3 (8), Ec5 (8) then 12s.
+        let near = m.nearest_to(0, 3);
+        assert_eq!(near, vec![2, 4, 6]);
+        let far = m.farthest_from(0, 3);
+        for pair in far.windows(2) {
+            assert!(m.get(0, pair[0]) >= m.get(0, pair[1]));
+        }
+        assert_eq!(far.len(), 3);
+        assert!(far.iter().all(|&i| m.get(0, i) == 12.0));
+    }
+
+    #[test]
+    fn nearest_to_truncates_gracefully() {
+        let m = RttMatrix::zeros(2);
+        assert_eq!(m.nearest_to(0, 10), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn set_rejects_nonzero_diagonal() {
+        let mut m = RttMatrix::zeros(2);
+        m.set(1, 1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_rejects_nan() {
+        let mut m = RttMatrix::zeros(2);
+        m.set(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn display_contains_dimension() {
+        let m = RttMatrix::zeros(2);
+        assert!(m.to_string().contains("2 nodes"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Text serialization for RTT matrices.
+//!
+//! A minimal line-oriented format so measured or generated matrices can
+//! be saved, diffed, and fed back into the tools:
+//!
+//! ```text
+//! # optional comments
+//! rtt 4            # header: dimension
+//! 12.0             # row 1: rtt(1, 0)
+//! 8.0 4.0          # row 2: rtt(2, 0) rtt(2, 1)
+//! 12.0 17.0 14.4   # row 3: ...
+//! ```
+//!
+//! Only the strict lower triangle is stored (the matrix is symmetric
+//! with a zero diagonal by construction).
+
+use crate::rtt::RttMatrix;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Error from [`read_rtt_matrix`].
+#[derive(Debug)]
+pub enum RttIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed header or row; carries the 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for RttIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RttIoError::Io(e) => write!(f, "rtt matrix i/o error: {e}"),
+            RttIoError::Parse { line, message } => {
+                write!(f, "malformed rtt matrix at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RttIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RttIoError::Io(e) => Some(e),
+            RttIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for RttIoError {
+    fn from(e: io::Error) -> Self {
+        RttIoError::Io(e)
+    }
+}
+
+/// Writes `matrix` in the text format above.
+///
+/// Pass `&mut writer` to keep ownership of the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_rtt_matrix<W: Write>(mut writer: W, matrix: &RttMatrix) -> io::Result<()> {
+    writeln!(writer, "rtt {}", matrix.len())?;
+    for i in 1..matrix.len() {
+        let row: Vec<String> = (0..i).map(|j| format!("{}", matrix.get(i, j))).collect();
+        writeln!(writer, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix written by [`write_rtt_matrix`].
+///
+/// Blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`RttIoError::Parse`] on format violations (bad header,
+/// wrong row arity, non-numeric or negative values) and
+/// [`RttIoError::Io`] on reader failure.
+pub fn read_rtt_matrix<R: Read>(reader: R) -> Result<RttMatrix, RttIoError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim().to_string();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        lines.push((idx + 1, trimmed));
+    }
+    let Some((header_line, header)) = lines.first() else {
+        return Err(RttIoError::Parse {
+            line: 1,
+            message: "empty input".into(),
+        });
+    };
+    let n: usize = header
+        .strip_prefix("rtt ")
+        .and_then(|rest| rest.trim().parse().ok())
+        .ok_or_else(|| RttIoError::Parse {
+            line: *header_line,
+            message: format!("expected `rtt <n>` header, got {header:?}"),
+        })?;
+    let rows = &lines[1..];
+    if rows.len() != n.saturating_sub(1) {
+        return Err(RttIoError::Parse {
+            line: rows.last().map(|(l, _)| *l).unwrap_or(*header_line),
+            message: format!(
+                "expected {} data rows, got {}",
+                n.saturating_sub(1),
+                rows.len()
+            ),
+        });
+    }
+    let mut matrix = RttMatrix::zeros(n);
+    for (row_idx, (line_no, text)) in rows.iter().enumerate() {
+        let i = row_idx + 1;
+        let values: Vec<&str> = text.split_ascii_whitespace().collect();
+        if values.len() != i {
+            return Err(RttIoError::Parse {
+                line: *line_no,
+                message: format!("row {i} must have {i} values, got {}", values.len()),
+            });
+        }
+        for (j, v) in values.iter().enumerate() {
+            let rtt: f64 = v.parse().map_err(|_| RttIoError::Parse {
+                line: *line_no,
+                message: format!("bad value {v:?}"),
+            })?;
+            if !rtt.is_finite() || rtt < 0.0 {
+                return Err(RttIoError::Parse {
+                    line: *line_no,
+                    message: format!("rtt must be finite and non-negative, got {rtt}"),
+                });
+            }
+            matrix.set(i, j, rtt);
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_figure1;
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = paper_figure1();
+        let mut buf = Vec::new();
+        write_rtt_matrix(&mut buf, &m).unwrap();
+        let back = read_rtt_matrix(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# measured 2026-07-06\nrtt 3\n\n5.0\n# middle\n6.0 7.0\n";
+        let m = read_rtt_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(2, 1), 7.0);
+    }
+
+    #[test]
+    fn single_node_matrix() {
+        let m = RttMatrix::zeros(1);
+        let mut buf = Vec::new();
+        write_rtt_matrix(&mut buf, &m).unwrap();
+        let back = read_rtt_matrix(&buf[..]).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, expect_line) in [
+            ("nonsense 3\n1.0\n", 1usize),
+            ("rtt 3\n1.0\n2.0 x\n", 3),
+            ("rtt 3\n1.0\n2.0\n", 3),      // wrong arity in row 2
+            ("rtt 3\n1.0\n-2.0 3.0\n", 3), // negative
+            ("rtt 4\n1.0\n2.0 3.0\n", 3),  // missing row
+        ] {
+            match read_rtt_matrix(text.as_bytes()) {
+                Err(RttIoError::Parse { line, .. }) => {
+                    assert_eq!(line, expect_line, "input {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_rtt_matrix("".as_bytes()),
+            Err(RttIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let err = RttIoError::Parse {
+            line: 7,
+            message: "boom".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains('7') && text.contains("boom"));
+    }
+}

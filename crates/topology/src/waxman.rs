@@ -1,0 +1,270 @@
+//! Waxman random graphs.
+//!
+//! The Waxman model places nodes uniformly in a unit square and connects
+//! each pair `(u, v)` with probability
+//! `P(u, v) = alpha * exp(-d(u, v) / (beta * L))`, where `d` is the
+//! Euclidean distance between the points and `L` is the maximum possible
+//! distance. It is the classic intra-domain model used by the GT-ITM
+//! transit-stub generator, which this crate re-implements in
+//! [`crate::transit_stub`].
+//!
+//! Generated graphs are *always connected*: after the probabilistic phase,
+//! remaining components are stitched together through their closest node
+//! pairs, mirroring what GT-ITM's "re-try until connected" loop achieves
+//! without unbounded retries.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A point in the unit square used for Waxman edge probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Configuration of a Waxman random graph.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_topology::waxman::WaxmanConfig;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cfg = WaxmanConfig::new(12).alpha(0.6).beta(0.3);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let (graph, points) = cfg.generate(&mut rng);
+/// assert_eq!(graph.node_count(), 12);
+/// assert_eq!(points.len(), 12);
+/// assert!(graph.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaxmanConfig {
+    nodes: usize,
+    alpha: f64,
+    beta: f64,
+    latency_per_unit_ms: f64,
+    min_latency_ms: f64,
+}
+
+impl WaxmanConfig {
+    /// Creates a configuration for a graph with `nodes` nodes and the
+    /// customary defaults `alpha = 0.5`, `beta = 0.35`.
+    ///
+    /// Latencies default to `50 ms` across the full unit square with a
+    /// `0.5 ms` floor, so a typical intra-domain hop costs a few
+    /// milliseconds.
+    pub fn new(nodes: usize) -> Self {
+        WaxmanConfig {
+            nodes,
+            alpha: 0.5,
+            beta: 0.35,
+            latency_per_unit_ms: 50.0,
+            min_latency_ms: 0.5,
+        }
+    }
+
+    /// Sets the Waxman `alpha` parameter (edge density), in `(0, 1]`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the Waxman `beta` parameter (long-edge affinity), in `(0, 1]`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets how many milliseconds of latency one unit of Euclidean
+    /// distance costs.
+    pub fn latency_per_unit_ms(mut self, ms: f64) -> Self {
+        self.latency_per_unit_ms = ms;
+        self
+    }
+
+    /// Sets the minimum latency assigned to any edge.
+    pub fn min_latency_ms(mut self, ms: f64) -> Self {
+        self.min_latency_ms = ms;
+        self
+    }
+
+    /// Generates a connected Waxman graph plus the sampled node positions.
+    ///
+    /// Edge latency is proportional to the Euclidean distance between the
+    /// endpoints (`latency_per_unit_ms`, floored at `min_latency_ms`), so
+    /// the triangle-flavored structure of the plane carries over to the
+    /// latency space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero nodes with parameters that
+    /// are out of range (`alpha`/`beta` not in `(0, 1]`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> (Graph, Vec<Point>) {
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "waxman alpha must be in (0, 1], got {}",
+            self.alpha
+        );
+        assert!(
+            self.beta > 0.0 && self.beta <= 1.0,
+            "waxman beta must be in (0, 1], got {}",
+            self.beta
+        );
+        let n = self.nodes;
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point {
+                x: rng.gen::<f64>(),
+                y: rng.gen::<f64>(),
+            })
+            .collect();
+        let mut graph = Graph::with_nodes(n);
+        let max_dist = 2f64.sqrt();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = points[i].distance(&points[j]);
+                let p = self.alpha * (-d / (self.beta * max_dist)).exp();
+                if rng.gen::<f64>() < p {
+                    graph.add_edge(NodeId(i), NodeId(j), self.edge_latency(d));
+                }
+            }
+        }
+        self.connect_components(&mut graph, &points);
+        (graph, points)
+    }
+
+    fn edge_latency(&self, euclidean: f64) -> f64 {
+        (euclidean * self.latency_per_unit_ms).max(self.min_latency_ms)
+    }
+
+    /// Stitches disconnected components together through their closest
+    /// node pairs so the result is always connected.
+    fn connect_components(&self, graph: &mut Graph, points: &[Point]) {
+        loop {
+            let comps = graph.components();
+            if comps.len() <= 1 {
+                return;
+            }
+            // Join the first component to its nearest neighbor component
+            // through the closest cross pair.
+            let base = &comps[0];
+            let mut best: Option<(NodeId, NodeId, f64)> = None;
+            for other in &comps[1..] {
+                for &u in base {
+                    for &v in other {
+                        let d = points[u.index()].distance(&points[v.index()]);
+                        if best.map_or(true, |(_, _, bd)| d < bd) {
+                            best = Some((u, v, d));
+                        }
+                    }
+                }
+            }
+            let (u, v, d) = best.expect("at least two components");
+            graph.add_edge(u, v, self.edge_latency(d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, pts) = WaxmanConfig::new(25).generate(&mut rng);
+        assert_eq!(g.node_count(), 25);
+        assert_eq!(pts.len(), 25);
+    }
+
+    #[test]
+    fn always_connected_even_with_sparse_parameters() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = WaxmanConfig::new(30)
+                .alpha(0.05)
+                .beta(0.05)
+                .generate(&mut rng);
+            assert!(g.is_connected(), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            WaxmanConfig::new(40).generate(&mut rng).0
+        };
+        assert_eq!(gen(42), gen(42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            WaxmanConfig::new(40).generate(&mut rng).0
+        };
+        assert_ne!(gen(1), gen(2));
+    }
+
+    #[test]
+    fn latencies_respect_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = WaxmanConfig::new(30).min_latency_ms(2.0).generate(&mut rng);
+        for e in g.edges() {
+            assert!(e.latency_ms >= 2.0);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_means_more_edges() {
+        let edges = |alpha: f64| {
+            let mut total = 0;
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                total += WaxmanConfig::new(40)
+                    .alpha(alpha)
+                    .generate(&mut rng)
+                    .0
+                    .edge_count();
+            }
+            total
+        };
+        assert!(edges(0.9) > edges(0.1));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = WaxmanConfig::new(1).generate(&mut rng);
+        assert_eq!(g.node_count(), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = WaxmanConfig::new(5).alpha(0.0).generate(&mut rng);
+    }
+}

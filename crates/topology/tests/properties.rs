@@ -1,0 +1,144 @@
+//! Property-based tests for the topology substrate.
+
+use ecg_topology::shortest_path::{all_pairs_rtt, dijkstra, multi_source_latencies};
+use ecg_topology::{
+    EdgeNetwork, Graph, NodeId, OriginPlacement, RttMatrix, TransitStubConfig, WaxmanConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    // A random spanning tree plus random extra edges: always connected.
+    (2usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            g.add_edge(NodeId(i), NodeId(parent), rng.gen_range(0.1..50.0));
+        }
+        let extras = rng.gen_range(0..n);
+        for _ in 0..extras {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !g.has_edge(NodeId(a), NodeId(b)) {
+                g.add_edge(NodeId(a), NodeId(b), rng.gen_range(0.1..50.0));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_distances_are_metric(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| dijkstra(&g, NodeId(i))).collect();
+        // Symmetry (undirected graph) and identity.
+        for i in 0..n {
+            prop_assert!(rows[i][i].abs() < 1e-12);
+            for j in 0..n {
+                prop_assert!((rows[i][j] - rows[j][i]).abs() < 1e-9);
+            }
+        }
+        // Triangle inequality.
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(rows[i][j] <= rows[i][k] + rows[k][j] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_never_exceeds_direct_edge(g in arb_connected_graph()) {
+        for e in g.edges() {
+            let d = dijkstra(&g, e.a);
+            prop_assert!(d[e.b.index()] <= e.latency_ms + 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_source_thread_count_is_irrelevant(g in arb_connected_graph()) {
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let one = multi_source_latencies(&g, &sources, 1);
+        let many = multi_source_latencies(&g, &sources, 4);
+        prop_assert_eq!(one, many);
+    }
+
+    #[test]
+    fn rtt_matrix_submatrix_preserves_entries(
+        g in arb_connected_graph(),
+        pick_seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let m = all_pairs_rtt(&g);
+        let mut rng = StdRng::seed_from_u64(pick_seed);
+        let k = rng.gen_range(1..=m.len());
+        let indices: Vec<usize> = (0..k).map(|_| rng.gen_range(0..m.len())).collect();
+        let sub = m.submatrix(&indices);
+        for a in 0..k {
+            for b in 0..k {
+                prop_assert_eq!(sub.get(a, b), m.get(indices[a], indices[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected_and_sized(n in 1usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, pts) = WaxmanConfig::new(n).generate(&mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn transit_stub_structure_holds(
+        td in 1usize..4,
+        tn in 1usize..4,
+        sd in 1usize..3,
+        sn in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = TransitStubConfig::default()
+            .transit_domains(td)
+            .transit_nodes_per_domain(tn)
+            .stub_domains_per_transit_node(sd)
+            .stub_nodes_per_domain(sn);
+        let topo = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert!(topo.graph().is_connected());
+        prop_assert_eq!(topo.graph().node_count(), cfg.total_nodes());
+        prop_assert_eq!(topo.stub_nodes().len(), cfg.total_stub_nodes());
+    }
+
+    #[test]
+    fn placement_indices_are_consistent(seed in any::<u64>(), caches in 1usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+        let net = EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+            .expect("placement");
+        prop_assert_eq!(net.cache_count(), caches);
+        // Typed accessors agree with the raw matrix layout.
+        let m = net.rtt_matrix();
+        for a in net.caches() {
+            prop_assert_eq!(net.cache_to_origin(a), m.get(a.index() + 1, 0));
+            for b in net.caches() {
+                prop_assert_eq!(net.cache_to_cache(a, b), m.get(a.index() + 1, b.index() + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_from_fn_is_symmetric(n in 0usize..20) {
+        let m = RttMatrix::from_fn(n, |i, j| (i * 31 + j * 7) as f64 + 1.0);
+        for i in 0..n {
+            prop_assert_eq!(m.get(i, i), 0.0);
+            for j in 0..n {
+                prop_assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+}

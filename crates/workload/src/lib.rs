@@ -1,0 +1,62 @@
+//! Synthetic dynamic-content workloads for edge cache simulations.
+//!
+//! The paper's simulator is trace-driven: "the caches in the simulated
+//! edge cache network are driven by request-log files, while the origin
+//! server reads continuously from an update log file", with data derived
+//! from the IBM 2000 Sydney Olympics site. The real trace is proprietary;
+//! this crate generates the synthetic equivalent:
+//!
+//! * [`ZipfSampler`] — exact Zipf popularity sampling (implemented
+//!   in-crate, no external distribution dependency).
+//! * [`CatalogConfig`] / [`DocumentCatalog`] — documents with log-normal
+//!   sizes and per-document update rates (dynamic scoreboard pages vs.
+//!   static content).
+//! * [`RequestConfig`] — per-cache Poisson request streams with a
+//!   cross-cache *similarity* knob and non-stationary modulation
+//!   (diurnal, flash crowd).
+//! * [`generate_updates`] — the origin's update log.
+//! * [`trace`] — merged trace representation plus a line-oriented text
+//!   format for persistence and replay.
+//! * [`SportingEventConfig`] — one-call preset reproducing the Olympics
+//!   workload shape.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecg_workload::SportingEventConfig;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let workload = SportingEventConfig::default()
+//!     .documents(500)
+//!     .caches(20)
+//!     .duration_ms(60_000.0)
+//!     .generate(&mut rng);
+//! println!(
+//!     "{} requests, {} updates over {} documents",
+//!     workload.requests.len(),
+//!     workload.updates.len(),
+//!     workload.catalog.len(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod documents;
+pub mod news;
+pub mod requests;
+pub mod sporting;
+pub mod stats;
+pub mod trace;
+pub mod updates;
+pub mod zipf;
+
+pub use documents::{CatalogConfig, DocId, Document, DocumentCatalog};
+pub use news::{NewsSiteConfig, NewsSiteWorkload};
+pub use requests::{RateModulation, Request, RequestConfig};
+pub use sporting::{SportingEventConfig, SportingEventWorkload};
+pub use stats::TraceStats;
+pub use trace::{merge_streams, read_trace, write_trace, TraceError, TraceEvent};
+pub use updates::{generate_updates, Update};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,309 @@
+//! Trace serialization.
+//!
+//! The paper's simulator is file-driven: caches replay request logs, the
+//! origin replays an update log. This module provides the merged trace
+//! representation plus a line-oriented text format so generated workloads
+//! can be persisted, inspected, and replayed byte-identically:
+//!
+//! ```text
+//! R <time_ms> <cache> <doc>     # client request
+//! U <time_ms> <doc>             # origin update
+//! ```
+
+use crate::documents::DocId;
+use crate::requests::Request;
+use crate::updates::Update;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// One event of a merged workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A client request arriving at a cache.
+    Request(Request),
+    /// A document update at the origin.
+    Update(Update),
+}
+
+impl TraceEvent {
+    /// Event timestamp in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        match self {
+            TraceEvent::Request(r) => r.time_ms,
+            TraceEvent::Update(u) => u.time_ms,
+        }
+    }
+}
+
+/// Merges a request stream and an update log into one time-sorted trace.
+///
+/// Both inputs must already be sorted by time (as produced by the
+/// generators); ties order updates before requests so a request at the
+/// same instant sees the fresh document.
+pub fn merge_streams(requests: &[Request], updates: &[Update]) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(requests.len() + updates.len());
+    let (mut ri, mut ui) = (0usize, 0usize);
+    while ri < requests.len() || ui < updates.len() {
+        let take_update = match (requests.get(ri), updates.get(ui)) {
+            (Some(r), Some(u)) => u.time_ms <= r.time_ms,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_update {
+            events.push(TraceEvent::Update(updates[ui]));
+            ui += 1;
+        } else {
+            events.push(TraceEvent::Request(requests[ri]));
+            ri += 1;
+        }
+    }
+    events
+}
+
+/// Error from [`read_trace`].
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not parse; carries the line number (1-based) and text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, text } => {
+                write!(f, "malformed trace line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes a trace in the line format above.
+///
+/// Pass `&mut writer` to keep ownership of the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, events: &[TraceEvent]) -> io::Result<()> {
+    for e in events {
+        match e {
+            TraceEvent::Request(r) => {
+                writeln!(writer, "R {} {} {}", r.time_ms, r.cache, r.doc.index())?
+            }
+            TraceEvent::Update(u) => writeln!(writer, "U {} {}", u.time_ms, u.doc.index())?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// Blank lines and lines starting with `#` are skipped, so traces can be
+/// annotated by hand.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on any malformed line and
+/// [`TraceError::Io`] on reader failure.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<TraceEvent>, TraceError> {
+    let buf = BufReader::new(reader);
+    let mut events = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let parse = || TraceError::Parse {
+            line: lineno + 1,
+            text: line.clone(),
+        };
+        let kind = parts.next().ok_or_else(parse)?;
+        let time_ms: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(parse)?;
+        let event = match kind {
+            "R" => {
+                let cache: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(parse)?;
+                let doc: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(parse)?;
+                TraceEvent::Request(Request {
+                    time_ms,
+                    cache,
+                    doc: DocId(doc),
+                })
+            }
+            "U" => {
+                let doc: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(parse)?;
+                TraceEvent::Update(Update {
+                    time_ms,
+                    doc: DocId(doc),
+                })
+            }
+            _ => return Err(parse()),
+        };
+        if parts.next().is_some() {
+            return Err(parse());
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Update(Update {
+                time_ms: 1.5,
+                doc: DocId(7),
+            }),
+            TraceEvent::Request(Request {
+                time_ms: 2.0,
+                cache: 3,
+                doc: DocId(7),
+            }),
+            TraceEvent::Request(Request {
+                time_ms: 10.25,
+                cache: 0,
+                doc: DocId(1),
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nR 1.0 0 5\n  \nU 2.0 3\n";
+        let events = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time_ms(), 1.0);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "R 1.0 0 5\nX 2.0\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let text = "R 1.0 0 5 extra\n";
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        for bad in ["R 1.0 0", "U 1.0", "R", "U abc 3"] {
+            assert!(read_trace(bad.as_bytes()).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_with_updates_first_on_ties() {
+        let requests = vec![
+            Request {
+                time_ms: 1.0,
+                cache: 0,
+                doc: DocId(0),
+            },
+            Request {
+                time_ms: 5.0,
+                cache: 1,
+                doc: DocId(1),
+            },
+        ];
+        let updates = vec![
+            Update {
+                time_ms: 1.0,
+                doc: DocId(0),
+            },
+            Update {
+                time_ms: 9.0,
+                doc: DocId(2),
+            },
+        ];
+        let merged = merge_streams(&requests, &updates);
+        assert_eq!(merged.len(), 4);
+        // Tie at t=1.0: update first.
+        assert!(matches!(merged[0], TraceEvent::Update(_)));
+        assert!(matches!(merged[1], TraceEvent::Request(_)));
+        for pair in merged.windows(2) {
+            assert!(pair[0].time_ms() <= pair[1].time_ms());
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let requests = vec![Request {
+            time_ms: 1.0,
+            cache: 0,
+            doc: DocId(0),
+        }];
+        let updates = vec![Update {
+            time_ms: 2.0,
+            doc: DocId(1),
+        }];
+        assert_eq!(merge_streams(&requests, &[]).len(), 1);
+        assert_eq!(merge_streams(&[], &updates).len(), 1);
+        assert!(merge_streams(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TraceError::Parse {
+            line: 3,
+            text: "bogus".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains("bogus"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Origin update streams.
+//!
+//! In the paper's simulator "the origin server reads continuously from an
+//! update log file": documents change over time, and a cached copy of an
+//! updated document is stale. This module generates that update log as
+//! the superposition of independent per-document Poisson processes with
+//! the rates recorded in the [`DocumentCatalog`].
+
+use crate::documents::{DocId, DocumentCatalog};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One document update at the origin server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// Update time in milliseconds since the start of the run.
+    pub time_ms: f64,
+    /// The updated document.
+    pub doc: DocId,
+}
+
+/// Generates the time-sorted update log for `duration_ms` milliseconds.
+///
+/// Uses the superposition property: inter-update gaps are exponential at
+/// the catalog's total rate, and each update picks a document with
+/// probability proportional to its individual rate (CDF + binary
+/// search), which is exactly equivalent to running one Poisson process
+/// per document.
+///
+/// Returns an empty log if no document has a positive update rate.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty or `duration_ms` is negative/not
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_workload::{generate_updates, CatalogConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let catalog = CatalogConfig::default().documents(100).generate(&mut rng);
+/// let updates = generate_updates(&catalog, 60_000.0, &mut rng);
+/// for pair in updates.windows(2) {
+///     assert!(pair[0].time_ms <= pair[1].time_ms);
+/// }
+/// ```
+pub fn generate_updates<R: Rng + ?Sized>(
+    catalog: &DocumentCatalog,
+    duration_ms: f64,
+    rng: &mut R,
+) -> Vec<Update> {
+    assert!(!catalog.is_empty(), "catalog must contain documents");
+    assert!(
+        duration_ms.is_finite() && duration_ms >= 0.0,
+        "duration must be finite and non-negative"
+    );
+    let total_rate_per_ms = catalog.total_update_rate_per_sec() / 1_000.0;
+    if total_rate_per_ms <= 0.0 {
+        return Vec::new();
+    }
+
+    // CDF over documents weighted by update rate.
+    let mut cdf = Vec::with_capacity(catalog.len());
+    let mut acc = 0.0;
+    for d in catalog.iter() {
+        acc += d.update_rate_per_sec;
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut updates = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        t += -u.ln() / total_rate_per_ms;
+        if t >= duration_ms {
+            break;
+        }
+        let target = rng.gen::<f64>() * total;
+        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&target).expect("cdf has no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(cdf.len() - 1),
+        };
+        updates.push(Update {
+            time_ms: t,
+            doc: DocId(idx),
+        });
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::documents::{CatalogConfig, Document, DocumentCatalog};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_doc_catalog(rate0: f64, rate1: f64) -> DocumentCatalog {
+        DocumentCatalog::from_documents(vec![
+            Document {
+                id: DocId(0),
+                size_bytes: 1_000,
+                update_rate_per_sec: rate0,
+            },
+            Document {
+                id: DocId(1),
+                size_bytes: 1_000,
+                update_rate_per_sec: rate1,
+            },
+        ])
+    }
+
+    #[test]
+    fn updates_are_sorted_and_bounded() {
+        let cat = two_doc_catalog(1.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ups = generate_updates(&cat, 30_000.0, &mut rng);
+        assert!(!ups.is_empty());
+        for pair in ups.windows(2) {
+            assert!(pair[0].time_ms <= pair[1].time_ms);
+        }
+        assert!(ups.iter().all(|u| u.time_ms < 30_000.0));
+    }
+
+    #[test]
+    fn volume_matches_total_rate() {
+        let cat = two_doc_catalog(2.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ups = generate_updates(&cat, 100_000.0, &mut rng);
+        // Expected 3 updates/sec * 100 sec = 300.
+        let n = ups.len() as f64;
+        assert!((n - 300.0).abs() < 60.0, "got {n}");
+    }
+
+    #[test]
+    fn updates_split_proportionally_to_rates() {
+        let cat = two_doc_catalog(3.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ups = generate_updates(&cat, 200_000.0, &mut rng);
+        let doc0 = ups.iter().filter(|u| u.doc == DocId(0)).count() as f64;
+        let frac = doc0 / ups.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "doc0 fraction {frac}");
+    }
+
+    #[test]
+    fn all_static_catalog_produces_no_updates() {
+        let cat = two_doc_catalog(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(generate_updates(&cat, 60_000.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_produces_no_updates() {
+        let cat = two_doc_catalog(10.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(generate_updates(&cat, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn generated_catalog_updates_target_dynamic_docs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cat = CatalogConfig::default()
+            .documents(100)
+            .dynamic_fraction(0.1)
+            .static_update_rate_per_sec(0.0)
+            .generate(&mut rng);
+        let ups = generate_updates(&cat, 600_000.0, &mut rng);
+        assert!(ups.iter().all(|u| u.doc.index() < 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn negative_duration_panics() {
+        let cat = two_doc_catalog(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = generate_updates(&cat, -1.0, &mut rng);
+    }
+}

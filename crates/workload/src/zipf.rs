@@ -1,0 +1,190 @@
+//! Zipf-distributed popularity sampling.
+//!
+//! Web object popularity is famously Zipf-like, and the Sydney Olympics
+//! trace the paper's datasets were derived from is no exception. This
+//! sampler draws ranks from `P(rank = r) ∝ 1 / r^s` exactly, via a
+//! precomputed CDF and binary search — no externally sourced
+//! distribution crate needed.
+
+use rand::Rng;
+
+/// An exact Zipf sampler over ranks `0..n` (rank 0 is most popular).
+///
+/// # Examples
+///
+/// ```
+/// use ecg_workload::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = ZipfSampler::new(1000, 0.9);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; web workloads
+    /// typically sit between `0.6` and `1.2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point round-off at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler covers no ranks (never happens for a
+    /// constructed sampler; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s` the sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of drawing `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draws a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 0.8);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = ZipfSampler::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.probability(0) >= z.probability(r));
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_probabilities() {
+        let z = ZipfSampler::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 100_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let expected = z.probability(r);
+            let observed = counts[r] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_mass() {
+        let flat = ZipfSampler::new(100, 0.5);
+        let steep = ZipfSampler::new(100, 1.5);
+        assert!(steep.probability(0) > flat.probability(0));
+        assert!(steep.probability(99) < flat.probability(99));
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = ZipfSampler::new(5, -1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the workload crate.
+
+use ecg_workload::{
+    generate_updates, merge_streams, read_trace, write_trace, CatalogConfig, RequestConfig,
+    TraceEvent, ZipfSampler,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn zipf_probabilities_are_a_distribution(n in 1usize..200, s in 0.0f64..2.5) {
+        let z = ZipfSampler::new(n, s);
+        let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone non-increasing in rank.
+        for r in 1..n {
+            prop_assert!(z.probability(r - 1) >= z.probability(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..100, s in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn catalog_generation_is_valid(
+        n in 1usize..300,
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cat = CatalogConfig::default()
+            .documents(n)
+            .dynamic_fraction(frac)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(cat.len(), n);
+        for (i, d) in cat.iter().enumerate() {
+            prop_assert_eq!(d.id.index(), i);
+            prop_assert!(d.size_bytes >= 128);
+            prop_assert!(d.update_rate_per_sec >= 0.0);
+        }
+    }
+
+    #[test]
+    fn request_stream_is_sorted_valid_and_bounded(
+        seed in any::<u64>(),
+        caches in 1usize..8,
+        duration in 1_000.0f64..30_000.0,
+        similarity in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default().documents(50).generate(&mut rng);
+        let reqs = RequestConfig::default()
+            .similarity(similarity)
+            .generate(&cat, caches, duration, &mut rng);
+        for pair in reqs.windows(2) {
+            prop_assert!(pair[0].time_ms <= pair[1].time_ms);
+        }
+        for r in &reqs {
+            prop_assert!(r.cache < caches);
+            prop_assert!(r.doc.index() < 50);
+            prop_assert!(r.time_ms >= 0.0 && r.time_ms < duration);
+        }
+    }
+
+    #[test]
+    fn update_stream_is_sorted_and_bounded(
+        seed in any::<u64>(),
+        duration in 0.0f64..60_000.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default()
+            .documents(40)
+            .dynamic_fraction(0.5)
+            .generate(&mut rng);
+        let ups = generate_updates(&cat, duration, &mut rng);
+        for pair in ups.windows(2) {
+            prop_assert!(pair[0].time_ms <= pair[1].time_ms);
+        }
+        for u in &ups {
+            prop_assert!(u.doc.index() < 40);
+            prop_assert!(u.time_ms >= 0.0 && u.time_ms < duration);
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_text(
+        seed in any::<u64>(),
+        duration in 500.0f64..5_000.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default()
+            .documents(30)
+            .dynamic_fraction(0.3)
+            .dynamic_update_rate_per_sec(0.5)
+            .generate(&mut rng);
+        let reqs = RequestConfig::default().generate(&cat, 3, duration, &mut rng);
+        let ups = generate_updates(&cat, duration, &mut rng);
+        let merged = merge_streams(&reqs, &ups);
+
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &merged).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        prop_assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn merge_preserves_every_event(
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default()
+            .documents(20)
+            .dynamic_fraction(0.5)
+            .dynamic_update_rate_per_sec(1.0)
+            .generate(&mut rng);
+        let reqs = RequestConfig::default().generate(&cat, 2, 5_000.0, &mut rng);
+        let ups = generate_updates(&cat, 5_000.0, &mut rng);
+        let merged = merge_streams(&reqs, &ups);
+        prop_assert_eq!(merged.len(), reqs.len() + ups.len());
+        let reqs_back: Vec<_> = merged
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Request(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(reqs_back, reqs);
+        for pair in merged.windows(2) {
+            prop_assert!(pair[0].time_ms() <= pair[1].time_ms());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every figure and ablation of EXPERIMENTS.md into results/.
+# Usage: ./run_all_experiments.sh [results_dir]
+set -euo pipefail
+
+out="${1:-results}"
+mkdir -p "$out"
+
+figures=(fig3 fig4 fig5 fig6 fig7 fig8 fig9)
+ablations=(
+  ablation_theta ablation_noise ablation_m ablation_init ablation_policy
+  ablation_origin ablation_representation ablation_freshness
+  ablation_probing ablation_workload ablation_maintenance
+)
+
+cargo build --release -p ecg-bench --bins
+
+for bin in "${figures[@]}" "${ablations[@]}"; do
+  echo "=== $bin"
+  cargo run --release -q -p ecg-bench --bin "$bin" | tee "$out/$bin.txt"
+done
+
+echo "all outputs written to $out/"

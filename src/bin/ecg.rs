@@ -1,0 +1,520 @@
+//! `ecg` — command-line driver for edge cache group formation.
+//!
+//! ```text
+//! ecg gen-network --caches 100 --seed 1 --out net.rtt
+//! ecg form       --network net.rtt --scheme sdsl --groups 10 --theta 1.0 --out groups.txt
+//! ecg gen-trace  --caches 100 --duration-secs 120 --out run.trace
+//! ecg stats      --trace run.trace
+//! ecg simulate   --network net.rtt --groups groups.txt --trace run.trace
+//! ```
+//!
+//! * `gen-network` generates a transit-stub topology, places an origin
+//!   plus N caches, and writes the RTT matrix (origin at index 0) in
+//!   the `rtt` text format.
+//! * `form` reads such a matrix, runs SL or SDSL, and writes/prints the
+//!   groups (one line of cache ids per group).
+//! * `simulate` replays a synthetic sporting-event workload over the
+//!   groups and prints the latency/hit-rate report.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every flag has
+//! a default so each subcommand runs bare.
+
+use edge_cache_groups::prelude::*;
+use edge_cache_groups::topology::{read_rtt_matrix, write_rtt_matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  ecg gen-network [--caches N] [--seed S] [--origin transit|stub] --out FILE
+  ecg form        --network FILE [--scheme sl|sdsl] [--groups K] [--theta T]
+                  [--landmarks L] [--plset-multiplier M] [--max-group-size S]
+                  [--seed S] [--out FILE]
+  ecg gen-trace   [--caches N] [--docs D] [--duration-secs T] [--rate R]
+                  [--preset sporting|news] [--seed S] --out FILE
+  ecg stats       --trace FILE
+  ecg simulate    --network FILE --groups FILE [--trace FILE] [--docs D]
+                  [--duration-secs T] [--rate R] [--capacity-kib C]
+                  [--policy utility|lru|lfu|gdsf] [--seed S]
+
+simulate regenerates the workload from its flags unless --trace is given;
+with --trace, --docs must match the catalog the trace was generated for
+(use the same --seed/--docs as gen-trace).";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "gen-network" => gen_network(&flags),
+        "form" => form(&flags),
+        "gen-trace" => gen_trace(&flags),
+        "stats" => stats_cmd(&flags),
+        "simulate" => simulate_cmd(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Parses `--key value` pairs into a map.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        if flags.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("flag --{name} given twice"));
+        }
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value for --{name}: {raw:?}")),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn gen_network(flags: &HashMap<String, String>) -> Result<(), String> {
+    let caches: usize = get_parsed(flags, "caches", 100)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let origin = match flags.get("origin").map(String::as_str).unwrap_or("transit") {
+        "transit" => OriginPlacement::TransitNode,
+        "stub" => OriginPlacement::StubNode,
+        other => return Err(format!("--origin must be transit or stub, got {other:?}")),
+    };
+    let out = require(flags, "out")?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+    let network = EdgeNetwork::place(&topo, caches, origin, &mut rng).map_err(|e| e.to_string())?;
+
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_rtt_matrix(BufWriter::new(file), network.rtt_matrix())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: origin + {} caches, mean origin RTT {:.1} ms",
+        network.cache_count(),
+        network.mean_origin_rtt()
+    );
+    Ok(())
+}
+
+fn load_network(path: &str) -> Result<EdgeNetwork, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let matrix = read_rtt_matrix(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    if matrix.len() < 2 {
+        return Err(format!("{path}: matrix too small for an edge network"));
+    }
+    Ok(EdgeNetwork::from_rtt_matrix(matrix))
+}
+
+fn form(flags: &HashMap<String, String>) -> Result<(), String> {
+    let network = load_network(require(flags, "network")?)?;
+    let k: usize = get_parsed(flags, "groups", network.cache_count() / 10)?;
+    let theta: f64 = get_parsed(flags, "theta", 1.0)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let landmarks: usize = get_parsed(flags, "landmarks", 25)?;
+    let plset: usize = get_parsed(flags, "plset-multiplier", 4)?;
+
+    let mut scheme = match flags.get("scheme").map(String::as_str).unwrap_or("sdsl") {
+        "sl" => SchemeConfig::sl(k.max(1)),
+        "sdsl" => SchemeConfig::sdsl(k.max(1), theta),
+        other => return Err(format!("--scheme must be sl or sdsl, got {other:?}")),
+    }
+    .landmarks(landmarks)
+    .plset_multiplier(plset);
+    if let Some(cap) = flags.get("max-group-size") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| format!("bad value for --max-group-size: {cap:?}"))?;
+        scheme = scheme.max_group_size(cap);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = GfCoordinator::new(scheme)
+        .form_groups(&network, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let rendered = render_groups(outcome.groups());
+    match flags.get("out") {
+        Some(path) => {
+            let mut file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            file.write_all(rendered.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    let gic = outcome.average_interaction_cost(|a, b| network.cache_to_cache(a, b));
+    println!(
+        "# {} groups, sizes {:?}, avg interaction cost {:.2} ms, {} probes",
+        outcome.groups().len(),
+        outcome.groups().iter().map(Vec::len).collect::<Vec<_>>(),
+        gic,
+        outcome.probes_sent(),
+    );
+    Ok(())
+}
+
+/// Builds the workload a set of flags describes (shared by `gen-trace`
+/// and `simulate`).
+fn build_workload(
+    flags: &HashMap<String, String>,
+    caches: usize,
+) -> Result<
+    (
+        edge_cache_groups::workload::DocumentCatalog,
+        Vec<edge_cache_groups::workload::TraceEvent>,
+    ),
+    String,
+> {
+    let docs: usize = get_parsed(flags, "docs", 1_500)?;
+    let duration_secs: f64 = get_parsed(flags, "duration-secs", 120.0)?;
+    let rate: f64 = get_parsed(flags, "rate", 2.0)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let duration_ms = duration_secs * 1_000.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match flags
+        .get("preset")
+        .map(String::as_str)
+        .unwrap_or("sporting")
+    {
+        "sporting" => {
+            let w = SportingEventConfig::default()
+                .caches(caches)
+                .documents(docs)
+                .duration_ms(duration_ms)
+                .rate_per_sec_per_cache(rate)
+                .generate(&mut rng);
+            Ok((w.catalog.clone(), w.merged_trace()))
+        }
+        "news" => {
+            let w = edge_cache_groups::workload::NewsSiteConfig::default()
+                .caches(caches)
+                .documents(docs)
+                .duration_ms(duration_ms)
+                .rate_per_sec_per_cache(rate)
+                .generate(&mut rng);
+            Ok((w.catalog.clone(), w.merged_trace()))
+        }
+        other => Err(format!("--preset must be sporting or news, got {other:?}")),
+    }
+}
+
+fn gen_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let caches: usize = get_parsed(flags, "caches", 100)?;
+    let out = require(flags, "out")?;
+    let (_, trace) = build_workload(flags, caches)?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    edge_cache_groups::workload::write_trace(BufWriter::new(file), &trace)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}: {} events", trace.len());
+    Ok(())
+}
+
+fn stats_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = require(flags, "trace")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let trace = edge_cache_groups::workload::read_trace(BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let s = edge_cache_groups::workload::TraceStats::compute(&trace);
+    println!("events            {}", s.requests + s.updates);
+    println!("requests          {}", s.requests);
+    println!("updates           {}", s.updates);
+    println!("span              {:.1} s", s.span_ms / 1_000.0);
+    println!("active caches     {}", s.active_caches);
+    println!("distinct docs     {}", s.distinct_docs);
+    println!("busiest cache     {} requests", s.max_cache_load);
+    if let Some(imbalance) = s.load_imbalance() {
+        println!("load imbalance    {imbalance:.2}x");
+    }
+    println!("top doc share     {:.1}%", 100.0 * s.top_doc_share);
+    println!("top-10 share      {:.1}%", 100.0 * s.top10_share);
+    Ok(())
+}
+
+fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let network = load_network(require(flags, "network")?)?;
+    let groups_path = require(flags, "groups")?;
+    let text = std::fs::read_to_string(groups_path)
+        .map_err(|e| format!("cannot read {groups_path}: {e}"))?;
+    let groups = parse_groups(&text).map_err(|e| format!("{groups_path}: {e}"))?;
+    let map = GroupMap::new(network.cache_count(), groups).map_err(|e| e.to_string())?;
+
+    let duration_secs: f64 = get_parsed(flags, "duration-secs", 120.0)?;
+    let capacity_kib: u64 = get_parsed(flags, "capacity-kib", 512)?;
+    let policy = match flags.get("policy").map(String::as_str).unwrap_or("utility") {
+        "utility" => PolicyKind::Utility,
+        "lru" => PolicyKind::Lru,
+        "lfu" => PolicyKind::Lfu,
+        "gdsf" => PolicyKind::Gdsf,
+        other => return Err(format!("unknown --policy {other:?}")),
+    };
+
+    let duration_ms = duration_secs * 1_000.0;
+    // Workload: regenerate from flags, or replay a persisted trace
+    // against the flag-described catalog.
+    let (catalog, trace) = {
+        let (catalog, generated) = build_workload(flags, network.cache_count())?;
+        match flags.get("trace") {
+            None => (catalog, generated),
+            Some(path) => {
+                let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+                let trace = edge_cache_groups::workload::read_trace(BufReader::new(file))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                (catalog, trace)
+            }
+        }
+    };
+    let report = simulate(
+        &network,
+        &map,
+        &catalog,
+        &trace,
+        SimConfig::default()
+            .cache_capacity_bytes(capacity_kib * 1024)
+            .policy(policy)
+            .warmup_ms(duration_ms / 6.0),
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("{report}");
+    Ok(())
+}
+
+/// Renders groups as one line of space-separated cache ids per group.
+fn render_groups(groups: &[Vec<CacheId>]) -> String {
+    let mut out = String::new();
+    for group in groups {
+        let ids: Vec<String> = group.iter().map(|c| c.index().to_string()).collect();
+        out.push_str(&ids.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the `render_groups` format (comments with `#`, blank lines
+/// ignored).
+fn parse_groups(text: &str) -> Result<Vec<Vec<CacheId>>, String> {
+    let mut groups = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut group = Vec::new();
+        for token in trimmed.split_ascii_whitespace() {
+            let id: usize = token
+                .parse()
+                .map_err(|_| format!("line {}: bad cache id {token:?}", idx + 1))?;
+            group.push(CacheId(id));
+        }
+        groups.push(group);
+    }
+    if groups.is_empty() {
+        return Err("no groups found".into());
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_key_value_pairs() {
+        let args: Vec<String> = ["--caches", "50", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags.get("caches").map(String::as_str), Some("50"));
+        assert_eq!(get_parsed(&flags, "seed", 0u64).unwrap(), 9);
+        assert_eq!(get_parsed(&flags, "missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        let bad = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_flags(&args).is_err()
+        };
+        assert!(bad(&["caches", "50"])); // missing --
+        assert!(bad(&["--caches"])); // missing value
+        assert!(bad(&["--a", "1", "--a", "2"])); // duplicate
+    }
+
+    #[test]
+    fn groups_round_trip() {
+        let groups = vec![
+            vec![CacheId(0), CacheId(3)],
+            vec![CacheId(1)],
+            vec![CacheId(2), CacheId(4), CacheId(5)],
+        ];
+        let text = render_groups(&groups);
+        let back = parse_groups(&text).unwrap();
+        assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn parse_groups_skips_comments_and_rejects_garbage() {
+        let ok = parse_groups("# header\n0 1\n\n2\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(parse_groups("0 x\n").is_err());
+        assert!(parse_groups("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let args = vec!["frobnicate".to_string()];
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir();
+        let net = dir.join("ecg_cli_test.rtt");
+        let grp = dir.join("ecg_cli_test.groups");
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+
+        run(&to_args(&[
+            "gen-network",
+            "--caches",
+            "24",
+            "--seed",
+            "3",
+            "--out",
+            net.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "form",
+            "--network",
+            net.to_str().unwrap(),
+            "--scheme",
+            "sdsl",
+            "--groups",
+            "4",
+            "--landmarks",
+            "6",
+            "--out",
+            grp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "simulate",
+            "--network",
+            net.to_str().unwrap(),
+            "--groups",
+            grp.to_str().unwrap(),
+            "--docs",
+            "200",
+            "--duration-secs",
+            "10",
+        ]))
+        .unwrap();
+
+        // Trace tooling: generate, inspect, replay.
+        let trc = dir.join("ecg_cli_test.trace");
+        run(&to_args(&[
+            "gen-trace",
+            "--caches",
+            "24",
+            "--docs",
+            "200",
+            "--duration-secs",
+            "10",
+            "--out",
+            trc.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&["stats", "--trace", trc.to_str().unwrap()])).unwrap();
+        run(&to_args(&[
+            "simulate",
+            "--network",
+            net.to_str().unwrap(),
+            "--groups",
+            grp.to_str().unwrap(),
+            "--docs",
+            "200",
+            "--duration-secs",
+            "10",
+            "--trace",
+            trc.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        std::fs::remove_file(&net).ok();
+        std::fs::remove_file(&grp).ok();
+        std::fs::remove_file(&trc).ok();
+    }
+
+    #[test]
+    fn news_preset_and_bad_preset() {
+        let dir = std::env::temp_dir();
+        let trc = dir.join("ecg_cli_news.trace");
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+        run(&to_args(&[
+            "gen-trace",
+            "--caches",
+            "6",
+            "--docs",
+            "100",
+            "--duration-secs",
+            "5",
+            "--preset",
+            "news",
+            "--out",
+            trc.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run(&to_args(&[
+            "gen-trace",
+            "--preset",
+            "bogus",
+            "--out",
+            trc.to_str().unwrap(),
+        ]))
+        .is_err());
+        std::fs::remove_file(&trc).ok();
+    }
+}

@@ -1,0 +1,84 @@
+//! # edge-cache-groups
+//!
+//! A reproduction of *Efficient Formation of Edge Cache Groups for
+//! Dynamic Content Delivery* (Ramaswamy, Liu & Zhang, ICDCS 2006) as a
+//! Rust workspace, re-exported here as one crate.
+//!
+//! The paper asks: given an origin server and `N` edge caches, how do
+//! you partition the caches into `K` cooperative groups so cooperation
+//! is both *effective* (high group hit rates) and *efficient* (low group
+//! interaction cost)? It answers with two schemes:
+//!
+//! * **SL** — cluster caches by mutual network proximity, estimated via
+//!   greedily chosen Internet landmarks and RTT feature vectors.
+//! * **SDSL** — additionally shrink groups near the origin server and
+//!   grow them with server distance.
+//!
+//! ## Module map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`topology`] | `ecg-topology` | transit-stub topologies, RTT matrices, [`topology::EdgeNetwork`] |
+//! | [`coords`] | `ecg-coords` | probing, feature vectors, GNP, Vivaldi |
+//! | [`clustering`] | `ecg-clustering` | K-means, initializers, quality metrics |
+//! | [`workload`] | `ecg-workload` | Zipf catalogs, request/update streams, traces |
+//! | [`cache`] | `ecg-cache` | utility/LRU/LFU/GDSF document caches |
+//! | [`sim`] | `ecg-sim` | the discrete-event network simulator |
+//! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edge_cache_groups::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//!
+//! // 1. An edge network: origin + 80 caches on a transit-stub topology.
+//! let topo = TransitStubConfig::for_caches(80).generate(&mut rng);
+//! let network = EdgeNetwork::place(&topo, 80, OriginPlacement::TransitNode, &mut rng)?;
+//!
+//! // 2. Form 8 cooperative groups with the SDSL scheme.
+//! let outcome = GfCoordinator::new(SchemeConfig::sdsl(8, 1.0))
+//!     .form_groups(&network, &mut rng)?;
+//!
+//! // 3. Evaluate them in simulation on a sporting-event workload.
+//! let workload = SportingEventConfig::default()
+//!     .caches(80)
+//!     .duration_ms(60_000.0)
+//!     .generate(&mut rng);
+//! let groups = GroupMap::new(80, outcome.groups().to_vec())?;
+//! let report = simulate(
+//!     &network,
+//!     &groups,
+//!     &workload.catalog,
+//!     &workload.merged_trace(),
+//!     SimConfig::default(),
+//! )?;
+//! println!("average client latency: {:.2} ms", report.average_latency_ms());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ecg_cache as cache;
+pub use ecg_clustering as clustering;
+pub use ecg_coords as coords;
+pub use ecg_core as core;
+pub use ecg_sim as sim;
+pub use ecg_topology as topology;
+pub use ecg_workload as workload;
+
+/// One-import convenience: the types a typical user touches.
+pub mod prelude {
+    pub use ecg_cache::{DocumentCache, PolicyKind};
+    pub use ecg_coords::{ProbeConfig, Prober};
+    pub use ecg_core::{
+        GfCoordinator, GroupInit, GroupMaintainer, GroupingOutcome, LandmarkSelector,
+        Representation, SchemeConfig,
+    };
+    pub use ecg_sim::{simulate, GroupMap, LatencyModel, SimConfig, SimReport};
+    pub use ecg_topology::{CacheId, EdgeNetwork, OriginPlacement, RttMatrix, TransitStubConfig};
+    pub use ecg_workload::{CatalogConfig, DocId, RequestConfig, SportingEventConfig, ZipfSampler};
+}

@@ -1,0 +1,74 @@
+//! Integration test: trace persistence and replay.
+//!
+//! The paper's simulator is log-file-driven; these tests check that a
+//! workload written to the text trace format replays to bit-identical
+//! simulation results.
+
+use edge_cache_groups::prelude::*;
+use edge_cache_groups::workload::{read_trace, write_trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn persisted_trace_replays_identically() {
+    let caches = 30;
+    let mut rng = StdRng::seed_from_u64(21);
+    let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+    let network = EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+        .expect("placement");
+    let workload = SportingEventConfig::default()
+        .caches(caches)
+        .documents(300)
+        .duration_ms(30_000.0)
+        .generate(&mut rng);
+    let trace = workload.merged_trace();
+
+    // Round trip through the text format.
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).expect("write");
+    let reloaded = read_trace(&buf[..]).expect("read");
+    assert_eq!(reloaded, trace);
+
+    // Both traces produce identical simulation reports.
+    let outcome = GfCoordinator::new(SchemeConfig::sl(5))
+        .form_groups(&network, &mut rng)
+        .expect("formation");
+    let groups = GroupMap::new(caches, outcome.groups().to_vec()).expect("groups");
+    let config = SimConfig::default();
+    let a = simulate(&network, &groups, &workload.catalog, &trace, config).expect("sim");
+    let b = simulate(&network, &groups, &workload.catalog, &reloaded, config).expect("sim");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hand_written_trace_drives_the_simulator() {
+    // A tiny hand-authored trace file exercising request + update lines
+    // and comments — the format a user would edit by hand.
+    let text = "\
+# two caches fight over doc 0
+R 0.0 0 0
+R 100.0 1 0
+U 200.0 0
+R 300.0 0 0
+R 400.0 1 0
+";
+    let trace = read_trace(text.as_bytes()).expect("parse");
+    assert_eq!(trace.len(), 5);
+
+    let network =
+        EdgeNetwork::from_rtt_matrix(edge_cache_groups::topology::fixtures::paper_figure1());
+    let catalog = CatalogConfig::default()
+        .documents(4)
+        .dynamic_fraction(0.0)
+        .generate(&mut StdRng::seed_from_u64(1));
+    let groups = GroupMap::one_group(6);
+    let report = simulate(&network, &groups, &catalog, &trace, SimConfig::default()).expect("sim");
+
+    // Request 1: origin fetch. Request 2: peer hit. After the update,
+    // both caches are stale: one more origin fetch, one more peer hit.
+    assert_eq!(report.metrics.total_requests(), 4);
+    assert_eq!(report.origin_fetches, 2);
+    assert_eq!(report.origin_updates, 1);
+    let peer_hits: u64 = report.metrics.per_cache().iter().map(|a| a.peer_hits).sum();
+    assert_eq!(peer_hits, 2);
+}
