@@ -94,7 +94,7 @@ fn main() {
                 .form_groups(&network, &mut reform_rng)
                 .expect("re-formation");
             let gic = gic_of(outcome.groups(), &network);
-            if best.map_or(true, |(b, _)| gic < b) {
+            if best.is_none_or(|(b, _)| gic < b) {
                 best = Some((gic, outcome.probes_sent()));
             }
         }

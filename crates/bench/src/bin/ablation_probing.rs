@@ -63,6 +63,7 @@ fn main() {
             let prober = Prober::new(network.rtt_matrix(), ProbeConfig::default());
             // Measure every cache pair once (matrix indices 1..=n).
             let mut measured = vec![vec![0.0f64; n]; n];
+            #[allow(clippy::needless_range_loop)] // writes both [a][b] and [b][a]
             for a in 0..n {
                 for b in (a + 1)..n {
                     let rtt = prober.measure(a + 1, b + 1, &mut rng);

@@ -146,9 +146,9 @@ where
     let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -162,8 +162,7 @@ where
                 *out[i].lock().expect("out slot lock") = Some(result);
             });
         }
-    })
-    .expect("par_map worker panicked");
+    });
 
     out.into_iter()
         .map(|slot| {

@@ -188,7 +188,7 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
                 continue;
             }
             let d = sq_l2(&points[i], center);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((c, d));
             }
         }
@@ -199,17 +199,14 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
 
     // Repair empties: give each empty cluster the nearest point from a
     // donor with more than one member.
-    loop {
-        let Some(empty) = counts.iter().position(|&c| c == 0) else {
-            break;
-        };
+    while let Some(empty) = counts.iter().position(|&c| c == 0) {
         let mut best: Option<(usize, f64)> = None;
         for (i, p) in points.iter().enumerate() {
             if counts[assignments[i]] <= 1 {
                 continue;
             }
             let d = sq_l2(p, &centers[empty]);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }

@@ -62,7 +62,7 @@ pub fn agglomerative(
         for a in 0..clusters.len() {
             for b in (a + 1)..clusters.len() {
                 let d = cluster_distance(&clusters[a], &clusters[b], linkage, &dist);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((a, b, d));
                 }
             }

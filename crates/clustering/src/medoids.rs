@@ -81,14 +81,14 @@ pub fn pam<R: Rng + ?Sized>(
     let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
         let mut assignments = vec![0usize; n];
         let mut total = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let (best_c, best_d) = medoids
                 .iter()
                 .enumerate()
                 .map(|(c, &m)| (c, dist(i, m)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
                 .expect("at least one medoid");
-            assignments[i] = best_c;
+            *slot = best_c;
             total += best_d;
         }
         (assignments, total)

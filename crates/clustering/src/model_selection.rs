@@ -90,7 +90,7 @@ pub fn suggest_k<R: Rng + ?Sized>(
         for _ in 0..attempts {
             let clustering = kmeans(points, KmeansConfig::new(k), initializer, rng)?;
             let inertia = clustering.inertia(points);
-            if best.map_or(true, |(bi, _)| inertia < bi) {
+            if best.is_none_or(|(bi, _)| inertia < bi) {
                 let silhouette = mean_silhouette(&clustering.clusters(), cost);
                 best = Some((inertia, silhouette));
             }

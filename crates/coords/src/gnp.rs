@@ -245,7 +245,7 @@ impl GnpModel {
                 }
             }
             let err = total_error(&coords);
-            if best.as_ref().map_or(true, |(_, v)| err < *v) {
+            if best.as_ref().is_none_or(|(_, v)| err < *v) {
                 best = Some((coords, err));
             }
         }
@@ -322,7 +322,7 @@ impl GnpModel {
                     initial_step: scale * 0.1,
                 },
             );
-            if best.as_ref().map_or(true, |(_, v)| r.value < *v) {
+            if best.as_ref().is_none_or(|(_, v)| r.value < *v) {
                 best = Some((r.point, r.value));
             }
         }

@@ -24,15 +24,20 @@ use rand::Rng;
 pub struct ProbeConfig {
     probes: usize,
     noise_sigma: f64,
+    loss_rate: f64,
+    timeout_ms: f64,
 }
 
 impl Default for ProbeConfig {
-    /// Three probes per measurement with 5% log-normal jitter — a light
-    /// but realistic measurement error.
+    /// Three probes per measurement with 5% log-normal jitter, no probe
+    /// loss, and a 1 s probe timeout — a light but realistic
+    /// measurement error.
     fn default() -> Self {
         ProbeConfig {
             probes: 3,
             noise_sigma: 0.05,
+            loss_rate: 0.0,
+            timeout_ms: 1_000.0,
         }
     }
 }
@@ -49,6 +54,8 @@ impl ProbeConfig {
         ProbeConfig {
             probes: 1,
             noise_sigma: 0.0,
+            loss_rate: 0.0,
+            timeout_ms: 1_000.0,
         }
     }
 
@@ -80,6 +87,38 @@ impl ProbeConfig {
         self
     }
 
+    /// Sets the probability that any single probe is lost in transit.
+    ///
+    /// A lost probe contributes nothing to the measured average; it is
+    /// still counted in [`Prober::probes_sent`] and tallied in
+    /// [`Prober::probes_lost`]. If *every* probe of a measurement is
+    /// lost, the measurement reports the timeout instead of an RTT —
+    /// probing a crashed or partitioned target looks exactly like this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1)`.
+    pub fn loss_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..1.0).contains(&rate),
+            "loss rate must be in [0, 1)"
+        );
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Sets how long a prober waits before declaring a probe lost; this
+    /// is the RTT reported when a whole measurement times out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive and finite.
+    pub fn timeout_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "timeout must be positive");
+        self.timeout_ms = ms;
+        self
+    }
+
     /// Number of probes averaged per measurement.
     pub fn probes(&self) -> usize {
         self.probes
@@ -88,6 +127,16 @@ impl ProbeConfig {
     /// Standard deviation of the log-normal noise factor.
     pub fn sigma(&self) -> f64 {
         self.noise_sigma
+    }
+
+    /// Probability that a single probe is lost.
+    pub fn loss(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// Probe timeout in milliseconds.
+    pub fn timeout(&self) -> f64 {
+        self.timeout_ms
     }
 }
 
@@ -124,6 +173,7 @@ pub struct Prober<'a> {
     truth: &'a RttMatrix,
     config: ProbeConfig,
     probes_sent: std::cell::Cell<u64>,
+    probes_lost: std::cell::Cell<u64>,
 }
 
 impl<'a> Prober<'a> {
@@ -133,6 +183,7 @@ impl<'a> Prober<'a> {
             truth,
             config,
             probes_sent: std::cell::Cell::new(0),
+            probes_lost: std::cell::Cell::new(0),
         }
     }
 
@@ -152,8 +203,16 @@ impl<'a> Prober<'a> {
         self.probes_sent.get()
     }
 
-    /// Measures the RTT between `a` and `b`: the average of
-    /// `config.probes()` noisy probes, in milliseconds.
+    /// Probes lost in transit so far (only with a non-zero
+    /// [`ProbeConfig::loss_rate`]).
+    pub fn probes_lost(&self) -> u64 {
+        self.probes_lost.get()
+    }
+
+    /// Measures the RTT between `a` and `b`: the average of the
+    /// successful probes out of `config.probes()` noisy ones, in
+    /// milliseconds. If every probe is lost the measurement times out
+    /// and reports [`ProbeConfig::timeout`].
     ///
     /// Probing yourself returns `0.0` without sending probes.
     ///
@@ -166,17 +225,30 @@ impl<'a> Prober<'a> {
         }
         let truth = self.truth.get(a, b);
         let mut sum = 0.0;
+        let mut answered = 0u32;
         for _ in 0..self.config.probes {
+            // Short-circuit so a loss-free config draws nothing extra
+            // from the RNG (keeps loss_rate = 0 streams identical to
+            // the pre-loss model).
+            if self.config.loss_rate > 0.0 && rng.gen_bool(self.config.loss_rate) {
+                self.probes_lost.set(self.probes_lost.get() + 1);
+                continue;
+            }
             let noise = if self.config.noise_sigma == 0.0 {
                 1.0
             } else {
                 (self.config.noise_sigma * standard_normal(rng)).exp()
             };
             sum += truth * noise;
+            answered += 1;
         }
         self.probes_sent
             .set(self.probes_sent.get() + self.config.probes as u64);
-        sum / self.config.probes as f64
+        if answered == 0 {
+            self.config.timeout_ms
+        } else {
+            sum / answered as f64
+        }
     }
 
     /// Measures the RTT from `from` to every node in `targets`, in order.
@@ -288,6 +360,72 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lossy_probes_are_counted_and_skipped() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::noiseless()
+                .probes_per_measurement(200)
+                .loss_rate(0.3),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let measured = p.measure(0, 1, &mut rng);
+        // Survivors are noiseless, so the average is exact truth.
+        assert_eq!(measured, m.get(0, 1));
+        assert_eq!(p.probes_sent(), 200);
+        let lost = p.probes_lost();
+        assert!((30..=100).contains(&lost), "lost {lost}");
+    }
+
+    #[test]
+    fn total_loss_times_out() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::noiseless()
+                .probes_per_measurement(3)
+                .loss_rate(0.999)
+                .timeout_ms(750.0),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        // With 99.9% loss the 3 probes are all lost essentially always.
+        let measured = p.measure(0, 1, &mut rng);
+        assert_eq!(measured, 750.0);
+        assert_eq!(p.probes_lost(), 3);
+    }
+
+    #[test]
+    fn zero_loss_rate_draws_no_extra_randomness() {
+        // The same seed must produce the same measurements whether the
+        // loss machinery is present or not (loss_rate 0 short-circuits).
+        let m = paper_figure1();
+        let cfg = ProbeConfig::default().probes_per_measurement(5);
+        let a = {
+            let p = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(42);
+            (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
+        };
+        let b = {
+            let p = Prober::new(&m, cfg.loss_rate(0.0));
+            let mut rng = StdRng::seed_from_u64(42);
+            (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn bad_loss_rate_rejected() {
+        let _ = ProbeConfig::default().loss_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout")]
+    fn bad_timeout_rejected() {
+        let _ = ProbeConfig::default().timeout_ms(0.0);
     }
 
     #[test]

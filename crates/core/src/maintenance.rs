@@ -38,6 +38,8 @@ pub enum MaintenanceError {
     },
     /// The cache id is unknown.
     UnknownCache(CacheId),
+    /// The cache is already assigned to a group.
+    AlreadyActive(CacheId),
 }
 
 impl fmt::Display for MaintenanceError {
@@ -53,6 +55,9 @@ impl fmt::Display for MaintenanceError {
                 write!(f, "retiring the cache would empty group {group}")
             }
             MaintenanceError::UnknownCache(c) => write!(f, "unknown cache {c}"),
+            MaintenanceError::AlreadyActive(c) => {
+                write!(f, "cache {c} is already assigned to a group")
+            }
         }
     }
 }
@@ -132,6 +137,12 @@ impl GroupMaintainer {
         self.assignments.iter().flatten().count()
     }
 
+    /// Total cache ids tracked, assigned or not (ids are dense
+    /// `0..cache_count`).
+    pub fn cache_count(&self) -> usize {
+        self.assignments.len()
+    }
+
     /// Caches retired so far, in retirement order.
     pub fn retired(&self) -> &[CacheId] {
         &self.retired
@@ -179,6 +190,61 @@ impl GroupMaintainer {
             .expect("at least one group");
         self.groups[best_group].push(newcomer);
         self.assignments.push(Some(best_group));
+        Ok(best_group)
+    }
+
+    /// Re-admits a previously retired cache into the nearest group — the
+    /// recovery half of churn: a node that was drained (or crashed and
+    /// was written off) comes back online at the same network position.
+    ///
+    /// Like [`GroupMaintainer::admit`], the returning cache re-probes
+    /// the original landmark set and joins the group with the closest
+    /// K-means center; conditions may have changed since it left, so it
+    /// does not simply resume its old membership.
+    ///
+    /// Returns the group index it joined.
+    ///
+    /// # Errors
+    ///
+    /// * [`MaintenanceError::CacheCountMismatch`] if `network` does not
+    ///   cover the maintained id space.
+    /// * [`MaintenanceError::UnknownCache`] if `cache` was never
+    ///   tracked.
+    /// * [`MaintenanceError::AlreadyActive`] if `cache` is currently in
+    ///   a group.
+    pub fn readmit<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        cache: CacheId,
+        rng: &mut R,
+    ) -> Result<usize, MaintenanceError> {
+        if network.cache_count() != self.assignments.len() {
+            return Err(MaintenanceError::CacheCountMismatch {
+                expected: self.assignments.len(),
+                actual: network.cache_count(),
+            });
+        }
+        if cache.index() >= self.assignments.len() {
+            return Err(MaintenanceError::UnknownCache(cache));
+        }
+        if self.assignments[cache.index()].is_some() {
+            return Err(MaintenanceError::AlreadyActive(cache));
+        }
+        let prober = Prober::new(network.rtt_matrix(), self.probe);
+        let fv = prober.measure_all(cache.index() + 1, &self.landmarks, rng);
+        let (best_group, _) = self
+            .centers
+            .iter()
+            .enumerate()
+            .map(|(g, center)| {
+                let d: f64 = center.iter().zip(&fv).map(|(a, b)| (a - b) * (a - b)).sum();
+                (g, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+            .expect("at least one group");
+        self.groups[best_group].push(cache);
+        self.assignments[cache.index()] = Some(best_group);
+        self.retired.retain(|&c| c != cache);
         Ok(best_group)
     }
 
@@ -339,6 +405,97 @@ mod tests {
             m.retire(CacheId(0)),
             Err(MaintenanceError::UnknownCache(CacheId(0)))
         );
+    }
+
+    #[test]
+    fn readmit_restores_retired_cache() {
+        let (network, mut m, mut rng) = formed();
+        let original_group = m.group_of(CacheId(0)).unwrap();
+        m.retire(CacheId(0)).unwrap();
+        assert_eq!(m.active_caches(), 5);
+        let g = m.readmit(&network, CacheId(0), &mut rng).unwrap();
+        // Noiseless probing at an unchanged position: it rejoins its
+        // original group.
+        assert_eq!(g, original_group);
+        assert_eq!(m.group_of(CacheId(0)), Some(g));
+        assert_eq!(m.active_caches(), 6);
+        assert!(m.retired().is_empty());
+        // Round trip restores the formation cost exactly.
+        let drift = m.drift(&network).unwrap();
+        assert!((drift - 1.0).abs() < 1e-9, "drift {drift}");
+    }
+
+    #[test]
+    fn readmit_rejects_active_and_unknown_caches() {
+        let (network, mut m, mut rng) = formed();
+        assert_eq!(
+            m.readmit(&network, CacheId(0), &mut rng),
+            Err(MaintenanceError::AlreadyActive(CacheId(0)))
+        );
+        assert_eq!(
+            m.readmit(&network, CacheId(9), &mut rng),
+            Err(MaintenanceError::UnknownCache(CacheId(9)))
+        );
+        let grown = network.with_added_cache(1.0, &[1.0; 6]);
+        m.retire(CacheId(0)).unwrap();
+        assert!(matches!(
+            m.readmit(&grown, CacheId(0), &mut rng),
+            Err(MaintenanceError::CacheCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn admit_then_retire_round_trip_preserves_group_sizes() {
+        let (network, mut m, mut rng) = formed();
+        let before: Vec<usize> = m.groups().iter().map(Vec::len).collect();
+        let grown = network.with_added_cache(8.2, &[14.4, 11.3, 14.4, 11.3, 1.0, 1.0]);
+        let g = m.admit(&grown, &mut rng).unwrap();
+        assert_eq!(m.groups()[g].len(), before[g] + 1);
+        m.retire(CacheId(6)).unwrap();
+        let after: Vec<usize> = m.groups().iter().map(Vec::len).collect();
+        assert_eq!(after, before);
+        assert_eq!(m.active_caches(), 6);
+        assert_eq!(m.retired(), &[CacheId(6)]);
+    }
+
+    #[test]
+    fn drift_is_monotone_under_repeated_retire() {
+        // One big group; each round retires the best-connected member
+        // (minimum mean RTT to the others). Removing a below-average
+        // contributor can only raise the surviving mean pairwise cost,
+        // so the drift series must be non-decreasing.
+        let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = GfCoordinator::new(
+            SchemeConfig::sl(1)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .probe(ProbeConfig::noiseless()),
+        )
+        .form_groups(&network, &mut rng)
+        .unwrap();
+        let mut m = GroupMaintainer::new(&network, outcome, ProbeConfig::noiseless());
+        let mut last = m.drift(&network).unwrap();
+        assert!((last - 1.0).abs() < 1e-9);
+        while m.groups()[0].len() > 2 {
+            let members = m.groups()[0].clone();
+            let mean_rtt = |c: CacheId| {
+                members
+                    .iter()
+                    .filter(|&&o| o != c)
+                    .map(|&o| network.cache_to_cache(c, o))
+                    .sum::<f64>()
+            };
+            let victim = *members
+                .iter()
+                .min_by(|&&a, &&b| mean_rtt(a).partial_cmp(&mean_rtt(b)).unwrap())
+                .unwrap();
+            m.retire(victim).unwrap();
+            let drift = m.drift(&network).unwrap();
+            assert!(drift >= last - 1e-9, "drift fell from {last} to {drift}");
+            last = drift;
+        }
+        assert!(last >= 1.0 - 1e-9, "final drift {last}");
     }
 
     #[test]

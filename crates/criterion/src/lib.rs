@@ -1,0 +1,298 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The real criterion is a registry dependency this workspace cannot
+//! fetch offline, so the bench binaries link against this shim instead.
+//! It preserves the API shape the benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`)
+//! and reports plain wall-clock statistics: each benchmark body is
+//! warmed up once, then timed over `sample_size` samples, and the mean,
+//! minimum, and maximum per-iteration times are printed.
+//!
+//! No statistical analysis, no HTML reports, no comparison against
+//! saved baselines — run times are indicative, not criterion-grade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation; recorded for display only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one
+    /// warm-up call) and records per-iteration nanoseconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let _warmup = f();
+        self.results_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            let elapsed = start.elapsed();
+            std::hint::black_box(&out);
+            self.results_ns.push(elapsed.as_nanos() as f64);
+        }
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        results_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.results_ns.is_empty() {
+        println!("{full_name:<40} (no measurements)");
+        return;
+    }
+    let n = bencher.results_ns.len() as f64;
+    let mean = bencher.results_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .results_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.results_ns.iter().cloned().fold(0.0, f64::max);
+    let mut line = format!(
+        "{full_name:<40} mean {:>12}  min {:>12}  max {:>12}",
+        human_ns(mean),
+        human_ns(min),
+        human_ns(max)
+    );
+    if let Some(Throughput::Elements(elems)) = throughput {
+        let per_sec = elems as f64 / (mean / 1e9);
+        line.push_str(&format!("  ({per_sec:.0} elem/s)"));
+    } else if let Some(Throughput::Bytes(bytes)) = throughput {
+        let per_sec = bytes as f64 / (mean / 1e9);
+        line.push_str(&format!("  ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0)));
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.label, 10, None, &mut f);
+        self
+    }
+}
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            results_ns: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.results_ns.len(), 5);
+        assert_eq!(calls, 6, "one warm-up plus five samples");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(150).label, "150");
+        assert_eq!(BenchmarkId::from("x").label, "x");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_function("b", |b| {
+                b.iter(|| std::hint::black_box(1 + 1));
+                ran = true;
+            });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn human_ns_picks_sane_units() {
+        assert!(human_ns(500.0).ends_with("ns"));
+        assert!(human_ns(5_000.0).contains("µs"));
+        assert!(human_ns(5_000_000.0).contains("ms"));
+        assert!(human_ns(5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Fault injection and churn for the edge-cache-group simulator.
+//!
+//! The paper forms cache groups once, over a healthy network. This crate
+//! asks what happens afterwards: caches crash and recover, nodes are
+//! retired for good, the origin browns out, probe traffic gets lossy. It
+//! layers three pieces over the rest of the workspace:
+//!
+//! * [`FaultPlan`] — a builder DSL for fault scripts. Compiles to the
+//!   simulator's [`ecg_sim::FaultSchedule`] (consumed by
+//!   [`ecg_sim::simulate_with_faults`]) and can degrade
+//!   maintenance-time probing via [`FaultPlan::probe_config`].
+//! * [`ChurnConfig`] / [`ChurnDriver`] — seeded random churn generation
+//!   and its replay through [`ecg_core::maintenance`]: crashed caches
+//!   are retired from their groups, recovered ones re-admitted, and the
+//!   interaction-cost drift of the surviving grouping is tracked as a
+//!   time series ([`DriftSample`]).
+//! * [`report_to_json`] — a deterministic (byte-stable) JSON emitter for
+//!   [`ecg_sim::SimReport`], used by the churn ablation to write result
+//!   files without a serde dependency.
+//!
+//! # Examples
+//!
+//! Injecting a scripted crash into a simulation:
+//!
+//! ```
+//! use ecg_faults::FaultPlan;
+//! use ecg_sim::{simulate_with_faults, GroupMap, SimConfig};
+//! use ecg_topology::{fixtures::paper_figure1, CacheId, EdgeNetwork};
+//! use ecg_workload::{merge_streams, CatalogConfig, RequestConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let network = EdgeNetwork::from_rtt_matrix(paper_figure1());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let catalog = CatalogConfig::default().documents(100).generate(&mut rng);
+//! let requests = RequestConfig::default().generate(&catalog, 6, 20_000.0, &mut rng);
+//! let trace = merge_streams(&requests, &[]);
+//!
+//! let plan = FaultPlan::new().crash(CacheId(0), 5_000.0, 10_000.0);
+//! let report = simulate_with_faults(
+//!     &network,
+//!     &GroupMap::one_group(6),
+//!     &catalog,
+//!     &trace,
+//!     SimConfig::default(),
+//!     &plan.schedule(),
+//! )?;
+//! assert!(report.metrics.degradation.saw_faults());
+//! # Ok::<(), ecg_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod json;
+pub mod plan;
+
+pub use churn::{ChurnConfig, ChurnDriver, DriftSample};
+pub use json::report_to_json;
+pub use plan::FaultPlan;

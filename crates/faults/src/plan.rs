@@ -1,0 +1,265 @@
+//! The operator-facing fault plan.
+//!
+//! [`FaultPlan`] is a builder DSL over the simulator's low-level
+//! [`FaultSchedule`]: it speaks in whole outages (a crash *with* its
+//! recovery, a brownout *window*) instead of raw start/stop events, and
+//! carries the probe-degradation knobs that apply to group-maintenance
+//! probing rather than to the request path.
+
+use ecg_coords::ProbeConfig;
+use ecg_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
+use ecg_topology::CacheId;
+
+/// A declarative script of faults to inject into a simulation run.
+///
+/// Build one with the chained methods, then hand
+/// [`FaultPlan::schedule`] to
+/// [`ecg_sim::simulate_with_faults`] and (optionally)
+/// [`FaultPlan::probe_config`] to maintenance-time probing.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_faults::FaultPlan;
+/// use ecg_topology::CacheId;
+///
+/// let plan = FaultPlan::new()
+///     .crash(CacheId(2), 10_000.0, 30_000.0) // down 10s in, back 30s later
+///     .retire(CacheId(5), 60_000.0)
+///     .brownout(90_000.0, 15_000.0, 4.0);
+/// assert_eq!(plan.schedule().len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    failover_penalty_ms: f64,
+    timeline_bucket_ms: f64,
+    probe_loss_rate: f64,
+    probe_timeout_ms: Option<f64>,
+}
+
+impl Default for FaultPlan {
+    /// An empty plan: no faults, simulator-default failover penalty and
+    /// timeline buckets, healthy probing.
+    fn default() -> Self {
+        let defaults = FaultSchedule::default();
+        FaultPlan {
+            events: Vec::new(),
+            failover_penalty_ms: defaults.failover_penalty(),
+            timeline_bucket_ms: defaults.timeline_bucket(),
+            probe_loss_rate: 0.0,
+            probe_timeout_ms: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crashes `cache` at `at_ms` and brings it back (cold) after
+    /// `down_for_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is not finite and non-negative, or
+    /// `down_for_ms` is zero.
+    pub fn crash(mut self, cache: CacheId, at_ms: f64, down_for_ms: f64) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "crash time must be >= 0");
+        assert!(
+            down_for_ms.is_finite() && down_for_ms > 0.0,
+            "downtime must be > 0"
+        );
+        self.events.push(FaultEvent {
+            time_ms: at_ms,
+            kind: FaultKind::CacheDown { cache },
+        });
+        self.events.push(FaultEvent {
+            time_ms: at_ms + down_for_ms,
+            kind: FaultKind::CacheUp { cache },
+        });
+        self
+    }
+
+    /// Permanently retires `cache` at `at_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is not finite and non-negative.
+    pub fn retire(mut self, cache: CacheId, at_ms: f64) -> Self {
+        assert!(
+            at_ms.is_finite() && at_ms >= 0.0,
+            "retire time must be >= 0"
+        );
+        self.events.push(FaultEvent {
+            time_ms: at_ms,
+            kind: FaultKind::CacheRetire { cache },
+        });
+        self
+    }
+
+    /// Slows every origin fetch by `factor` during
+    /// `[start_ms, start_ms + duration_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate or `factor < 1`.
+    pub fn brownout(mut self, start_ms: f64, duration_ms: f64, factor: f64) -> Self {
+        assert!(
+            start_ms.is_finite() && start_ms >= 0.0,
+            "brownout start must be >= 0"
+        );
+        assert!(
+            duration_ms.is_finite() && duration_ms > 0.0,
+            "brownout duration must be > 0"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "brownout factor must be >= 1"
+        );
+        self.events.push(FaultEvent {
+            time_ms: start_ms,
+            kind: FaultKind::BrownoutStart { factor },
+        });
+        self.events.push(FaultEvent {
+            time_ms: start_ms + duration_ms,
+            kind: FaultKind::BrownoutEnd,
+        });
+        self
+    }
+
+    /// Sets the client-side failover-detection penalty.
+    pub fn failover_penalty_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "penalty must be >= 0");
+        self.failover_penalty_ms = ms;
+        self
+    }
+
+    /// Sets the degradation-timeline bucket width.
+    pub fn timeline_bucket_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "bucket width must be > 0");
+        self.timeline_bucket_ms = ms;
+        self
+    }
+
+    /// Degrades maintenance-time probing: each probe is lost with
+    /// probability `loss_rate`, and a fully lost measurement reports
+    /// `timeout_ms`. Applied by [`FaultPlan::probe_config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1)` or `timeout_ms` is not
+    /// positive.
+    pub fn probe_loss(mut self, loss_rate: f64, timeout_ms: f64) -> Self {
+        assert!(
+            loss_rate.is_finite() && (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        assert!(
+            timeout_ms.is_finite() && timeout_ms > 0.0,
+            "timeout must be positive"
+        );
+        self.probe_loss_rate = loss_rate;
+        self.probe_timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// The planned fault events, in build order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Returns `true` if the plan injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Compiles the plan into the simulator's [`FaultSchedule`].
+    pub fn schedule(&self) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new()
+            .failover_penalty_ms(self.failover_penalty_ms)
+            .timeline_bucket_ms(self.timeline_bucket_ms);
+        for e in &self.events {
+            schedule.push(e.time_ms, e.kind);
+        }
+        schedule
+    }
+
+    /// Applies the plan's probe-degradation knobs to a base probing
+    /// configuration (returns `base` unchanged when no knob was set).
+    pub fn probe_config(&self, base: ProbeConfig) -> ProbeConfig {
+        let mut cfg = base.loss_rate(self.probe_loss_rate);
+        if let Some(timeout) = self.probe_timeout_ms {
+            cfg = cfg.timeout_ms(timeout);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_expands_to_down_then_up() {
+        let plan = FaultPlan::new().crash(CacheId(1), 100.0, 50.0);
+        let events = plan.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time_ms, 100.0);
+        assert_eq!(events[0].kind, FaultKind::CacheDown { cache: CacheId(1) });
+        assert_eq!(events[1].time_ms, 150.0);
+        assert_eq!(events[1].kind, FaultKind::CacheUp { cache: CacheId(1) });
+    }
+
+    #[test]
+    fn brownout_expands_to_window() {
+        let plan = FaultPlan::new().brownout(10.0, 5.0, 2.5);
+        let s = plan.schedule();
+        assert!(s.validate(0).is_ok());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn schedule_carries_knobs() {
+        let plan = FaultPlan::new()
+            .failover_penalty_ms(42.0)
+            .timeline_bucket_ms(500.0);
+        let s = plan.schedule();
+        assert_eq!(s.failover_penalty(), 42.0);
+        assert_eq!(s.timeline_bucket(), 500.0);
+    }
+
+    #[test]
+    fn probe_knobs_apply_to_base_config() {
+        let plan = FaultPlan::new().probe_loss(0.25, 2_000.0);
+        let cfg = plan.probe_config(ProbeConfig::noiseless());
+        assert_eq!(cfg.loss(), 0.25);
+        assert_eq!(cfg.timeout(), 2_000.0);
+        // Without knobs the base passes through untouched.
+        let cfg = FaultPlan::new().probe_config(ProbeConfig::default());
+        assert_eq!(cfg, ProbeConfig::default());
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_schedule() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let s = plan.schedule();
+        assert!(s.is_empty());
+        assert_eq!(s, FaultSchedule::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "downtime")]
+    fn zero_downtime_rejected() {
+        let _ = FaultPlan::new().crash(CacheId(0), 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn speedup_brownout_rejected() {
+        let _ = FaultPlan::new().brownout(0.0, 10.0, 0.9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Like the bundled `rand` shim, this exists because the workspace must
+//! build with no crates.io access. It keeps the property tests compiling
+//! and *running* unchanged: the [`proptest!`] macro samples each
+//! strategy from a fixed-seed [`rand::rngs::StdRng`] and executes the
+//! body once per case.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the sampled inputs
+//!   left to the assertion message rather than a minimized example;
+//! * **fixed seeding** — every test function uses the same seed, so
+//!   failures reproduce exactly across runs and machines;
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, keeping the suite quick
+    /// while still exercising each property broadly.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    0x9E3779B97F4A7C15 ^ config.cases as u64,
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    // Upstream proptest bodies may `return Ok(())` early, so
+                    // run the body in a closure with a Result return type.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("property case failed: {msg}");
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body; panics with the message
+/// on failure (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks one of several same-valued strategies uniformly per sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.or($s))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Get(usize),
+        Put(usize, u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..10).prop_map(Op::Get),
+            (0usize..10, 1u64..5).prop_map(|(k, v)| Op::Put(k, v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.25f64..0.75, z in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert_eq!(z, z);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(ops in crate::collection::vec(arb_op(), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for op in &ops {
+                match *op {
+                    Op::Get(k) => prop_assert!(k < 10),
+                    Op::Put(k, v) => prop_assert!(k < 10 && (1..5).contains(&v)),
+                }
+            }
+        }
+
+        #[test]
+        fn just_and_bool(policy in Just(7u8), flag in any::<bool>()) {
+            prop_assert_eq!(policy, 7);
+            prop_assert!(flag == (flag as u8 == 1));
+        }
+    }
+
+    #[test]
+    fn oneof_eventually_picks_every_arm() {
+        use rand::SeedableRng;
+        let s = arb_op();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut saw_get = false;
+        let mut saw_put = false;
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                Op::Get(_) => saw_get = true,
+                Op::Put(..) => saw_put = true,
+            }
+        }
+        assert!(saw_get && saw_put);
+    }
+}

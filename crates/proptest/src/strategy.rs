@@ -1,0 +1,208 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] here is simply "something that can draw a value from a
+//! seeded RNG": ranges, [`Just`], tuples of strategies, mapped
+//! strategies, and the [`OneOf`] union built by `prop_oneof!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms every sampled value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A type with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full domain of `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A boxed sampling function — one arm of a [`OneOf`] union.
+type Arm<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Uniform choice among several strategies with a common value type;
+/// built by the `prop_oneof!` macro.
+pub struct OneOf<T> {
+    arms: Vec<Arm<T>>,
+}
+
+impl<T> Default for OneOf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OneOf<T> {
+    /// An empty union; add arms with [`OneOf::or`].
+    pub fn new() -> Self {
+        OneOf { arms: Vec::new() }
+    }
+
+    /// Adds one strategy arm.
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.sample(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    /// # Panics
+    ///
+    /// Panics if the union has no arms.
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0usize..5, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((10..25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_clones_value() {
+        let s = Just(vec![1, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), vec![1, 2, 3]);
+        assert_eq!(s.sample(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let s = any::<bool>();
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<bool> = (0..100).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

@@ -21,6 +21,12 @@ pub enum Event {
         /// The requested document.
         doc: DocId,
     },
+    /// A scheduled fault fires; `idx` points into the run's
+    /// [`FaultSchedule`](crate::fault::FaultSchedule).
+    Fault {
+        /// Index of the fault in the schedule's event list.
+        idx: usize,
+    },
 }
 
 /// A scheduled event. Ordered by time, then by insertion sequence so

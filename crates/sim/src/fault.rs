@@ -1,0 +1,375 @@
+//! Fault injection: cache crashes, recoveries, retirements, and origin
+//! brownouts.
+//!
+//! The paper evaluates group formation on a healthy network; real edge
+//! deployments lose caches (hardware failure, maintenance drains) and
+//! see origin slowdowns (flash crowds, upstream incidents). A
+//! [`FaultSchedule`] is the simulator-level description of such an
+//! outage script: a time-ordered list of [`FaultEvent`]s that
+//! [`crate::simulate_with_faults`] replays alongside the workload
+//! trace.
+//!
+//! Semantics of each [`FaultKind`]:
+//!
+//! * **CacheDown** — the cache crashes and its contents are lost.
+//!   While down it serves nothing: clients pointed at it fail over to
+//!   the origin (paying [`FaultSchedule::failover_penalty_ms`] for
+//!   detection plus the full origin fetch), and group peers stop
+//!   querying it — its group degrades to the survivors.
+//! * **CacheUp** — the cache restarts *cold* (its pre-crash contents
+//!   stay lost) and rejoins cooperative lookups.
+//! * **CacheRetire** — permanent decommissioning; like a crash that
+//!   never recovers. A later `CacheUp` for a retired cache is ignored.
+//! * **BrownoutStart / BrownoutEnd** — while a brownout is active every
+//!   origin fetch is slowed by the window's factor, modelling an
+//!   overloaded or degraded origin.
+//!
+//! The schedule is deliberately low-level — dense, validated, and owned
+//! by the simulator crate. The `ecg-faults` crate layers the
+//! operator-facing `FaultPlan` builder (crash-with-recovery, churn
+//! generation) on top and compiles down to this type.
+
+use ecg_topology::CacheId;
+use std::fmt;
+
+/// What happens when a fault event fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// `cache` crashes, losing its contents.
+    CacheDown {
+        /// The crashing cache.
+        cache: CacheId,
+    },
+    /// `cache` restarts cold and rejoins its group.
+    CacheUp {
+        /// The recovering cache.
+        cache: CacheId,
+    },
+    /// `cache` is permanently decommissioned.
+    CacheRetire {
+        /// The retiring cache.
+        cache: CacheId,
+    },
+    /// Origin fetches start taking `factor ×` their modelled latency.
+    BrownoutStart {
+        /// Slowdown multiplier, `>= 1`.
+        factor: f64,
+    },
+    /// The active brownout window ends.
+    BrownoutEnd,
+}
+
+/// A fault scheduled at a point in simulation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, in ms.
+    pub time_ms: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Error from [`FaultSchedule::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A fault references a cache outside the network.
+    CacheOutOfRange {
+        /// The offending cache index.
+        cache: usize,
+    },
+    /// A fault time is negative or not finite.
+    BadTime {
+        /// The offending time.
+        time_ms: f64,
+    },
+    /// A brownout factor is below 1 or not finite.
+    BadBrownoutFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A `BrownoutEnd` fired with no brownout active.
+    UnmatchedBrownoutEnd,
+    /// A `BrownoutStart` fired while a brownout was already active
+    /// (windows must not overlap).
+    OverlappingBrownout,
+    /// The failover penalty is negative or not finite.
+    BadFailoverPenalty {
+        /// The offending penalty.
+        penalty_ms: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::CacheOutOfRange { cache } => {
+                write!(f, "fault references unknown cache {cache}")
+            }
+            FaultError::BadTime { time_ms } => {
+                write!(
+                    f,
+                    "fault time {time_ms} is not a finite non-negative ms value"
+                )
+            }
+            FaultError::BadBrownoutFactor { factor } => {
+                write!(f, "brownout factor {factor} must be finite and >= 1")
+            }
+            FaultError::UnmatchedBrownoutEnd => {
+                write!(f, "brownout end without an active brownout")
+            }
+            FaultError::OverlappingBrownout => {
+                write!(f, "brownout windows must not overlap")
+            }
+            FaultError::BadFailoverPenalty { penalty_ms } => {
+                write!(f, "failover penalty {penalty_ms} must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A validated-on-use script of fault events plus the fault-model knobs
+/// the simulator needs.
+///
+/// An empty schedule (the [`Default`]) makes
+/// [`crate::simulate_with_faults`] behave exactly like
+/// [`crate::simulate`].
+///
+/// # Examples
+///
+/// ```
+/// use ecg_sim::fault::{FaultKind, FaultSchedule};
+/// use ecg_topology::CacheId;
+///
+/// let mut schedule = FaultSchedule::new();
+/// schedule.push(1_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+/// schedule.push(5_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+/// assert_eq!(schedule.len(), 2);
+/// assert!(schedule.validate(6).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    failover_penalty_ms: f64,
+    timeline_bucket_ms: f64,
+}
+
+impl Default for FaultSchedule {
+    /// No faults, a 3 ms failover-detection penalty, 10 s timeline
+    /// buckets.
+    fn default() -> Self {
+        FaultSchedule {
+            events: Vec::new(),
+            failover_penalty_ms: 3.0,
+            timeline_bucket_ms: 10_000.0,
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fault. Events may be pushed in any order; the simulator
+    /// processes them in time order (ties in push order).
+    pub fn push(&mut self, time_ms: f64, kind: FaultKind) {
+        self.events.push(FaultEvent { time_ms, kind });
+    }
+
+    /// Sets the extra latency a client pays to detect its home cache is
+    /// dead before falling back to the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn failover_penalty_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "penalty must be >= 0");
+        self.failover_penalty_ms = ms;
+        self
+    }
+
+    /// Sets the width of the degradation-timeline buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive and finite.
+    pub fn timeline_bucket_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "bucket width must be > 0");
+        self.timeline_bucket_ms = ms;
+        self
+    }
+
+    /// The failover-detection penalty in ms.
+    pub fn failover_penalty(&self) -> f64 {
+        self.failover_penalty_ms
+    }
+
+    /// The degradation-timeline bucket width in ms.
+    pub fn timeline_bucket(&self) -> f64 {
+        self.timeline_bucket_ms
+    }
+
+    /// The scheduled events, in push order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks the schedule against a network of `cache_count` caches:
+    /// cache ids in range, times and knobs finite, brownout windows
+    /// properly nested and non-overlapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultError`] found.
+    pub fn validate(&self, cache_count: usize) -> Result<(), FaultError> {
+        if !(self.failover_penalty_ms.is_finite() && self.failover_penalty_ms >= 0.0) {
+            return Err(FaultError::BadFailoverPenalty {
+                penalty_ms: self.failover_penalty_ms,
+            });
+        }
+        for e in &self.events {
+            if !(e.time_ms.is_finite() && e.time_ms >= 0.0) {
+                return Err(FaultError::BadTime { time_ms: e.time_ms });
+            }
+            match e.kind {
+                FaultKind::CacheDown { cache }
+                | FaultKind::CacheUp { cache }
+                | FaultKind::CacheRetire { cache } => {
+                    if cache.index() >= cache_count {
+                        return Err(FaultError::CacheOutOfRange {
+                            cache: cache.index(),
+                        });
+                    }
+                }
+                FaultKind::BrownoutStart { factor } => {
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(FaultError::BadBrownoutFactor { factor });
+                    }
+                }
+                FaultKind::BrownoutEnd => {}
+            }
+        }
+        // Brownout windows must alternate start/end in time order. Sort
+        // stably so same-time events keep push order, as the simulator
+        // replays them.
+        let mut ordered: Vec<&FaultEvent> = self.events.iter().collect();
+        ordered.sort_by(|a, b| {
+            a.time_ms
+                .partial_cmp(&b.time_ms)
+                .expect("times validated finite above")
+        });
+        let mut active = false;
+        for e in ordered {
+            match e.kind {
+                FaultKind::BrownoutStart { .. } => {
+                    if active {
+                        return Err(FaultError::OverlappingBrownout);
+                    }
+                    active = true;
+                }
+                FaultKind::BrownoutEnd => {
+                    if !active {
+                        return Err(FaultError::UnmatchedBrownoutEnd);
+                    }
+                    active = false;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_validates() {
+        assert!(FaultSchedule::new().validate(0).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_cache_rejected() {
+        let mut s = FaultSchedule::new();
+        s.push(1.0, FaultKind::CacheDown { cache: CacheId(6) });
+        assert_eq!(s.validate(6), Err(FaultError::CacheOutOfRange { cache: 6 }));
+        assert!(s.validate(7).is_ok());
+    }
+
+    #[test]
+    fn bad_time_rejected() {
+        let mut s = FaultSchedule::new();
+        s.push(-1.0, FaultKind::BrownoutEnd);
+        assert!(matches!(s.validate(1), Err(FaultError::BadTime { .. })));
+        let mut s = FaultSchedule::new();
+        s.push(f64::NAN, FaultKind::BrownoutEnd);
+        assert!(matches!(s.validate(1), Err(FaultError::BadTime { .. })));
+    }
+
+    #[test]
+    fn brownout_windows_must_pair_up() {
+        let mut s = FaultSchedule::new();
+        s.push(10.0, FaultKind::BrownoutEnd);
+        assert_eq!(s.validate(1), Err(FaultError::UnmatchedBrownoutEnd));
+
+        let mut s = FaultSchedule::new();
+        s.push(0.0, FaultKind::BrownoutStart { factor: 2.0 });
+        s.push(5.0, FaultKind::BrownoutStart { factor: 3.0 });
+        assert_eq!(s.validate(1), Err(FaultError::OverlappingBrownout));
+
+        let mut s = FaultSchedule::new();
+        s.push(0.0, FaultKind::BrownoutStart { factor: 2.0 });
+        s.push(5.0, FaultKind::BrownoutEnd);
+        s.push(6.0, FaultKind::BrownoutStart { factor: 4.0 });
+        assert!(s.validate(1).is_ok());
+    }
+
+    #[test]
+    fn brownout_factor_must_slow_not_speed() {
+        let mut s = FaultSchedule::new();
+        s.push(0.0, FaultKind::BrownoutStart { factor: 0.5 });
+        assert!(matches!(
+            s.validate(1),
+            Err(FaultError::BadBrownoutFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_handles_unsorted_pushes() {
+        // End pushed before start, but at a later time: still a valid
+        // window once sorted.
+        let mut s = FaultSchedule::new();
+        s.push(9.0, FaultKind::BrownoutEnd);
+        s.push(1.0, FaultKind::BrownoutStart { factor: 2.0 });
+        assert!(s.validate(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty")]
+    fn negative_penalty_panics() {
+        let _ = FaultSchedule::new().failover_penalty_ms(-1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FaultError::CacheOutOfRange { cache: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(FaultError::OverlappingBrownout
+            .to_string()
+            .contains("overlap"));
+    }
+}

@@ -218,7 +218,7 @@ mod tests {
         assert_eq!(a.count(), 20);
         // Median sits between the two clusters.
         let p50 = a.percentile(0.5).unwrap();
-        assert!(p50 >= 10.0 && p50 <= 110.0, "p50 {p50}");
+        assert!((10.0..=110.0).contains(&p50), "p50 {p50}");
     }
 
     #[test]

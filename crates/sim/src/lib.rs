@@ -12,6 +12,8 @@
 //! * [`event`] — the time-ordered event queue.
 //! * [`LatencyModel`] — RTT + bandwidth transfer-cost model.
 //! * [`GroupMap`] — validated cache-to-group partition.
+//! * [`fault`] — fault schedules: cache crashes/recoveries/retirements
+//!   and origin brownouts, replayed by [`simulate_with_faults`].
 //! * [`simulate`] — the driver; see its docs for the protocol details.
 //!
 //! # Examples
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod groups;
 pub mod histogram;
 pub mod latency;
@@ -47,10 +50,14 @@ pub mod origin;
 mod sim;
 pub mod time;
 
+pub use fault::{FaultError, FaultEvent, FaultKind, FaultSchedule};
 pub use groups::{GroupMap, GroupMapError};
 pub use histogram::LatencyHistogram;
 pub use latency::LatencyModel;
-pub use metrics::{CacheAggregate, GroupAggregate, MetricsRecorder, ServedBy};
+pub use metrics::{
+    CacheAggregate, DegradationMetrics, GroupAggregate, MetricsRecorder, ServedBy, TimelineBucket,
+    WindowAggregate,
+};
 pub use origin::OriginServer;
-pub use sim::{simulate, FreshnessProtocol, SimConfig, SimError, SimReport};
+pub use sim::{simulate, simulate_with_faults, FreshnessProtocol, SimConfig, SimError, SimReport};
 pub use time::SimTime;

@@ -95,6 +95,199 @@ impl GroupAggregate {
     }
 }
 
+/// Latency/hit-rate aggregate over one class of requests (healthy or
+/// degraded), used by [`DegradationMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowAggregate {
+    /// Requests in this class.
+    pub requests: u64,
+    /// Sum of their latencies, ms.
+    pub latency_sum_ms: f64,
+    /// Worst single-request latency, ms.
+    pub latency_max_ms: f64,
+    /// Requests answered locally or by a group peer.
+    pub group_hits: u64,
+    /// Requests served with a stale version.
+    pub stale_served: u64,
+}
+
+impl WindowAggregate {
+    /// Mean latency over this class, or `None` before any request.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.latency_sum_ms / self.requests as f64)
+        }
+    }
+
+    /// Group hit rate (local + peer) in this class, or `None` before
+    /// any request.
+    pub fn group_hit_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.group_hits as f64 / self.requests as f64)
+        }
+    }
+
+    fn record(&mut self, latency_ms: f64, hit: bool, stale: bool) {
+        self.requests += 1;
+        self.latency_sum_ms += latency_ms;
+        self.latency_max_ms = self.latency_max_ms.max(latency_ms);
+        if hit {
+            self.group_hits += 1;
+        }
+        if stale {
+            self.stale_served += 1;
+        }
+    }
+}
+
+/// One bucket of the degradation time series: the healthy and degraded
+/// request aggregates for `[start_ms, start_ms + bucket_width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimelineBucket {
+    /// Bucket start time, ms.
+    pub start_ms: f64,
+    /// Requests whose group was fully healthy.
+    pub healthy: WindowAggregate,
+    /// Requests served while their group was degraded (a member down or
+    /// retired, or an origin brownout active).
+    pub degraded: WindowAggregate,
+}
+
+/// Fault-impact metrics: every request is classified as *healthy* or
+/// *degraded* (some member of the requester's group down/retired, or an
+/// origin brownout active) and aggregated both overall and as a bucketed
+/// time series.
+///
+/// In a fault-free run ([`crate::simulate`]) everything lands in the
+/// healthy class and all fault counters stay zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationMetrics {
+    bucket_width_ms: f64,
+    /// Aggregate over requests served under fully healthy groups.
+    pub healthy: WindowAggregate,
+    /// Aggregate over requests served under degraded groups.
+    pub degraded: WindowAggregate,
+    /// Requests whose home cache was down: served straight from the
+    /// origin after the failover-detection penalty.
+    pub failovers: u64,
+    /// Cooperative peer queries skipped because the peer was down.
+    pub peer_queries_skipped: u64,
+    /// Cache crash events applied.
+    pub crashes: u64,
+    /// Cache recovery events applied.
+    pub recoveries: u64,
+    /// Cache retirement events applied.
+    pub retirements: u64,
+    timeline: Vec<TimelineBucket>,
+}
+
+impl Default for DegradationMetrics {
+    /// 10 s timeline buckets, nothing recorded.
+    fn default() -> Self {
+        Self::new(10_000.0)
+    }
+}
+
+impl DegradationMetrics {
+    /// Creates an empty recorder with the given timeline bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width_ms` is not positive and finite.
+    pub fn new(bucket_width_ms: f64) -> Self {
+        assert!(
+            bucket_width_ms.is_finite() && bucket_width_ms > 0.0,
+            "bucket width must be > 0"
+        );
+        DegradationMetrics {
+            bucket_width_ms,
+            healthy: WindowAggregate::default(),
+            degraded: WindowAggregate::default(),
+            failovers: 0,
+            peer_queries_skipped: 0,
+            crashes: 0,
+            recoveries: 0,
+            retirements: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The timeline bucket width in ms.
+    pub fn bucket_width_ms(&self) -> f64 {
+        self.bucket_width_ms
+    }
+
+    /// Records one served request into the overall split and its
+    /// timeline bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is negative or not finite.
+    pub fn record(
+        &mut self,
+        time_ms: f64,
+        latency_ms: f64,
+        hit: bool,
+        stale: bool,
+        degraded: bool,
+    ) {
+        assert!(
+            time_ms.is_finite() && time_ms >= 0.0,
+            "time must be finite and >= 0, got {time_ms}"
+        );
+        let idx = (time_ms / self.bucket_width_ms) as usize;
+        while self.timeline.len() <= idx {
+            let start_ms = self.timeline.len() as f64 * self.bucket_width_ms;
+            self.timeline.push(TimelineBucket {
+                start_ms,
+                ..Default::default()
+            });
+        }
+        let (overall, bucket) = if degraded {
+            (&mut self.degraded, &mut self.timeline[idx].degraded)
+        } else {
+            (&mut self.healthy, &mut self.timeline[idx].healthy)
+        };
+        overall.record(latency_ms, hit, stale);
+        bucket.record(latency_ms, hit, stale);
+    }
+
+    /// The bucketed time series, from time zero to the last recorded
+    /// request (empty buckets included in between).
+    pub fn timeline(&self) -> &[TimelineBucket] {
+        &self.timeline
+    }
+
+    /// Fraction of recorded requests served under a degraded group, or
+    /// `None` before any request.
+    pub fn degraded_fraction(&self) -> Option<f64> {
+        let total = self.healthy.requests + self.degraded.requests;
+        if total == 0 {
+            None
+        } else {
+            Some(self.degraded.requests as f64 / total as f64)
+        }
+    }
+
+    /// Mean degraded latency minus mean healthy latency, ms — how much a
+    /// fault costs the average affected request. `None` unless both
+    /// classes recorded requests.
+    pub fn degradation_penalty_ms(&self) -> Option<f64> {
+        Some(self.degraded.mean_latency_ms()? - self.healthy.mean_latency_ms()?)
+    }
+
+    /// Returns `true` if any fault event was applied during the run.
+    pub fn saw_faults(&self) -> bool {
+        self.crashes + self.recoveries + self.retirements > 0
+            || self.failovers > 0
+            || self.degraded.requests > 0
+    }
+}
+
 /// Collects per-request observations during a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsRecorder {
@@ -111,6 +304,9 @@ pub struct MetricsRecorder {
     /// Requests served with a version older than the origin's current
     /// one (TTL lease protocol): the client-visible staleness cost.
     pub stale_served: u64,
+    /// Fault-impact split of the same requests (healthy vs. degraded
+    /// windows, failover counts). All-zero in a fault-free run.
+    pub degradation: DegradationMetrics,
 }
 
 impl MetricsRecorder {
@@ -124,6 +320,7 @@ impl MetricsRecorder {
             control_messages: 0,
             invalidations_sent: 0,
             stale_served: 0,
+            degradation: DegradationMetrics::default(),
         }
     }
 
@@ -281,7 +478,7 @@ mod tests {
         assert_eq!(m.total_requests(), 4);
         // Percentiles come from the histogram: p50 near 10, p100 >= 50.
         let p50 = m.latency_percentile_ms(0.5).unwrap();
-        assert!(p50 >= 10.0 && p50 < 15.0, "p50 {p50}");
+        assert!((10.0..15.0).contains(&p50), "p50 {p50}");
         assert!(m.latency_percentile_ms(1.0).unwrap() >= 50.0);
         assert_eq!(m.latency_histogram().count(), 4);
     }
@@ -351,5 +548,70 @@ mod tests {
     fn negative_latency_panics() {
         let mut m = MetricsRecorder::new(1);
         m.record(CacheId(0), -1.0, ServedBy::Local);
+    }
+
+    #[test]
+    fn degradation_splits_healthy_and_degraded() {
+        let mut d = DegradationMetrics::new(100.0);
+        d.record(10.0, 5.0, true, false, false);
+        d.record(150.0, 40.0, false, true, true);
+        d.record(160.0, 60.0, false, false, true);
+        assert_eq!(d.healthy.requests, 1);
+        assert_eq!(d.degraded.requests, 2);
+        assert_eq!(d.healthy.mean_latency_ms(), Some(5.0));
+        assert_eq!(d.degraded.mean_latency_ms(), Some(50.0));
+        assert_eq!(d.degraded.latency_max_ms, 60.0);
+        assert_eq!(d.degraded.stale_served, 1);
+        assert_eq!(d.healthy.group_hit_rate(), Some(1.0));
+        assert_eq!(d.degraded.group_hit_rate(), Some(0.0));
+        assert_eq!(d.degraded_fraction(), Some(2.0 / 3.0));
+        assert_eq!(d.degradation_penalty_ms(), Some(45.0));
+    }
+
+    #[test]
+    fn degradation_timeline_buckets_by_time() {
+        let mut d = DegradationMetrics::new(100.0);
+        d.record(10.0, 1.0, true, false, false);
+        d.record(250.0, 2.0, false, false, true);
+        let tl = d.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].start_ms, 0.0);
+        assert_eq!(tl[1].start_ms, 100.0);
+        assert_eq!(tl[0].healthy.requests, 1);
+        assert_eq!(tl[1].healthy.requests + tl[1].degraded.requests, 0);
+        assert_eq!(tl[2].degraded.requests, 1);
+    }
+
+    #[test]
+    fn degradation_empty_behaviour() {
+        let d = DegradationMetrics::default();
+        assert_eq!(d.degraded_fraction(), None);
+        assert_eq!(d.degradation_penalty_ms(), None);
+        assert!(!d.saw_faults());
+        assert!(d.timeline().is_empty());
+        assert_eq!(d.bucket_width_ms(), 10_000.0);
+    }
+
+    #[test]
+    fn saw_faults_flags_fault_activity() {
+        let mut d = DegradationMetrics::default();
+        d.crashes += 1;
+        assert!(d.saw_faults());
+        let mut d = DegradationMetrics::default();
+        d.record(0.0, 1.0, false, false, true);
+        assert!(d.saw_faults());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let _ = DegradationMetrics::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time")]
+    fn negative_record_time_panics() {
+        let mut d = DegradationMetrics::default();
+        d.record(-1.0, 1.0, false, false, false);
     }
 }

@@ -26,6 +26,7 @@
 //! latency-oriented evaluation.
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultError, FaultKind, FaultSchedule};
 use crate::groups::GroupMap;
 use crate::latency::LatencyModel;
 use crate::metrics::{MetricsRecorder, ServedBy};
@@ -149,7 +150,7 @@ impl SimConfig {
 }
 
 /// Error from [`simulate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The group map covers a different number of caches than the
     /// network.
@@ -169,6 +170,8 @@ pub enum SimError {
         /// The offending document index.
         doc: usize,
     },
+    /// The fault schedule failed validation.
+    Fault(FaultError),
 }
 
 impl fmt::Display for SimError {
@@ -184,11 +187,18 @@ impl fmt::Display for SimError {
             SimError::DocOutOfRange { doc } => {
                 write!(f, "trace references unknown document {doc}")
             }
+            SimError::Fault(e) => write!(f, "invalid fault schedule: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
 
 /// The outcome of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,7 +240,26 @@ impl fmt::Display for SimReport {
         writeln!(f, "origin updates    {}", self.origin_updates)?;
         writeln!(f, "stale served      {}", self.metrics.stale_served)?;
         writeln!(f, "peer bytes        {}", self.metrics.peer_bytes)?;
-        write!(f, "control messages  {}", self.metrics.control_messages)
+        write!(f, "control messages  {}", self.metrics.control_messages)?;
+        let deg = &self.metrics.degradation;
+        if deg.saw_faults() {
+            write!(
+                f,
+                "\nfaults            {} crashes, {} recoveries, {} retirements",
+                deg.crashes, deg.recoveries, deg.retirements
+            )?;
+            write!(f, "\nfailovers         {}", deg.failovers)?;
+            write!(
+                f,
+                "\ndegraded reqs     {} ({:.1}%)",
+                deg.degraded.requests,
+                100.0 * deg.degraded_fraction().unwrap_or(0.0)
+            )?;
+            if let Some(penalty) = deg.degradation_penalty_ms() {
+                write!(f, "\ndegraded penalty  {penalty:.2} ms")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -267,6 +296,43 @@ pub fn simulate(
     trace: &[TraceEvent],
     config: SimConfig,
 ) -> Result<SimReport, SimError> {
+    simulate_with_faults(
+        network,
+        groups,
+        catalog,
+        trace,
+        config,
+        &FaultSchedule::new(),
+    )
+}
+
+/// Replays `trace` against the network while injecting the faults in
+/// `schedule`, and returns the collected metrics — including the
+/// healthy/degraded split in
+/// [`MetricsRecorder::degradation`](crate::metrics::DegradationMetrics).
+///
+/// With an empty schedule this is exactly [`simulate`] (which delegates
+/// here), so a zero-fault plan reproduces baseline results bit for bit.
+///
+/// Fault semantics are documented on [`crate::fault`]; in brief: a down
+/// cache serves nothing (its clients fail over to the origin, paying the
+/// schedule's failover penalty), cooperative lookups skip down peers,
+/// recovery is cold, retirement is permanent, and origin brownouts
+/// multiply every origin fetch latency.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the group map does not match the network, the
+/// trace references unknown caches/documents, or the fault schedule
+/// fails [`FaultSchedule::validate`].
+pub fn simulate_with_faults(
+    network: &EdgeNetwork,
+    groups: &GroupMap,
+    catalog: &DocumentCatalog,
+    trace: &[TraceEvent],
+    config: SimConfig,
+    schedule: &FaultSchedule,
+) -> Result<SimReport, SimError> {
     let n = network.cache_count();
     if groups.cache_count() != n {
         return Err(SimError::CacheCountMismatch {
@@ -274,9 +340,17 @@ pub fn simulate(
             groups: groups.cache_count(),
         });
     }
+    schedule.validate(n)?;
+
+    let mut queue = EventQueue::new();
+    // Faults go in first: at equal timestamps a crash lands before the
+    // requests of that instant (FIFO tie-break), so a request at the
+    // crash time already sees the cache down.
+    for (idx, fault) in schedule.events().iter().enumerate() {
+        queue.schedule(SimTime::from_ms(fault.time_ms), Event::Fault { idx });
+    }
 
     // Load the trace into the event queue, validating references.
-    let mut queue = EventQueue::new();
     for event in trace {
         match event {
             TraceEvent::Request(r) => {
@@ -311,12 +385,65 @@ pub fn simulate(
         .collect();
     let mut origin = OriginServer::new(catalog);
     let mut metrics = MetricsRecorder::new(n);
+    metrics.degradation = crate::metrics::DegradationMetrics::new(schedule.timeline_bucket());
     let model = config.latency;
     let warmup = SimTime::from_ms(config.warmup_ms);
+
+    // Fault state. `down[c]` covers both transient crashes and permanent
+    // retirements; `retired[c]` keeps a retired cache from recovering.
+    // Crashed caches lose their contents immediately; their stats so far
+    // are folded into `lost_stats` so the report still covers them.
+    let mut down = vec![false; n];
+    let mut retired = vec![false; n];
+    let mut brownout = 1.0f64;
+    let mut lost_stats = CacheStats::default();
 
     let freshness = config.freshness;
     while let Some((now, event)) = queue.pop() {
         match event {
+            Event::Fault { idx } => {
+                let deg = &mut metrics.degradation;
+                match schedule.events()[idx].kind {
+                    FaultKind::CacheDown { cache } => {
+                        let c = cache.index();
+                        if !down[c] {
+                            down[c] = true;
+                            deg.crashes += 1;
+                            let old = std::mem::replace(
+                                &mut caches[c],
+                                DocumentCache::new(config.cache_capacity_bytes, config.policy),
+                            );
+                            lost_stats += old.stats();
+                        }
+                    }
+                    FaultKind::CacheUp { cache } => {
+                        let c = cache.index();
+                        if down[c] && !retired[c] {
+                            // Cold restart: contents were purged at the
+                            // crash, so the cache rejoins empty.
+                            down[c] = false;
+                            deg.recoveries += 1;
+                        }
+                    }
+                    FaultKind::CacheRetire { cache } => {
+                        let c = cache.index();
+                        if !retired[c] {
+                            retired[c] = true;
+                            deg.retirements += 1;
+                            if !down[c] {
+                                down[c] = true;
+                                let old = std::mem::replace(
+                                    &mut caches[c],
+                                    DocumentCache::new(config.cache_capacity_bytes, config.policy),
+                                );
+                                lost_stats += old.stats();
+                            }
+                        }
+                    }
+                    FaultKind::BrownoutStart { factor } => brownout = factor,
+                    FaultKind::BrownoutEnd => brownout = 1.0,
+                }
+            }
             Event::OriginUpdate { doc } => {
                 origin.apply_update(doc);
                 if freshness == FreshnessProtocol::OriginMulticast {
@@ -335,6 +462,32 @@ pub fn simulate(
                 let size = catalog.document(doc).size_bytes;
                 let update_rate = catalog.document(doc).update_rate_per_sec;
 
+                // A request is "degraded" when its group is not whole —
+                // some member (including the home cache) down or retired
+                // — or an origin brownout is active.
+                let group_degraded = brownout > 1.0
+                    || down[cache.index()]
+                    || groups.peers(cache).iter().any(|p| down[p.index()]);
+
+                if down[cache.index()] {
+                    // Home cache is dead: the client times out on it and
+                    // fails over straight to the origin. Nothing is
+                    // cached.
+                    let _ = origin.serve_fetch(doc);
+                    metrics.origin_bytes += size;
+                    let rtt_origin = network.cache_to_origin(cache);
+                    let latency = schedule.failover_penalty()
+                        + model.origin_fetch(rtt_origin, size) * brownout;
+                    if now >= warmup {
+                        metrics.record(cache, latency, ServedBy::Origin);
+                        metrics.degradation.failovers += 1;
+                        metrics
+                            .degradation
+                            .record(now_ms, latency, false, false, true);
+                    }
+                    continue;
+                }
+
                 // Local lookup: Some(served version) on a hit.
                 let local_hit: Option<u64> = match freshness {
                     FreshnessProtocol::InvalidateOnAccess | FreshnessProtocol::OriginMulticast => {
@@ -352,15 +505,24 @@ pub fn simulate(
                     Some(v) => (model.local_hit(), ServedBy::Local, v),
                     None => {
                         let peers = groups.peers(cache);
+                        // Down peers never get queried: the failure
+                        // detector has already dropped them from the
+                        // membership view, so the group degrades to the
+                        // survivors.
+                        let alive = peers.iter().filter(|p| !down[p.index()]).count();
+                        metrics.degradation.peer_queries_skipped += (peers.len() - alive) as u64;
                         // One query out and one reply back per peer; the
                         // fan-out itself costs per-member processing time.
-                        metrics.control_messages += 2 * peers.len() as u64;
-                        let fanout = model.query_fanout(peers.len());
+                        metrics.control_messages += 2 * alive as u64;
+                        let fanout = model.query_fanout(alive);
 
                         // Nearest peer holding a servable copy, if any.
                         let mut holder: Option<(CacheId, f64, u64)> = None;
                         let mut slowest_reply = 0.0f64;
                         for &p in peers {
+                            if down[p.index()] {
+                                continue;
+                            }
                             let rtt = network.cache_to_cache(cache, p);
                             slowest_reply = slowest_reply.max(rtt);
                             let peer_version = match freshness {
@@ -373,7 +535,7 @@ pub fn simulate(
                                 }
                             };
                             if let Some(v) = peer_version {
-                                if holder.map_or(true, |(_, best, _)| rtt < best) {
+                                if holder.is_none_or(|(_, best, _)| rtt < best) {
                                     holder = Some((p, rtt, v));
                                 }
                             }
@@ -400,8 +562,9 @@ pub fn simulate(
                                 let fetched_version = origin.serve_fetch(doc);
                                 metrics.origin_bytes += size;
                                 let rtt_origin = network.cache_to_origin(cache);
-                                let latency =
-                                    fanout + slowest_reply + model.origin_fetch(rtt_origin, size);
+                                let latency = fanout
+                                    + slowest_reply
+                                    + model.origin_fetch(rtt_origin, size) * brownout;
                                 caches[cache.index()].insert(
                                     doc,
                                     fetched_version,
@@ -416,10 +579,18 @@ pub fn simulate(
                     }
                 };
                 if now >= warmup {
+                    let stale = served_version < current_version;
                     metrics.record(cache, latency, served_by);
-                    if served_version < current_version {
+                    if stale {
                         metrics.stale_served += 1;
                     }
+                    metrics.degradation.record(
+                        now_ms,
+                        latency,
+                        served_by != ServedBy::Origin,
+                        stale,
+                        group_degraded,
+                    );
                 }
             }
         }
@@ -428,7 +599,7 @@ pub fn simulate(
     let cache_stats = caches
         .iter()
         .map(|c| c.stats())
-        .fold(CacheStats::default(), |acc, s| acc + s);
+        .fold(lost_stats, |acc, s| acc + s);
     Ok(SimReport {
         metrics,
         cache_stats,
@@ -860,5 +1031,280 @@ mod tests {
         let a = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
         let b = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn pair_groups() -> GroupMap {
+        GroupMap::new(
+            6,
+            vec![
+                vec![CacheId(0), CacheId(1)],
+                vec![CacheId(2), CacheId(3)],
+                vec![CacheId(4), CacheId(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_schedule_reproduces_simulate_exactly() {
+        let net = network();
+        let cat = catalog(20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let requests = ecg_workload::RequestConfig::default().generate(&cat, 6, 30_000.0, &mut rng);
+        let updates = ecg_workload::generate_updates(&cat, 30_000.0, &mut rng);
+        let trace = merge_streams(&requests, &updates);
+        let groups = pair_groups();
+        let base = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        let faulted = simulate_with_faults(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &FaultSchedule::new(),
+        )
+        .unwrap();
+        assert_eq!(base, faulted);
+        assert!(!base.metrics.degradation.saw_faults());
+        assert_eq!(base.metrics.degradation.degraded.requests, 0);
+    }
+
+    #[test]
+    fn down_cache_fails_over_to_origin() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new().failover_penalty_ms(25.0);
+        schedule.push(50.0, FaultKind::CacheDown { cache: CacheId(0) });
+        // Prime the cache, crash it, then request again: the second
+        // request must go to the origin even though the doc was cached.
+        let trace = vec![request(0.0, 0, 3), request(100.0, 0, 3)];
+        let report = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.metrics.degradation.failovers, 1);
+        assert_eq!(report.metrics.degradation.crashes, 1);
+        assert_eq!(report.metrics.degradation.degraded.requests, 1);
+        assert_eq!(report.metrics.per_cache()[0].origin_fetches, 2);
+        assert_eq!(report.metrics.per_cache()[0].local_hits, 0);
+        // The failover paid the detection penalty on top of the fetch.
+        let healthy_fetch = report.metrics.degradation.healthy.latency_sum_ms;
+        let failover = report.metrics.degradation.degraded.latency_sum_ms;
+        assert!((failover - healthy_fetch - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_purges_contents_and_recovery_is_cold() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(50.0, FaultKind::CacheDown { cache: CacheId(0) });
+        schedule.push(60.0, FaultKind::CacheUp { cache: CacheId(0) });
+        let trace = vec![request(0.0, 0, 3), request(100.0, 0, 3)];
+        let report = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        // Recovered in time for the second request, but cold: a second
+        // origin fetch, not a hit.
+        assert_eq!(report.metrics.degradation.failovers, 0);
+        assert_eq!(report.metrics.degradation.recoveries, 1);
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.metrics.per_cache()[0].local_hits, 0);
+    }
+
+    #[test]
+    fn group_degrades_to_survivors() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(50.0, FaultKind::CacheDown { cache: CacheId(0) });
+        // Ec0 fetches doc 3; after Ec0 crashes, Ec1's cooperative lookup
+        // cannot use it and pays the origin.
+        let trace = vec![request(0.0, 0, 3), request(100.0, 1, 3)];
+        let report = simulate_with_faults(
+            &net,
+            &pair_groups(),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        assert_eq!(report.metrics.per_cache()[1].peer_hits, 0);
+        assert_eq!(report.metrics.per_cache()[1].origin_fetches, 1);
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.metrics.degradation.peer_queries_skipped, 1);
+        // Ec1's request counts as degraded (a member of its group is
+        // down) even though Ec1 itself is healthy.
+        assert_eq!(report.metrics.degradation.degraded.requests, 1);
+        // Without the fault the same trace is a peer hit.
+        let healthy = simulate(&net, &pair_groups(), &cat, &trace, SimConfig::default()).unwrap();
+        assert_eq!(healthy.metrics.per_cache()[1].peer_hits, 1);
+    }
+
+    #[test]
+    fn retirement_is_permanent() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(10.0, FaultKind::CacheRetire { cache: CacheId(0) });
+        schedule.push(20.0, FaultKind::CacheUp { cache: CacheId(0) });
+        let trace = vec![request(100.0, 0, 3)];
+        let report = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        // The CacheUp after retirement is ignored: still failing over.
+        assert_eq!(report.metrics.degradation.retirements, 1);
+        assert_eq!(report.metrics.degradation.recoveries, 0);
+        assert_eq!(report.metrics.degradation.failovers, 1);
+    }
+
+    #[test]
+    fn brownout_slows_origin_fetches() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(0.0, FaultKind::BrownoutStart { factor: 3.0 });
+        schedule.push(50.0, FaultKind::BrownoutEnd);
+        let trace = vec![request(10.0, 0, 3)];
+        let slow = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        let fast = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let slow_ms = slow.metrics.per_cache()[0].latency_sum_ms;
+        let fast_ms = fast.metrics.per_cache()[0].latency_sum_ms;
+        assert!(
+            (slow_ms - 3.0 * fast_ms).abs() < 1e-9,
+            "{slow_ms} vs {fast_ms}"
+        );
+        // Brownout requests are classified as degraded.
+        assert_eq!(slow.metrics.degradation.degraded.requests, 1);
+        // After the window ends the penalty disappears.
+        let trace_late = vec![request(100.0, 0, 3)];
+        let late = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace_late,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        let late_ms = late.metrics.per_cache()[0].latency_sum_ms;
+        assert!((late_ms - fast_ms).abs() < 1e-9);
+        assert_eq!(late.metrics.degradation.degraded.requests, 0);
+    }
+
+    #[test]
+    fn fault_timeline_tracks_outage_window() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new().timeline_bucket_ms(1_000.0);
+        schedule.push(1_000.0, FaultKind::CacheDown { cache: CacheId(1) });
+        schedule.push(2_000.0, FaultKind::CacheUp { cache: CacheId(1) });
+        let trace = vec![
+            request(500.0, 0, 1),   // healthy bucket 0
+            request(1_500.0, 0, 1), // degraded bucket 1 (peer down)
+            request(2_500.0, 0, 1), // healthy bucket 2
+        ];
+        let report = simulate_with_faults(
+            &net,
+            &pair_groups(),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        let tl = report.metrics.degradation.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].healthy.requests, 1);
+        assert_eq!(tl[0].degraded.requests, 0);
+        assert_eq!(tl[1].degraded.requests, 1);
+        assert_eq!(tl[2].healthy.requests, 1);
+        assert_eq!(tl[2].degraded.requests, 0);
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected() {
+        let net = network();
+        let cat = catalog(5);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(1.0, FaultKind::CacheDown { cache: CacheId(9) });
+        let err = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &[],
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Fault(FaultError::CacheOutOfRange { cache: 9 })
+        );
+    }
+
+    #[test]
+    fn faulted_display_reports_degradation() {
+        let net = network();
+        let cat = catalog(10);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(50.0, FaultKind::CacheDown { cache: CacheId(0) });
+        let trace = vec![request(0.0, 0, 3), request(100.0, 0, 3)];
+        let report = simulate_with_faults(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+            &schedule,
+        )
+        .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("failovers"), "{text}");
+        assert!(text.contains("1 crashes"), "{text}");
+        // A healthy run keeps the original compact summary.
+        let healthy = simulate(
+            &net,
+            &GroupMap::singletons(6),
+            &cat,
+            &trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(!healthy.to_string().contains("failovers"));
     }
 }

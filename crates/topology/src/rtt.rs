@@ -153,7 +153,7 @@ impl RttMatrix {
         for i in 0..self.n {
             for j in (i + 1)..self.n {
                 let v = self.get(i, j);
-                if best.map_or(true, |b| v > b) {
+                if best.is_none_or(|b| v > b) {
                     best = Some(v);
                 }
             }

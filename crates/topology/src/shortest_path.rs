@@ -5,7 +5,7 @@
 //! between two nodes is twice the shortest-path distance (paths are
 //! symmetric in an undirected graph). [`all_pairs_rtt`] builds the full
 //! [`RttMatrix`] this way, fanning the
-//! single-source runs out across threads with `crossbeam`.
+//! single-source runs out across scoped `std::thread` workers.
 
 use crate::graph::{Graph, NodeId};
 use crate::rtt::RttMatrix;
@@ -105,16 +105,15 @@ pub fn multi_source_latencies(graph: &Graph, sources: &[NodeId], threads: usize)
     }
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
     let chunk = sources.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (row_chunk, src_chunk) in rows.chunks_mut(chunk).zip(sources.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (row, &src) in row_chunk.iter_mut().zip(src_chunk) {
                     *row = dijkstra(graph, src);
                 }
             });
         }
-    })
-    .expect("shortest-path worker panicked");
+    });
     rows
 }
 

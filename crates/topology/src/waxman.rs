@@ -164,7 +164,7 @@ impl WaxmanConfig {
                 for &u in base {
                     for &v in other {
                         let d = points[u.index()].distance(&points[v.index()]);
-                        if best.map_or(true, |(_, _, bd)| d < bd) {
+                        if best.is_none_or(|(_, _, bd)| d < bd) {
                             best = Some((u, v, d));
                         }
                     }

@@ -36,10 +36,10 @@ proptest! {
         let n = g.node_count();
         let rows: Vec<Vec<f64>> = (0..n).map(|i| dijkstra(&g, NodeId(i))).collect();
         // Symmetry (undirected graph) and identity.
-        for i in 0..n {
-            prop_assert!(rows[i][i].abs() < 1e-12);
-            for j in 0..n {
-                prop_assert!((rows[i][j] - rows[j][i]).abs() < 1e-9);
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert!(row[i].abs() < 1e-12);
+            for (j, &d) in row.iter().enumerate() {
+                prop_assert!((d - rows[j][i]).abs() < 1e-9);
             }
         }
         // Triangle inequality.

@@ -8,15 +8,12 @@
 //! [`crate::requests`] and [`crate::updates`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a document, dense in `0..document_count`.
 ///
 /// Documents are ordered by popularity: `DocId(0)` is the most popular.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DocId(pub usize);
 
 impl DocId {
@@ -40,7 +37,7 @@ impl From<usize> for DocId {
 }
 
 /// Static properties of one document.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Document {
     /// The document's id (== its popularity rank).
     pub id: DocId,
@@ -171,7 +168,7 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// An immutable collection of documents, indexed by [`DocId`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DocumentCatalog {
     docs: Vec<Document>,
 }

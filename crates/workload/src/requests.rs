@@ -13,10 +13,9 @@
 use crate::documents::{DocId, DocumentCatalog};
 use crate::zipf::ZipfSampler;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One client request arriving at an edge cache.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Arrival time in milliseconds since the start of the run.
     pub time_ms: f64,
@@ -27,7 +26,7 @@ pub struct Request {
 }
 
 /// Time-varying request rate envelope.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RateModulation {
     /// Stationary arrivals. The default.
     #[default]
@@ -193,7 +192,7 @@ impl RequestConfig {
 
         let max_rate_per_ms = self.rate_per_sec_per_cache * self.modulation.max_factor() / 1_000.0;
         let mut requests = Vec::new();
-        for cache in 0..caches {
+        for (cache, &offset) in offsets.iter().enumerate() {
             let mut t = 0.0f64;
             loop {
                 // Exponential gap at the envelope rate.
@@ -211,7 +210,7 @@ impl RequestConfig {
                 let doc = if rng.gen::<f64>() < self.similarity {
                     rank
                 } else {
-                    (rank + offsets[cache]) % n_docs
+                    (rank + offset) % n_docs
                 };
                 requests.push(Request {
                     time_ms: t,

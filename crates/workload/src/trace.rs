@@ -13,12 +13,11 @@
 use crate::documents::DocId;
 use crate::requests::Request;
 use crate::updates::Update;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// One event of a merged workload trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// A client request arriving at a cache.
     Request(Request),

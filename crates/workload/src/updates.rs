@@ -8,10 +8,9 @@
 
 use crate::documents::{DocId, DocumentCatalog};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One document update at the origin server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Update {
     /// Update time in milliseconds since the start of the run.
     pub time_ms: f64,

@@ -134,13 +134,13 @@ mod tests {
         let z = ZipfSampler::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(5);
         let trials = 100_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
+        for (r, &count) in counts.iter().enumerate() {
             let expected = z.probability(r);
-            let observed = counts[r] as f64 / trials as f64;
+            let observed = count as f64 / trials as f64;
             assert!(
                 (observed - expected).abs() < 0.01,
                 "rank {r}: observed {observed}, expected {expected}"

@@ -10,7 +10,7 @@ figures=(fig3 fig4 fig5 fig6 fig7 fig8 fig9)
 ablations=(
   ablation_theta ablation_noise ablation_m ablation_init ablation_policy
   ablation_origin ablation_representation ablation_freshness
-  ablation_probing ablation_workload ablation_maintenance
+  ablation_probing ablation_workload ablation_maintenance ablation_churn
 )
 
 cargo build --release -p ecg-bench --bins

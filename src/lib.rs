@@ -25,6 +25,7 @@
 //! | [`cache`] | `ecg-cache` | utility/LRU/LFU/GDSF document caches |
 //! | [`sim`] | `ecg-sim` | the discrete-event network simulator |
 //! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
+//! | [`faults`] | `ecg-faults` | fault plans, churn generation, degradation reporting |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use ecg_cache as cache;
 pub use ecg_clustering as clustering;
 pub use ecg_coords as coords;
 pub use ecg_core as core;
+pub use ecg_faults as faults;
 pub use ecg_sim as sim;
 pub use ecg_topology as topology;
 pub use ecg_workload as workload;
@@ -78,7 +80,10 @@ pub mod prelude {
         GfCoordinator, GroupInit, GroupMaintainer, GroupingOutcome, LandmarkSelector,
         Representation, SchemeConfig,
     };
-    pub use ecg_sim::{simulate, GroupMap, LatencyModel, SimConfig, SimReport};
+    pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
+    pub use ecg_sim::{
+        simulate, simulate_with_faults, GroupMap, LatencyModel, SimConfig, SimReport,
+    };
     pub use ecg_topology::{CacheId, EdgeNetwork, OriginPlacement, RttMatrix, TransitStubConfig};
     pub use ecg_workload::{CatalogConfig, DocId, RequestConfig, SportingEventConfig, ZipfSampler};
 }
