@@ -2,15 +2,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecg_clustering::medoids::pam;
-use ecg_clustering::{kmeans, kmeans_capped, Initializer, KmeansConfig};
+use ecg_clustering::{kmeans, kmeans_capped, FeatureMatrix, Initializer, KmeansConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+fn points(n: usize, dim: usize, seed: u64) -> FeatureMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..200.0)).collect())
-        .collect()
+    let mut m = FeatureMatrix::with_capacity(n, dim);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..200.0)).collect();
+        m.push_row(&row);
+    }
+    m
 }
 
 fn bench_kmeans(c: &mut Criterion) {

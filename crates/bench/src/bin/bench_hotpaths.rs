@@ -1,0 +1,210 @@
+//! Hot-path performance baseline: K-means, group formation, trace
+//! replay.
+//!
+//! Times the optimized hot paths against their retained reference
+//! implementations:
+//!
+//! * `kmeans/reference` vs `kmeans/pruned_flat` — the naive ragged-row
+//!   Lloyd loop against the flat-storage, bound-pruned one (identical
+//!   output, see `ecg_clustering::kmeans_reference`);
+//! * `group_formation/sl_end_to_end` — the full SL pipeline (probing,
+//!   feature matrix, clustering) as an absolute figure;
+//! * `trace_replay/scan_all` vs `trace_replay/holder_index` — the
+//!   simulator's cooperative-miss path probing every peer's cache map
+//!   against the document→holder bitset (identical reports, see
+//!   `ecg_sim::PeerLookup`).
+//!
+//! Writes the run as machine-readable JSON (per-benchmark stats plus
+//! derived speedups) so regressions can be diffed against the committed
+//! baseline:
+//!
+//! ```text
+//! cargo run --release -p ecg-bench --bin bench_hotpaths            # full, writes BENCH_hotpaths.json
+//! cargo run --release -p ecg-bench --bin bench_hotpaths -- --quick # CI smoke sizes
+//! cargo run --release -p ecg-bench --bin bench_hotpaths -- --out /tmp/b.json
+//! ```
+
+use criterion::{Criterion, SampleStats, Throughput};
+use ecg_bench::Scenario;
+use ecg_clustering::{kmeans, kmeans_reference, FeatureMatrix, Initializer, KmeansConfig};
+use ecg_core::{GfCoordinator, SchemeConfig};
+use ecg_sim::{simulate, GroupMap, PeerLookup, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Sizes {
+    kmeans_n: usize,
+    kmeans_dim: usize,
+    kmeans_k: usize,
+    formation_caches: usize,
+    replay_caches: usize,
+    replay_duration_ms: f64,
+    samples: usize,
+}
+
+const FULL: Sizes = Sizes {
+    kmeans_n: 5_000,
+    kmeans_dim: 25,
+    kmeans_k: 100,
+    formation_caches: 200,
+    replay_caches: 128,
+    replay_duration_ms: 60_000.0,
+    samples: 15,
+};
+
+const QUICK: Sizes = Sizes {
+    kmeans_n: 300,
+    kmeans_dim: 8,
+    kmeans_k: 10,
+    formation_caches: 60,
+    replay_caches: 16,
+    replay_duration_ms: 10_000.0,
+    samples: 3,
+};
+
+/// Blob-structured points: landmark feature vectors of edge caches are
+/// clustered by topology locality, not uniform noise, so the K-means
+/// benchmark uses the same shape — `blobs` centers with a ±`spread`
+/// scatter around each.
+fn clustered_points(n: usize, dim: usize, blobs: usize, spread: f64, seed: u64) -> FeatureMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..blobs)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..200.0)).collect())
+        .collect();
+    let mut m = FeatureMatrix::with_capacity(n, dim);
+    for i in 0..n {
+        let center = &centers[i % blobs];
+        let row: Vec<f64> = center
+            .iter()
+            .map(|&c| c + rng.gen_range(-spread..spread))
+            .collect();
+        m.push_row(&row);
+    }
+    m
+}
+
+fn median_of(stats: &[SampleStats], name: &str) -> f64 {
+    stats
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("benchmark {name} did not run"))
+        .median_ns
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let sizes = if quick { QUICK } else { FULL };
+
+    let mut c = Criterion::default();
+
+    // K-means: the pruned flat-storage loop vs the retained naive one.
+    {
+        // One blob per cluster with wide scatter, seeded with K-means++ so
+        // each center lands in its own blob: after the first few
+        // iterations the centers barely move while points stay far from
+        // every foreign center — the steady-state regime the paper's
+        // periodic re-clustering spends most of its time in, and the one
+        // bound pruning is designed for.
+        let pts = clustered_points(sizes.kmeans_n, sizes.kmeans_dim, sizes.kmeans_k, 30.0, 42);
+        let config = KmeansConfig::new(sizes.kmeans_k);
+        let mut group = c.benchmark_group("kmeans");
+        group
+            .sample_size(sizes.samples)
+            .throughput(Throughput::Elements(sizes.kmeans_n as u64));
+        // Reseed inside the body so every sample times identical work.
+        group.bench_function("reference", |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                kmeans_reference(&pts, config, &Initializer::KmeansPlusPlus, &mut rng)
+                    .expect("clustering")
+            })
+        });
+        group.bench_function("pruned_flat", |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                kmeans(&pts, config, &Initializer::KmeansPlusPlus, &mut rng).expect("clustering")
+            })
+        });
+        group.finish();
+    }
+
+    // Group formation end-to-end: probing + feature matrix + clustering.
+    {
+        let network = Scenario::network_only(sizes.formation_caches, 4_242);
+        let coord = GfCoordinator::new(SchemeConfig::sl(sizes.formation_caches / 10));
+        let mut group = c.benchmark_group("group_formation");
+        group
+            .sample_size(sizes.samples)
+            .throughput(Throughput::Elements(sizes.formation_caches as u64));
+        group.bench_function("sl_end_to_end", |b| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| coord.form_groups(&network, &mut rng).expect("formation"))
+        });
+        group.finish();
+    }
+
+    // Trace replay: one big cooperative group, caches small enough that
+    // most requests miss and fan out to every peer.
+    {
+        let scenario = Scenario::build(sizes.replay_caches, sizes.replay_duration_ms, 99);
+        let groups = GroupMap::one_group(sizes.replay_caches);
+        let base = SimConfig::default().cache_capacity_bytes(128 * 1024);
+        let mut group = c.benchmark_group("trace_replay");
+        group
+            .sample_size(sizes.samples)
+            .throughput(Throughput::Elements(scenario.trace.len() as u64));
+        for (name, lookup) in [
+            ("scan_all", PeerLookup::ScanAll),
+            ("holder_index", PeerLookup::HolderIndex),
+        ] {
+            let config = base.peer_lookup(lookup);
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    simulate(
+                        &scenario.network,
+                        &groups,
+                        &scenario.workload.catalog,
+                        &scenario.trace,
+                        config,
+                    )
+                    .expect("simulation")
+                })
+            });
+        }
+        group.finish();
+    }
+
+    let stats = c.stats();
+    let kmeans_speedup =
+        median_of(stats, "kmeans/reference") / median_of(stats, "kmeans/pruned_flat");
+    let replay_speedup =
+        median_of(stats, "trace_replay/scan_all") / median_of(stats, "trace_replay/holder_index");
+    println!("\nkmeans speedup (pruned_flat vs reference):    {kmeans_speedup:.2}x");
+    println!("trace replay speedup (holder_index vs scan):  {replay_speedup:.2}x");
+
+    let mut doc = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str("    ");
+        doc.push_str(&s.to_json());
+    }
+    doc.push_str("\n  ],\n");
+    doc.push_str(&format!(
+        "  \"speedups\": {{\"kmeans\": {kmeans_speedup:.3}, \"trace_replay\": {replay_speedup:.3}}},\n"
+    ));
+    doc.push_str(&format!(
+        "  \"mode\": \"{}\"\n}}\n",
+        if quick { "quick" } else { "full" }
+    ));
+    std::fs::write(&out_path, doc).expect("write baseline json");
+    println!("wrote {out_path}");
+}

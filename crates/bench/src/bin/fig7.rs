@@ -19,7 +19,9 @@
 
 use ecg_bench::{f2, mean, Scenario, Table};
 use ecg_clustering::{average_group_interaction_cost, kmeans, Initializer, KmeansConfig};
-use ecg_coords::{build_feature_vectors, embed_network, GnpConfig, ProbeConfig, Prober};
+use ecg_coords::{
+    build_feature_vectors, embed_network, FeatureMatrix, GnpConfig, ProbeConfig, Prober,
+};
 use ecg_core::{select_landmarks, LandmarkSelector};
 use ecg_sim::LatencyModel;
 use rand::rngs::StdRng;
@@ -59,10 +61,16 @@ fn main() {
         let nodes: Vec<usize> = (1..=caches).collect();
 
         let fvs = build_feature_vectors(&prober, &nodes, &selection.landmarks, &mut rng);
-        let fv_points: Vec<Vec<f64>> = fvs.iter().map(|fv| fv.as_slice().to_vec()).collect();
+        let mut fv_points = FeatureMatrix::with_capacity(fvs.len(), selection.landmarks.len());
+        for fv in &fvs {
+            fv_points.push_row(fv.as_slice());
+        }
 
         let coords = embed_network(gnp_config, &prober, &nodes, &selection.landmarks, &mut rng);
-        let gnp_points: Vec<Vec<f64>> = coords.iter().map(|c| c.as_slice().to_vec()).collect();
+        let mut gnp_points = FeatureMatrix::with_capacity(coords.len(), 7);
+        for c in &coords {
+            gnp_points.push_row(c.as_slice());
+        }
 
         for (ki, &k) in ks.iter().enumerate() {
             for (points, out) in [(&fv_points, &mut fv_gic), (&gnp_points, &mut gnp_gic)] {

@@ -208,8 +208,59 @@ impl DocumentCache {
         update_rate_per_sec: f64,
         now_ms: f64,
     ) {
+        self.insert_impl(
+            doc,
+            version,
+            size_bytes,
+            fetch_cost_ms,
+            update_rate_per_sec,
+            now_ms,
+            None,
+        );
+    }
+
+    /// Like [`insert`](Self::insert), but records every eviction victim's
+    /// id into the caller-owned `evicted` buffer (cleared first, so it
+    /// can be reused across calls without allocating) and reports whether
+    /// `doc` actually ended up cached (`false` only for the oversized
+    /// no-op case). Callers that mirror cache contents elsewhere — e.g. a
+    /// document→holder index — use this to stay in sync.
+    #[allow(clippy::too_many_arguments)] // `insert`'s signature + the eviction buffer
+    pub fn insert_with_evicted(
+        &mut self,
+        doc: DocId,
+        version: u64,
+        size_bytes: u64,
+        fetch_cost_ms: f64,
+        update_rate_per_sec: f64,
+        now_ms: f64,
+        evicted: &mut Vec<DocId>,
+    ) -> bool {
+        evicted.clear();
+        self.insert_impl(
+            doc,
+            version,
+            size_bytes,
+            fetch_cost_ms,
+            update_rate_per_sec,
+            now_ms,
+            Some(evicted),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_impl(
+        &mut self,
+        doc: DocId,
+        version: u64,
+        size_bytes: u64,
+        fetch_cost_ms: f64,
+        update_rate_per_sec: f64,
+        now_ms: f64,
+        mut evicted_out: Option<&mut Vec<DocId>>,
+    ) -> bool {
         if size_bytes > self.capacity_bytes {
-            return;
+            return false;
         }
         // Replacing an existing copy frees its bytes first.
         self.remove(doc);
@@ -225,6 +276,9 @@ impl DocumentCache {
             let evicted = self.remove(victim).expect("victim exists");
             self.stats.evictions += 1;
             self.stats.bytes_evicted += evicted.size_bytes;
+            if let Some(out) = evicted_out.as_deref_mut() {
+                out.push(victim);
+            }
         }
         self.entries.insert(
             doc,
@@ -238,6 +292,7 @@ impl DocumentCache {
         );
         self.used_bytes += size_bytes;
         self.stats.insertions += 1;
+        true
     }
 
     /// Drops the cached copy of `doc` (if any), returning its entry.
@@ -415,6 +470,37 @@ mod tests {
         let entry = c.iter().find(|(d, _)| *d == DocId(0)).expect("present").1;
         assert_eq!(entry.last_access_ms, 42.0);
         assert_eq!(entry.access_count, 2);
+    }
+
+    #[test]
+    fn insert_with_evicted_reports_victims_and_outcome() {
+        let mut c = DocumentCache::new(1_000, PolicyKind::Lru);
+        let mut evicted = Vec::new();
+        assert!(c.insert_with_evicted(DocId(0), 1, 400, 10.0, 0.0, 0.0, &mut evicted));
+        assert!(evicted.is_empty());
+        assert!(c.insert_with_evicted(DocId(1), 1, 400, 10.0, 0.0, 1.0, &mut evicted));
+        assert!(evicted.is_empty());
+        // Needs both residents gone to fit.
+        assert!(c.insert_with_evicted(DocId(2), 1, 900, 10.0, 0.0, 2.0, &mut evicted));
+        assert_eq!(evicted, vec![DocId(0), DocId(1)]);
+        // Oversized: no-op, reported as not cached, buffer cleared.
+        assert!(!c.insert_with_evicted(DocId(3), 1, 2_000, 10.0, 0.0, 3.0, &mut evicted));
+        assert!(evicted.is_empty());
+        assert!(c.holds_fresh(DocId(2), 1));
+    }
+
+    #[test]
+    fn insert_with_evicted_matches_plain_insert() {
+        let mut a = DocumentCache::new(1_000, PolicyKind::Gdsf);
+        let mut b = DocumentCache::new(1_000, PolicyKind::Gdsf);
+        let mut scratch = Vec::new();
+        for i in 0..20u64 {
+            let size = 150 + (i % 5) * 90;
+            let doc = DocId(i as usize);
+            a.insert(doc, 1, size, 5.0, 0.1, i as f64);
+            b.insert_with_evicted(doc, 1, size, 5.0, 0.1, i as f64, &mut scratch);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

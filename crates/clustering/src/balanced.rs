@@ -10,6 +10,7 @@
 
 use crate::init::Initializer;
 use crate::kmeans::{sq_l2, Clustering, KmeansConfig, KmeansError};
+use ecg_coords::FeatureMatrix;
 use rand::Rng;
 
 /// Error from [`kmeans_capped`].
@@ -69,11 +70,11 @@ impl From<KmeansError> for CapError {
 ///
 /// ```
 /// use ecg_clustering::balanced::kmeans_capped;
-/// use ecg_clustering::{Initializer, KmeansConfig};
+/// use ecg_clustering::{FeatureMatrix, Initializer, KmeansConfig};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// // Six co-located points, 2 clusters, cap 3: forced 3/3 split.
-/// let points = vec![vec![0.0]; 6];
+/// let points = FeatureMatrix::from_rows(&vec![vec![0.0]; 6]);
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let r = kmeans_capped(
 ///     &points,
@@ -88,7 +89,7 @@ impl From<KmeansError> for CapError {
 /// # Ok::<(), ecg_clustering::balanced::CapError>(())
 /// ```
 pub fn kmeans_capped<R: Rng + ?Sized>(
-    points: &[Vec<f64>],
+    points: &FeatureMatrix,
     config: KmeansConfig,
     initializer: &Initializer,
     max_size: usize,
@@ -106,13 +107,12 @@ pub fn kmeans_capped<R: Rng + ?Sized>(
     if n < k {
         return Err(KmeansError::TooFewPoints { points: n, k }.into());
     }
-    let dim = points.first().map(Vec::len).unwrap_or(0);
-    if points.iter().any(|p| p.len() != dim) {
-        return Err(KmeansError::DimensionMismatch.into());
-    }
 
     let seeds = initializer.select(points, k, rng)?;
-    let mut centers: Vec<Vec<f64>> = seeds.iter().map(|&i| points[i].clone()).collect();
+    let mut centers = FeatureMatrix::with_capacity(k, points.dim());
+    for &i in &seeds {
+        centers.push_row(points.row(i));
+    }
     let mut assignments = capped_assignment(points, &centers, max_size);
 
     let mut iterations = 0;
@@ -147,7 +147,11 @@ pub fn kmeans_capped<R: Rng + ?Sized>(
 /// Guarantees every cluster gets at least one point when `n >= k` by
 /// reserving: after the greedy pass, empty clusters steal the point
 /// (from an over-1 cluster) nearest to their center.
-fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize) -> Vec<usize> {
+fn capped_assignment(
+    points: &FeatureMatrix,
+    centers: &FeatureMatrix,
+    max_size: usize,
+) -> Vec<usize> {
     let n = points.len();
     let k = centers.len();
     // Order points by descending regret.
@@ -155,7 +159,7 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
     let regret = |p: &[f64]| -> f64 {
         let mut best = f64::INFINITY;
         let mut second = f64::INFINITY;
-        for c in centers {
+        for c in centers.iter_rows() {
             let d = sq_l2(p, c);
             if d < best {
                 second = best;
@@ -170,7 +174,7 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
             0.0
         }
     };
-    let regrets: Vec<f64> = points.iter().map(|p| regret(p)).collect();
+    let regrets: Vec<f64> = points.iter_rows().map(regret).collect();
     order.sort_by(|&a, &b| {
         regrets[b]
             .partial_cmp(&regrets[a])
@@ -183,11 +187,11 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
     for &i in &order {
         // Nearest center with room.
         let mut best: Option<(usize, f64)> = None;
-        for (c, center) in centers.iter().enumerate() {
+        for (c, center) in centers.iter_rows().enumerate() {
             if counts[c] >= max_size {
                 continue;
             }
-            let d = sq_l2(&points[i], center);
+            let d = sq_l2(points.row(i), center);
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((c, d));
             }
@@ -201,11 +205,11 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
     // donor with more than one member.
     while let Some(empty) = counts.iter().position(|&c| c == 0) {
         let mut best: Option<(usize, f64)> = None;
-        for (i, p) in points.iter().enumerate() {
+        for (i, p) in points.iter_rows().enumerate() {
             if counts[assignments[i]] <= 1 {
                 continue;
             }
-            let d = sq_l2(p, &centers[empty]);
+            let d = sq_l2(p, centers.row(empty));
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
@@ -218,20 +222,25 @@ fn capped_assignment(points: &[Vec<f64>], centers: &[Vec<f64>], max_size: usize)
     assignments
 }
 
-fn update_centers(points: &[Vec<f64>], assignments: &[usize], centers: &mut [Vec<f64>]) {
-    let dim = points[0].len();
+/// Flat-storage center update, accumulating in point-index order.
+fn update_centers(points: &FeatureMatrix, assignments: &[usize], centers: &mut FeatureMatrix) {
+    let dim = points.dim();
     let k = centers.len();
-    let mut sums = vec![vec![0.0; dim]; k];
+    let mut sums = vec![0.0f64; k * dim];
     let mut counts = vec![0usize; k];
-    for (p, &c) in points.iter().zip(assignments) {
+    for (p, &c) in points.iter_rows().zip(assignments) {
         counts[c] += 1;
-        for (s, v) in sums[c].iter_mut().zip(p) {
+        for (s, v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
             *s += v;
         }
     }
     for c in 0..k {
         if counts[c] > 0 {
-            for (cv, sv) in centers[c].iter_mut().zip(&sums[c]) {
+            for (cv, sv) in centers
+                .row_mut(c)
+                .iter_mut()
+                .zip(&sums[c * dim..(c + 1) * dim])
+            {
                 *cv = sv / counts[c] as f64;
             }
         }
@@ -244,12 +253,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn blobs() -> Vec<Vec<f64>> {
+    fn blobs() -> FeatureMatrix {
         // 8 points near 0, 2 points near 100: uncapped K-means would
         // split 8/2.
-        let mut pts: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.1]).collect();
-        pts.push(vec![100.0]);
-        pts.push(vec![100.1]);
+        let mut pts = FeatureMatrix::new(1);
+        for i in 0..8 {
+            pts.push_row(&[i as f64 * 0.1]);
+        }
+        pts.push_row(&[100.0]);
+        pts.push_row(&[100.1]);
         pts
     }
 
@@ -324,7 +336,7 @@ mod tests {
 
     #[test]
     fn every_cluster_non_empty_under_duplicates() {
-        let pts = vec![vec![1.0]; 9];
+        let pts = FeatureMatrix::from_rows(&vec![vec![1.0]; 9]);
         let mut rng = StdRng::seed_from_u64(6);
         let r = kmeans_capped(
             &pts,
@@ -340,7 +352,7 @@ mod tests {
 
     #[test]
     fn wraps_kmeans_errors() {
-        let pts = vec![vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![1.0]]);
         let mut rng = StdRng::seed_from_u64(7);
         let err = kmeans_capped(
             &pts,

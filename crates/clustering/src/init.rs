@@ -10,6 +10,7 @@
 //! baseline for the ablation benches.
 
 use crate::kmeans::{sq_l2, KmeansError};
+use ecg_coords::FeatureMatrix;
 use rand::Rng;
 
 /// Strategy for choosing the `k` initial cluster centers.
@@ -44,7 +45,7 @@ impl Initializer {
     /// duplicate provided indices).
     pub fn select<R: Rng + ?Sized>(
         &self,
-        points: &[Vec<f64>],
+        points: &FeatureMatrix,
         k: usize,
         rng: &mut R,
     ) -> Result<Vec<usize>, KmeansError> {
@@ -110,8 +111,8 @@ impl Initializer {
                 let mut chosen = Vec::with_capacity(k);
                 chosen.push(rng.gen_range(0..n));
                 let mut dist2: Vec<f64> = points
-                    .iter()
-                    .map(|p| sq_l2(p, &points[chosen[0]]))
+                    .iter_rows()
+                    .map(|p| sq_l2(p, points.row(chosen[0])))
                     .collect();
                 while chosen.len() < k {
                     let total: f64 = dist2.iter().sum();
@@ -134,8 +135,9 @@ impl Initializer {
                         pick
                     };
                     chosen.push(next);
-                    for (i, p) in points.iter().enumerate() {
-                        dist2[i] = dist2[i].min(sq_l2(p, &points[next]));
+                    let next_row = points.row(next);
+                    for (i, p) in points.iter_rows().enumerate() {
+                        dist2[i] = dist2[i].min(sq_l2(p, next_row));
                     }
                 }
                 Ok(chosen)
@@ -207,8 +209,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn points(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![i as f64]).collect()
+    fn points(n: usize) -> FeatureMatrix {
+        FeatureMatrix::from_rows(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>())
     }
 
     #[test]
@@ -317,12 +319,12 @@ mod tests {
     fn kmeanspp_spreads_seeds() {
         // Two far blobs: with k = 2 the seeds should almost always land
         // in different blobs.
-        let mut pts = Vec::new();
+        let mut pts = FeatureMatrix::new(1);
         for i in 0..10 {
-            pts.push(vec![i as f64 * 0.01]);
+            pts.push_row(&[i as f64 * 0.01]);
         }
         for i in 0..10 {
-            pts.push(vec![1_000.0 + i as f64 * 0.01]);
+            pts.push_row(&[1_000.0 + i as f64 * 0.01]);
         }
         let mut rng = StdRng::seed_from_u64(6);
         let mut split = 0usize;
@@ -340,7 +342,7 @@ mod tests {
 
     #[test]
     fn kmeanspp_handles_duplicate_points() {
-        let pts = vec![vec![5.0]; 6];
+        let pts = FeatureMatrix::from_rows(&vec![vec![5.0]; 6]);
         let mut rng = StdRng::seed_from_u64(7);
         let mut s = Initializer::KmeansPlusPlus
             .select(&pts, 3, &mut rng)

@@ -6,10 +6,17 @@
 //! to server distance for SDSL — so the initializer is a first-class
 //! parameter here (see [`Initializer`]).
 //!
-//! Points are dense `Vec<f64>` rows; feature vectors and GNP coordinates
-//! both convert to this representation trivially.
+//! Points live in a contiguous row-major [`FeatureMatrix`], so the
+//! distance kernels run over flat `&[f64]` slices. The Lloyd loop uses
+//! Hamerly-style upper/lower distance bounds ("Making k-means even
+//! faster", SDM 2010) to skip the k-way scan for points whose assignment
+//! provably cannot change; every surviving candidate is settled with
+//! exact distances, so [`kmeans`] produces assignments, centers,
+//! iteration counts, and convergence flags identical to the retained
+//! naive implementation [`kmeans_reference`].
 
 use crate::init::Initializer;
+use ecg_coords::FeatureMatrix;
 use rand::Rng;
 
 /// Squared Euclidean distance between two points.
@@ -91,7 +98,7 @@ impl KmeansConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     assignments: Vec<usize>,
-    centers: Vec<Vec<f64>>,
+    centers: FeatureMatrix,
     iterations: usize,
     converged: bool,
 }
@@ -101,7 +108,7 @@ impl Clustering {
     /// variant in [`crate::balanced`]).
     pub(crate) fn from_parts(
         assignments: Vec<usize>,
-        centers: Vec<Vec<f64>>,
+        centers: FeatureMatrix,
         iterations: usize,
         converged: bool,
     ) -> Self {
@@ -118,8 +125,8 @@ impl Clustering {
         &self.assignments
     }
 
-    /// Final cluster centers (mean vectors).
-    pub fn centers(&self) -> &[Vec<f64>] {
+    /// Final cluster centers (mean vectors), one matrix row per cluster.
+    pub fn centers(&self) -> &FeatureMatrix {
         &self.centers
     }
 
@@ -160,11 +167,11 @@ impl Clustering {
 
     /// Within-cluster sum of squared distances to centers — the K-means
     /// objective value for this clustering.
-    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+    pub fn inertia(&self, points: &FeatureMatrix) -> f64 {
         self.assignments
             .iter()
-            .zip(points)
-            .map(|(&c, p)| sq_l2(p, &self.centers[c]))
+            .zip(points.iter_rows())
+            .map(|(&c, p)| sq_l2(p, self.centers.row(c)))
             .sum()
     }
 }
@@ -179,8 +186,6 @@ pub enum KmeansError {
         /// Clusters requested.
         k: usize,
     },
-    /// Points do not all share one dimension.
-    DimensionMismatch,
     /// The initializer returned the wrong number of (or duplicate)
     /// centers.
     BadInitializer(String),
@@ -191,9 +196,6 @@ impl std::fmt::Display for KmeansError {
         match self {
             KmeansError::TooFewPoints { points, k } => {
                 write!(f, "cannot form {k} clusters from {points} points")
-            }
-            KmeansError::DimensionMismatch => {
-                write!(f, "points must all have the same dimension")
             }
             KmeansError::BadInitializer(msg) => write!(f, "initializer misbehaved: {msg}"),
         }
@@ -214,21 +216,26 @@ impl std::error::Error for KmeansError {}
 ///    re-seeded on the point currently farthest from its own center, so
 ///    exactly `k` non-empty groups come out.
 ///
+/// The re-assignment phase is accelerated with Hamerly-style distance
+/// bounds; the pruning is strictly conservative (a point is skipped only
+/// when its current center is the *unique* strict nearest), so the
+/// result is identical to [`kmeans_reference`] in every field.
+///
 /// # Errors
 ///
-/// Returns [`KmeansError`] if there are fewer points than clusters, the
-/// point dimensions disagree, or the initializer returns a bad seed set.
+/// Returns [`KmeansError`] if there are fewer points than clusters or
+/// the initializer returns a bad seed set.
 ///
 /// # Examples
 ///
 /// ```
-/// use ecg_clustering::{kmeans, Initializer, KmeansConfig};
+/// use ecg_clustering::{kmeans, FeatureMatrix, Initializer, KmeansConfig};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
-/// let points = vec![
+/// let points = FeatureMatrix::from_rows(&[
 ///     vec![0.0, 0.0], vec![0.1, 0.0], // cluster A
 ///     vec![9.0, 9.0], vec![9.1, 9.0], // cluster B
-/// ];
+/// ]);
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let result = kmeans(
 ///     &points,
@@ -243,7 +250,7 @@ impl std::error::Error for KmeansError {}
 /// # Ok::<(), ecg_clustering::KmeansError>(())
 /// ```
 pub fn kmeans<R: Rng + ?Sized>(
-    points: &[Vec<f64>],
+    points: &FeatureMatrix,
     config: KmeansConfig,
     initializer: &Initializer,
     rng: &mut R,
@@ -253,31 +260,99 @@ pub fn kmeans<R: Rng + ?Sized>(
     if n < k {
         return Err(KmeansError::TooFewPoints { points: n, k });
     }
-    let dim = points[0].len();
-    if points.iter().any(|p| p.len() != dim) {
-        return Err(KmeansError::DimensionMismatch);
+
+    // Initialization phase. The initializer is the only RNG consumer, so
+    // the stream stays aligned with `kmeans_reference`.
+    let seeds = initializer.select(points, k, rng)?;
+    let mut centers = FeatureMatrix::with_capacity(k, points.dim());
+    for &i in &seeds {
+        centers.push_row(points.row(i));
     }
 
-    // Initialization phase.
-    let seeds = initializer.select(points, k, rng)?;
-    let mut centers: Vec<Vec<f64>> = seeds.iter().map(|&i| points[i].clone()).collect();
     let mut assignments = vec![0usize; n];
-    for (i, p) in points.iter().enumerate() {
-        assignments[i] = nearest_center(p, &centers);
+    // Hamerly bounds, in the metric (sqrt) domain where the triangle
+    // inequality holds: `upper[i] >= d(i, center[assignments[i]])` and
+    // `lower[i] <= min over other centers of d(i, center)`.
+    let mut upper = vec![0.0f64; n];
+    let mut lower = vec![0.0f64; n];
+    for i in 0..n {
+        let (best, best_d2, second_d2) = scan_point(points.row(i), &centers);
+        assignments[i] = best;
+        upper[i] = best_d2.sqrt();
+        lower[i] = second_d2.sqrt();
     }
 
     // Iterative phase.
     let mut iterations = 0;
     let mut converged = false;
+    let mut previous_centers = centers.clone();
+    let mut movement = vec![0.0f64; k];
+    let mut stolen: Vec<usize> = Vec::new();
+    let mut update = CenterUpdateScratch::new(k, points.dim());
     while iterations < config.max_iterations {
         iterations += 1;
-        update_centers(points, &assignments, &mut centers);
-        repair_empty_clusters(points, &mut assignments, &mut centers);
+        previous_centers.clone_from(&centers);
+        update.update_centers(points, &assignments, &mut centers);
+        repair_empty_clusters(points, &mut assignments, &mut centers, &mut stolen);
+
+        // How far each center travelled this iteration (including any
+        // repair re-seeding); by the triangle inequality a point's
+        // distance to center `c` changed by at most `movement[c]`. The
+        // lower bound covers centers *other than* the point's own, so a
+        // point assigned to the fastest-moving center only needs the
+        // second-fastest movement subtracted — without this, one
+        // fast-moving center (a blob being split) collapses every
+        // point's lower bound and disables pruning globally.
+        let (mut max_move, mut second_move, mut max_mover) = (0.0f64, 0.0f64, 0usize);
+        for (c, m) in movement.iter_mut().enumerate() {
+            *m = sq_l2(previous_centers.row(c), centers.row(c)).sqrt();
+            if *m > max_move {
+                second_move = max_move;
+                max_move = *m;
+                max_mover = c;
+            } else if *m > second_move {
+                second_move = *m;
+            }
+        }
+        for i in 0..n {
+            let a = assignments[i];
+            upper[i] += movement[a];
+            lower[i] -= if a == max_mover {
+                second_move
+            } else {
+                max_move
+            };
+        }
+        // Points the repair moved were re-assigned outside the scan;
+        // their bounds no longer describe their cluster. Force an exact
+        // re-scan next phase.
+        for &i in &stolen {
+            upper[i] = f64::INFINITY;
+            lower[i] = f64::NEG_INFINITY;
+        }
 
         let mut reassigned = 0usize;
-        for (i, p) in points.iter().enumerate() {
-            let best = nearest_center(p, &centers);
-            if best != assignments[i] {
+        for i in 0..n {
+            // Prune: `upper < lower` makes the current center the unique
+            // strict nearest, so the naive scan would keep it. Ties never
+            // prune (the inequality is strict), so tie-breaking always
+            // falls through to the exact scan below.
+            if upper[i] < lower[i] {
+                continue;
+            }
+            let p = points.row(i);
+            let a = assignments[i];
+            // Tighten the upper bound with one exact distance and retest
+            // before paying for the full k-way scan.
+            let d_a = sq_l2(p, centers.row(a)).sqrt();
+            upper[i] = d_a;
+            if d_a < lower[i] {
+                continue;
+            }
+            let (best, best_d2, second_d2) = scan_point(p, &centers);
+            upper[i] = best_d2.sqrt();
+            lower[i] = second_d2.sqrt();
+            if best != a {
                 assignments[i] = best;
                 reassigned += 1;
             }
@@ -290,8 +365,8 @@ pub fn kmeans<R: Rng + ?Sized>(
 
     // Termination phase: make centers consistent with final assignments
     // and guarantee no empty groups.
-    update_centers(points, &assignments, &mut centers);
-    repair_empty_clusters(points, &mut assignments, &mut centers);
+    update.update_centers(points, &assignments, &mut centers);
+    repair_empty_clusters(points, &mut assignments, &mut centers, &mut stolen);
 
     Ok(Clustering {
         assignments,
@@ -301,8 +376,189 @@ pub fn kmeans<R: Rng + ?Sized>(
     })
 }
 
-/// Index of the center nearest to `p` (ties break to the lower index).
-fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
+/// The pre-optimization naive K-means, retained verbatim as the
+/// correctness oracle for [`kmeans`] and as the baseline the hot-path
+/// benches compare against: ragged `Vec<Vec<f64>>` rows and a full k-way
+/// distance scan for every point in every iteration.
+///
+/// Consumes the RNG identically to [`kmeans`] (only the initializer
+/// draws), so for the same inputs and seed the two return equal
+/// [`Clustering`] values — see the equivalence property test.
+///
+/// # Errors
+///
+/// Exactly as [`kmeans`].
+pub fn kmeans_reference<R: Rng + ?Sized>(
+    points: &FeatureMatrix,
+    config: KmeansConfig,
+    initializer: &Initializer,
+    rng: &mut R,
+) -> Result<Clustering, KmeansError> {
+    let n = points.len();
+    let k = config.k;
+    if n < k {
+        return Err(KmeansError::TooFewPoints { points: n, k });
+    }
+    let seeds = initializer.select(points, k, rng)?;
+    let rows = points.to_rows();
+
+    let mut centers: Vec<Vec<f64>> = seeds.iter().map(|&i| rows[i].clone()).collect();
+    let mut assignments = vec![0usize; n];
+    for (i, p) in rows.iter().enumerate() {
+        assignments[i] = nearest_center_rows(p, &centers);
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        update_centers_rows(&rows, &assignments, &mut centers);
+        repair_empty_clusters_rows(&rows, &mut assignments, &mut centers);
+
+        let mut reassigned = 0usize;
+        for (i, p) in rows.iter().enumerate() {
+            let best = nearest_center_rows(p, &centers);
+            if best != assignments[i] {
+                assignments[i] = best;
+                reassigned += 1;
+            }
+        }
+        if reassigned <= config.reassignment_threshold {
+            converged = true;
+            break;
+        }
+    }
+
+    update_centers_rows(&rows, &assignments, &mut centers);
+    repair_empty_clusters_rows(&rows, &mut assignments, &mut centers);
+
+    Ok(Clustering {
+        assignments,
+        centers: FeatureMatrix::from_rows(&centers),
+        iterations,
+        converged,
+    })
+}
+
+/// Full scan of `p` against every center: `(best index, best squared
+/// distance, second-best squared distance)`. Ties break to the lower
+/// index, exactly like the reference scan.
+fn scan_point(p: &[f64], centers: &FeatureMatrix) -> (usize, f64, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    let mut second_d = f64::INFINITY;
+    for (c, center) in centers.iter_rows().enumerate() {
+        let d = sq_l2(p, center);
+        if d < best_d {
+            second_d = best_d;
+            best_d = d;
+            best = c;
+        } else if d < second_d {
+            second_d = d;
+        }
+    }
+    (best, best_d, second_d)
+}
+
+/// Reusable buffers for the center update so the Lloyd loop allocates
+/// nothing per iteration.
+struct CenterUpdateScratch {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    dim: usize,
+}
+
+impl CenterUpdateScratch {
+    fn new(k: usize, dim: usize) -> Self {
+        CenterUpdateScratch {
+            sums: vec![0.0; k * dim],
+            counts: vec![0; k],
+            dim,
+        }
+    }
+
+    /// Recomputes each center as the mean of its assigned points,
+    /// accumulating in point-index order so the floating-point results
+    /// match the reference implementation bit for bit. Centers of empty
+    /// clusters are left untouched (repair handles them).
+    fn update_centers(
+        &mut self,
+        points: &FeatureMatrix,
+        assignments: &[usize],
+        centers: &mut FeatureMatrix,
+    ) {
+        let dim = self.dim;
+        self.sums.fill(0.0);
+        self.counts.fill(0);
+        for (p, &c) in points.iter_rows().zip(assignments) {
+            self.counts[c] += 1;
+            for (s, v) in self.sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..centers.len() {
+            if self.counts[c] > 0 {
+                let inv = self.counts[c] as f64;
+                for (center_v, sum_v) in centers
+                    .row_mut(c)
+                    .iter_mut()
+                    .zip(&self.sums[c * dim..(c + 1) * dim])
+                {
+                    *center_v = sum_v / inv;
+                }
+            }
+        }
+    }
+}
+
+/// Re-seeds every empty cluster on the point farthest from its current
+/// center, stealing it from its (necessarily non-empty) donor cluster.
+/// The indices of stolen points are collected into `stolen` (cleared
+/// first) so the caller can invalidate their distance bounds.
+fn repair_empty_clusters(
+    points: &FeatureMatrix,
+    assignments: &mut [usize],
+    centers: &mut FeatureMatrix,
+    stolen: &mut Vec<usize>,
+) {
+    let k = centers.len();
+    stolen.clear();
+    loop {
+        let mut counts = vec![0usize; k];
+        for &c in assignments.iter() {
+            counts[c] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            return;
+        };
+        // Farthest point from its own center, from a cluster with > 1
+        // members so the donor does not become empty itself.
+        let mut donor: Option<(usize, f64)> = None;
+        for (i, p) in points.iter_rows().enumerate() {
+            let c = assignments[i];
+            if counts[c] <= 1 {
+                continue;
+            }
+            let d = sq_l2(p, centers.row(c));
+            if donor.is_none_or(|(_, bd)| d > bd) {
+                donor = Some((i, d));
+            }
+        }
+        let Some((idx, _)) = donor else {
+            // All clusters are singletons or empty and nothing can move;
+            // only possible when n < k, which the entry point rejects.
+            return;
+        };
+        assignments[idx] = empty;
+        let row = points.row(idx).to_vec();
+        centers.set_row(empty, &row);
+        stolen.push(idx);
+    }
+}
+
+/// Index of the center nearest to `p` (ties break to the lower index) —
+/// reference-path scan over ragged rows.
+fn nearest_center_rows(p: &[f64], centers: &[Vec<f64>]) -> usize {
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (c, center) in centers.iter().enumerate() {
@@ -315,9 +571,7 @@ fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
     best
 }
 
-/// Recomputes each center as the mean of its assigned points. Centers of
-/// empty clusters are left untouched (repair handles them).
-fn update_centers(points: &[Vec<f64>], assignments: &[usize], centers: &mut [Vec<f64>]) {
+fn update_centers_rows(points: &[Vec<f64>], assignments: &[usize], centers: &mut [Vec<f64>]) {
     let dim = points[0].len();
     let k = centers.len();
     let mut sums = vec![vec![0.0; dim]; k];
@@ -337,9 +591,11 @@ fn update_centers(points: &[Vec<f64>], assignments: &[usize], centers: &mut [Vec
     }
 }
 
-/// Re-seeds every empty cluster on the point farthest from its current
-/// center, stealing it from its (necessarily non-empty) donor cluster.
-fn repair_empty_clusters(points: &[Vec<f64>], assignments: &mut [usize], centers: &mut [Vec<f64>]) {
+fn repair_empty_clusters_rows(
+    points: &[Vec<f64>],
+    assignments: &mut [usize],
+    centers: &mut [Vec<f64>],
+) {
     let k = centers.len();
     loop {
         let mut counts = vec![0usize; k];
@@ -349,8 +605,6 @@ fn repair_empty_clusters(points: &[Vec<f64>], assignments: &mut [usize], centers
         let Some(empty) = counts.iter().position(|&c| c == 0) else {
             return;
         };
-        // Farthest point from its own center, from a cluster with > 1
-        // members so the donor does not become empty itself.
         let mut donor: Option<(usize, f64)> = None;
         for (i, p) in points.iter().enumerate() {
             let c = assignments[i];
@@ -363,8 +617,6 @@ fn repair_empty_clusters(points: &[Vec<f64>], assignments: &mut [usize], centers
             }
         }
         let Some((idx, _)) = donor else {
-            // All clusters are singletons or empty and nothing can move;
-            // only possible when n < k, which the entry point rejects.
             return;
         };
         assignments[idx] = empty;
@@ -379,11 +631,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn three_blobs() -> Vec<Vec<f64>> {
-        let mut pts = Vec::new();
+    fn three_blobs() -> FeatureMatrix {
+        let mut pts = FeatureMatrix::new(2);
         for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)] {
             for d in 0..5 {
-                pts.push(vec![cx + d as f64 * 0.1, cy + d as f64 * 0.1]);
+                pts.push_row(&[cx + d as f64 * 0.1, cy + d as f64 * 0.1]);
             }
         }
         pts
@@ -416,8 +668,11 @@ mod tests {
     #[test]
     fn every_cluster_is_non_empty() {
         // Adversarial: many identical points plus one outlier, k = 4.
-        let mut pts = vec![vec![0.0, 0.0]; 20];
-        pts.push(vec![100.0, 100.0]);
+        let mut pts = FeatureMatrix::new(2);
+        for _ in 0..20 {
+            pts.push_row(&[0.0, 0.0]);
+        }
+        pts.push_row(&[100.0, 100.0]);
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let r = kmeans(
@@ -437,7 +692,8 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_singletons() {
-        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 10.0]).collect();
+        let pts =
+            FeatureMatrix::from_rows(&(0..6).map(|i| vec![i as f64 * 10.0]).collect::<Vec<_>>());
         let mut rng = StdRng::seed_from_u64(1);
         let r = kmeans(
             &pts,
@@ -464,13 +720,13 @@ mod tests {
         .unwrap();
         assert_eq!(r.cluster_sizes(), vec![pts.len()]);
         // Center is the global mean.
-        let mean_x = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        let mean_x = pts.iter_rows().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
         assert!((r.centers()[0][0] - mean_x).abs() < 1e-9);
     }
 
     #[test]
     fn too_few_points_is_an_error() {
-        let pts = vec![vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![1.0]]);
         let mut rng = StdRng::seed_from_u64(1);
         let err = kmeans(
             &pts,
@@ -481,20 +737,6 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, KmeansError::TooFewPoints { points: 1, k: 2 });
         assert!(err.to_string().contains("2 clusters"));
-    }
-
-    #[test]
-    fn dimension_mismatch_is_an_error() {
-        let pts = vec![vec![1.0], vec![1.0, 2.0]];
-        let mut rng = StdRng::seed_from_u64(1);
-        let err = kmeans(
-            &pts,
-            KmeansConfig::new(1),
-            &Initializer::RandomRepresentative,
-            &mut rng,
-        )
-        .unwrap_err();
-        assert_eq!(err, KmeansError::DimensionMismatch);
     }
 
     #[test]
@@ -550,6 +792,84 @@ mod tests {
         all.sort_unstable();
         let expect: Vec<usize> = (0..pts.len()).collect();
         assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn pruned_run_equals_reference_exactly() {
+        // Same seeds, a spread of (n, k) shapes including duplicate
+        // points (exact distance ties) and k = n: every field of the
+        // result must match the naive path bit for bit.
+        let mut gen = StdRng::seed_from_u64(0xBEEF);
+        for &(n, k, dim) in &[
+            (12usize, 3usize, 2usize),
+            (40, 7, 5),
+            (25, 25, 3),
+            (30, 2, 1),
+        ] {
+            let mut pts = FeatureMatrix::new(dim);
+            for i in 0..n {
+                use rand::Rng;
+                // Every fourth point duplicates the previous one to
+                // exercise exact distance ties.
+                if i % 4 == 3 {
+                    let prev = pts.row(i - 1).to_vec();
+                    pts.push_row(&prev);
+                } else {
+                    let row: Vec<f64> = (0..dim).map(|_| gen.gen_range(0.0..100.0)).collect();
+                    pts.push_row(&row);
+                }
+            }
+            for seed in 0..10u64 {
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let fast = kmeans(
+                    &pts,
+                    KmeansConfig::new(k),
+                    &Initializer::RandomRepresentative,
+                    &mut rng_a,
+                )
+                .unwrap();
+                let slow = kmeans_reference(
+                    &pts,
+                    KmeansConfig::new(k),
+                    &Initializer::RandomRepresentative,
+                    &mut rng_b,
+                )
+                .unwrap();
+                assert_eq!(fast, slow, "n={n} k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_run_equals_reference_with_duplicates_and_repair() {
+        // Heavy duplication forces empty-cluster repair in most
+        // iterations — the hardest case for bound bookkeeping.
+        let mut pts = FeatureMatrix::new(2);
+        for _ in 0..18 {
+            pts.push_row(&[1.0, 1.0]);
+        }
+        pts.push_row(&[50.0, 0.0]);
+        pts.push_row(&[0.0, 50.0]);
+        for seed in 0..20u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fast = kmeans(
+                &pts,
+                KmeansConfig::new(5),
+                &Initializer::RandomRepresentative,
+                &mut rng_a,
+            )
+            .unwrap();
+            let slow = kmeans_reference(
+                &pts,
+                KmeansConfig::new(5),
+                &Initializer::RandomRepresentative,
+                &mut rng_b,
+            )
+            .unwrap();
+            assert_eq!(fast, slow, "seed {seed}");
+        }
     }
 
     #[test]

@@ -14,13 +14,20 @@
 //! * [`hierarchical`] — agglomerative clustering over raw dissimilarity
 //!   matrices, used as an ablation baseline.
 //!
+//! Points are handed in as an [`FeatureMatrix`] (re-exported from
+//! `ecg-coords`): one contiguous row-major buffer, so the distance
+//! kernels in the Lloyd loop stream over flat memory. [`kmeans()`] also
+//! prunes re-assignment scans with Hamerly-style distance bounds while
+//! producing output identical to the retained naive implementation
+//! [`kmeans_reference()`].
+//!
 //! # Examples
 //!
 //! ```
-//! use ecg_clustering::{kmeans, Initializer, KmeansConfig};
+//! use ecg_clustering::{kmeans, FeatureMatrix, Initializer, KmeansConfig};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let points = vec![vec![0.0], vec![1.0], vec![100.0], vec![101.0]];
+//! let points = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0], vec![101.0]]);
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let result = kmeans(
 //!     &points,
@@ -44,10 +51,12 @@ pub mod model_selection;
 pub mod quality;
 
 pub use balanced::{kmeans_capped, CapError};
+pub use ecg_coords::FeatureMatrix;
 pub use init::{server_distance_weights, Initializer};
-pub use kmeans::{kmeans, Clustering, KmeansConfig, KmeansError};
-pub use medoids::{pam, Medoids};
+pub use kmeans::{kmeans, kmeans_reference, Clustering, KmeansConfig, KmeansError};
+pub use medoids::{pam, pam_euclidean, Medoids};
 pub use model_selection::{suggest_k, KSelection};
 pub use quality::{
-    average_group_interaction_cost, group_interaction_cost, group_size_stats, mean_silhouette,
+    average_group_interaction_cost, euclidean_cost, group_interaction_cost, group_size_stats,
+    mean_silhouette,
 };

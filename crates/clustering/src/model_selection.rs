@@ -10,6 +10,7 @@
 use crate::init::Initializer;
 use crate::kmeans::{kmeans, sq_l2, KmeansConfig, KmeansError};
 use crate::quality::mean_silhouette;
+use ecg_coords::FeatureMatrix;
 use rand::Rng;
 
 /// Result of a K sweep.
@@ -41,14 +42,14 @@ pub struct KSelection {
 ///
 /// ```
 /// use ecg_clustering::model_selection::suggest_k;
-/// use ecg_clustering::Initializer;
+/// use ecg_clustering::{FeatureMatrix, Initializer};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// // Three well-separated blobs of four points.
-/// let mut points = Vec::new();
+/// let mut points = FeatureMatrix::new(1);
 /// for center in [0.0, 100.0, 200.0] {
 ///     for d in 0..4 {
-///         points.push(vec![center + d as f64]);
+///         points.push_row(&[center + d as f64]);
 ///     }
 /// }
 /// let mut rng = StdRng::seed_from_u64(1);
@@ -63,7 +64,7 @@ pub struct KSelection {
 /// # Ok::<(), ecg_clustering::KmeansError>(())
 /// ```
 pub fn suggest_k<R: Rng + ?Sized>(
-    points: &[Vec<f64>],
+    points: &FeatureMatrix,
     candidates: &[usize],
     initializer: &Initializer,
     attempts: usize,
@@ -83,7 +84,7 @@ pub fn suggest_k<R: Rng + ?Sized>(
     }
     let attempts = attempts.max(1);
 
-    let cost = |a: usize, b: usize| sq_l2(&points[a], &points[b]).sqrt();
+    let cost = |a: usize, b: usize| sq_l2(points.row(a), points.row(b)).sqrt();
     let mut scores = Vec::with_capacity(usable.len());
     for &k in &usable {
         let mut best: Option<(f64, f64)> = None; // (inertia, silhouette)
@@ -110,15 +111,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn blobs(centers: &[(f64, f64)], per_blob: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn blobs(centers: &[(f64, f64)], per_blob: usize, seed: u64) -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut points = Vec::new();
+        let mut points = FeatureMatrix::new(2);
         for &(cx, cy) in centers {
             for _ in 0..per_blob {
-                points.push(vec![
-                    cx + rng.gen_range(-1.0..1.0),
-                    cy + rng.gen_range(-1.0..1.0),
-                ]);
+                points.push_row(&[cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
             }
         }
         points

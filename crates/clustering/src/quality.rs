@@ -7,6 +7,27 @@
 //! diagnostics (within-cluster scatter, silhouette) used by the ablation
 //! benches.
 
+use crate::kmeans::sq_l2;
+use ecg_coords::FeatureMatrix;
+
+/// Euclidean pairwise cost over a [`FeatureMatrix`]: `cost(a, b)` is the
+/// L2 distance between rows `a` and `b`. Plugs flat point storage
+/// straight into the closure-based metrics in this module without
+/// materializing per-pair vectors.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_clustering::{euclidean_cost, FeatureMatrix};
+///
+/// let m = FeatureMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+/// let cost = euclidean_cost(&m);
+/// assert_eq!(cost(0, 1), 5.0);
+/// ```
+pub fn euclidean_cost(points: &FeatureMatrix) -> impl Fn(usize, usize) -> f64 + '_ {
+    |a, b| sq_l2(points.row(a), points.row(b)).sqrt()
+}
+
 /// Group interaction cost of one group: the mean of `cost(a, b)` over all
 /// unordered member pairs (§2's `GICost`).
 ///
@@ -169,6 +190,17 @@ mod tests {
         // Singletons contribute zero.
         let s = mean_silhouette(&[vec![0], vec![9]], line_cost);
         assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn euclidean_cost_matches_l2() {
+        let m = FeatureMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![3.0, 0.0]]);
+        let cost = euclidean_cost(&m);
+        assert_eq!(cost(0, 1), 5.0);
+        assert_eq!(cost(0, 2), 3.0);
+        assert_eq!(cost(1, 1), 0.0);
+        // Symmetric, so the closure-based metrics behave.
+        assert_eq!(cost(1, 2), cost(2, 1));
     }
 
     #[test]

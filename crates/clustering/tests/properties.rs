@@ -3,14 +3,15 @@
 use ecg_clustering::hierarchical::{agglomerative, Linkage};
 use ecg_clustering::{
     average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped,
-    server_distance_weights, Initializer, KmeansConfig,
+    kmeans_reference, server_distance_weights, FeatureMatrix, Initializer, KmeansConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn arb_points() -> impl Strategy<Value = FeatureMatrix> {
     proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, 2), 2..40)
+        .prop_map(|rows| FeatureMatrix::from_rows(&rows))
 }
 
 proptest! {
@@ -58,12 +59,42 @@ proptest! {
         let sq = |a: &[f64], b: &[f64]| -> f64 {
             a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
         };
-        for (i, p) in points.iter().enumerate() {
-            let assigned = sq(p, &r.centers()[r.assignments()[i]]);
-            for center in r.centers() {
+        for (i, p) in points.iter_rows().enumerate() {
+            let assigned = sq(p, r.centers().row(r.assignments()[i]));
+            for center in r.centers().iter_rows() {
                 prop_assert!(assigned <= sq(p, center) + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn pruned_kmeans_matches_naive_reference(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // The bound-pruned assignment loop must be invisible: same
+        // assignments, same centers (bit for bit), same iteration count
+        // and convergence flag as the retained naive implementation.
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let mut rng_fast = StdRng::seed_from_u64(seed);
+        let mut rng_ref = StdRng::seed_from_u64(seed);
+        let fast = kmeans(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut rng_fast,
+        ).unwrap();
+        let reference = kmeans_reference(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut rng_ref,
+        ).unwrap();
+        prop_assert_eq!(fast.assignments(), reference.assignments());
+        prop_assert_eq!(fast.centers().as_flat(), reference.centers().as_flat());
+        prop_assert_eq!(fast.iterations(), reference.iterations());
+        prop_assert_eq!(fast.converged(), reference.converged());
     }
 
     #[test]

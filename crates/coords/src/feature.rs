@@ -7,6 +7,7 @@
 //! points" (§3.2). Positional dissimilarity between two nodes is the L2
 //! distance between their feature vectors.
 
+use crate::matrix::FeatureMatrix;
 use crate::probe::Prober;
 use rand::Rng;
 use std::fmt;
@@ -93,9 +94,28 @@ impl FeatureVector {
     where
         I: IntoIterator<Item = &'a FeatureVector>,
     {
+        let mut acc = Vec::new();
+        FeatureVector::mean_into(vectors, &mut acc).then_some(FeatureVector { values: acc })
+    }
+
+    /// Accumulates the component-wise mean into a caller-provided buffer
+    /// (cleared and resized as needed), avoiding the per-call allocation
+    /// of [`FeatureVector::mean`]. Returns `false` (leaving `acc` empty)
+    /// if `vectors` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree on dimension.
+    pub fn mean_into<'a, I>(vectors: I, acc: &mut Vec<f64>) -> bool
+    where
+        I: IntoIterator<Item = &'a FeatureVector>,
+    {
+        acc.clear();
         let mut iter = vectors.into_iter();
-        let first = iter.next()?;
-        let mut acc = first.values.clone();
+        let Some(first) = iter.next() else {
+            return false;
+        };
+        acc.extend_from_slice(&first.values);
         let mut count = 1usize;
         for v in iter {
             assert_eq!(v.dim(), acc.len(), "mixed dimensions in mean");
@@ -104,10 +124,10 @@ impl FeatureVector {
             }
             count += 1;
         }
-        for a in &mut acc {
+        for a in acc.iter_mut() {
             *a /= count as f64;
         }
-        Some(FeatureVector { values: acc })
+        true
     }
 }
 
@@ -154,6 +174,39 @@ pub fn build_feature_vectors<R: Rng + ?Sized>(
         .iter()
         .map(|&node| FeatureVector::new(prober.measure_all(node, landmarks, rng)))
         .collect()
+}
+
+/// Flat-storage variant of [`build_feature_vectors`]: probes the same
+/// measurements in the same order (so a shared RNG stream is consumed
+/// identically), but packs every node's row straight into one
+/// [`FeatureMatrix`] instead of allocating a `FeatureVector` per node.
+///
+/// Row `i` of the result is node `nodes[i]`'s measured RTTs to each
+/// landmark, in landmark order.
+///
+/// # Panics
+///
+/// Panics if a measurement comes back negative or non-finite (the same
+/// validation [`FeatureVector::new`] applies).
+pub fn build_feature_matrix<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    nodes: &[usize],
+    landmarks: &[usize],
+    rng: &mut R,
+) -> FeatureMatrix {
+    let mut matrix = FeatureMatrix::with_capacity(nodes.len(), landmarks.len());
+    let mut row = Vec::with_capacity(landmarks.len());
+    for &node in nodes {
+        prober.measure_all_into(node, landmarks, rng, &mut row);
+        for &v in &row {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "feature components must be finite and non-negative, got {v}"
+            );
+        }
+        matrix.push_row(&row);
+    }
+    matrix
 }
 
 #[cfg(test)]
@@ -227,6 +280,38 @@ mod tests {
         assert_eq!(fvs[1].as_slice(), &[8.0, 4.0, 14.4]);
         // Ec4 (matrix index 5) is a landmark too.
         assert_eq!(fvs[4].as_slice(), &[12.0, 17.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_matches_vectors_measurement_for_measurement() {
+        // Same seed, noisy probing: the flat builder must consume the
+        // RNG identically, so the rows are bit-identical.
+        let m = paper_figure1();
+        let prober = Prober::new(&m, ProbeConfig::default());
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let fvs = build_feature_vectors(&prober, &nodes, &landmarks, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        let fm = build_feature_matrix(&prober, &nodes, &landmarks, &mut rng_b);
+        assert_eq!(fm.len(), fvs.len());
+        assert_eq!(fm.dim(), 3);
+        for (i, fv) in fvs.iter().enumerate() {
+            assert_eq!(fm.row(i), fv.as_slice());
+        }
+    }
+
+    #[test]
+    fn mean_into_reuses_buffer_and_matches_mean() {
+        let vs = [
+            FeatureVector::new(vec![0.0, 4.0]),
+            FeatureVector::new(vec![2.0, 0.0]),
+        ];
+        let mut buf = vec![99.0; 7];
+        assert!(FeatureVector::mean_into(vs.iter(), &mut buf));
+        assert_eq!(buf, vec![1.0, 2.0]);
+        assert!(!FeatureVector::mean_into([].iter(), &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

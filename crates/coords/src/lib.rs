@@ -39,13 +39,15 @@
 
 pub mod feature;
 pub mod gnp;
+pub mod matrix;
 pub mod metrics;
 pub mod probe;
 pub mod simplex;
 pub mod vivaldi;
 
-pub use feature::{build_feature_vectors, FeatureVector};
+pub use feature::{build_feature_matrix, build_feature_vectors, FeatureVector};
 pub use gnp::{embed_network, GnpConfig, GnpCoordinates, GnpModel};
+pub use matrix::FeatureMatrix;
 pub use metrics::{feature_vector_distance_error, proximity_order_preservation, ErrorStats};
 pub use probe::{ProbeConfig, Prober};
 pub use vivaldi::{mean_relative_error, run_vivaldi, VivaldiConfig, VivaldiNode};

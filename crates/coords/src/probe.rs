@@ -258,10 +258,26 @@ impl<'a> Prober<'a> {
         targets: &[usize],
         rng: &mut R,
     ) -> Vec<f64> {
-        targets
-            .iter()
-            .map(|&t| self.measure(from, t, rng))
-            .collect()
+        let mut out = Vec::new();
+        self.measure_all_into(from, targets, rng, &mut out);
+        out
+    }
+
+    /// Like [`Prober::measure_all`], but writes into a caller-provided
+    /// buffer (cleared first) so tight loops can measure many nodes
+    /// without a per-node allocation.
+    pub fn measure_all_into<R: Rng + ?Sized>(
+        &self,
+        from: usize,
+        targets: &[usize],
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(targets.len());
+        for &t in targets {
+            out.push(self.measure(from, t, rng));
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 //!   re-run of the scheme once incremental decay crosses a threshold.
 
 use crate::scheme::{GroupingOutcome, SchemeError};
-use ecg_coords::{ProbeConfig, Prober};
+use ecg_coords::{FeatureMatrix, ProbeConfig, Prober};
 use ecg_topology::{CacheId, EdgeNetwork};
 use rand::Rng;
 use std::fmt;
@@ -98,10 +98,12 @@ pub struct GroupMaintainer {
     groups: Vec<Vec<CacheId>>,
     assignments: Vec<Option<usize>>,
     landmarks: Vec<usize>,
-    centers: Vec<Vec<f64>>,
+    centers: FeatureMatrix,
     probe: ProbeConfig,
     formation_cost: f64,
     retired: Vec<CacheId>,
+    /// Probe-scratch buffer reused across admit/readmit calls.
+    fv_scratch: Vec<f64>,
 }
 
 impl GroupMaintainer {
@@ -115,10 +117,11 @@ impl GroupMaintainer {
             groups: outcome.groups().to_vec(),
             assignments: outcome.assignments().iter().map(|&g| Some(g)).collect(),
             landmarks: outcome.landmarks().landmarks.clone(),
-            centers: outcome.centers().to_vec(),
+            centers: outcome.centers().clone(),
             probe,
             formation_cost,
             retired: Vec::new(),
+            fv_scratch: Vec::new(),
         }
     }
 
@@ -175,22 +178,39 @@ impl GroupMaintainer {
             });
         }
         let newcomer = CacheId(expected - 1);
-        let prober = Prober::new(network.rtt_matrix(), self.probe);
-        let fv = prober.measure_all(newcomer.index() + 1, &self.landmarks, rng);
-
-        let (best_group, _) = self
-            .centers
-            .iter()
-            .enumerate()
-            .map(|(g, center)| {
-                let d: f64 = center.iter().zip(&fv).map(|(a, b)| (a - b) * (a - b)).sum();
-                (g, d)
-            })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
-            .expect("at least one group");
+        let best_group = self.nearest_group(network, newcomer, rng);
         self.groups[best_group].push(newcomer);
         self.assignments.push(Some(best_group));
         Ok(best_group)
+    }
+
+    /// Probes the landmark set from `cache`'s position and returns the
+    /// group with the nearest K-means center. The probe buffer is reused
+    /// across calls, so steady-state admission allocates nothing.
+    fn nearest_group<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        cache: CacheId,
+        rng: &mut R,
+    ) -> usize {
+        let prober = Prober::new(network.rtt_matrix(), self.probe);
+        prober.measure_all_into(
+            cache.index() + 1,
+            &self.landmarks,
+            rng,
+            &mut self.fv_scratch,
+        );
+        let fv = &self.fv_scratch;
+        self.centers
+            .iter_rows()
+            .enumerate()
+            .map(|(g, center)| {
+                let d: f64 = center.iter().zip(fv).map(|(a, b)| (a - b) * (a - b)).sum();
+                (g, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+            .expect("at least one group")
+            .0
     }
 
     /// Re-admits a previously retired cache into the nearest group — the
@@ -230,18 +250,7 @@ impl GroupMaintainer {
         if self.assignments[cache.index()].is_some() {
             return Err(MaintenanceError::AlreadyActive(cache));
         }
-        let prober = Prober::new(network.rtt_matrix(), self.probe);
-        let fv = prober.measure_all(cache.index() + 1, &self.landmarks, rng);
-        let (best_group, _) = self
-            .centers
-            .iter()
-            .enumerate()
-            .map(|(g, center)| {
-                let d: f64 = center.iter().zip(&fv).map(|(a, b)| (a - b) * (a - b)).sum();
-                (g, d)
-            })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
-            .expect("at least one group");
+        let best_group = self.nearest_group(network, cache, rng);
         self.groups[best_group].push(cache);
         self.assignments[cache.index()] = Some(best_group);
         self.retired.retain(|&c| c != cache);

@@ -16,8 +16,8 @@ use ecg_clustering::{
     KmeansError,
 };
 use ecg_coords::{
-    build_feature_vectors, embed_network, run_vivaldi, GnpConfig, ProbeConfig, Prober,
-    VivaldiConfig,
+    build_feature_matrix, embed_network, run_vivaldi, FeatureMatrix, GnpConfig, ProbeConfig,
+    Prober, VivaldiConfig,
 };
 use ecg_topology::{CacheId, EdgeNetwork};
 use rand::Rng;
@@ -269,8 +269,8 @@ pub struct GroupingOutcome {
     server_distances_ms: Vec<f64>,
     probes_sent: u64,
     kmeans_iterations: usize,
-    centers: Vec<Vec<f64>>,
-    points: Vec<Vec<f64>>,
+    centers: FeatureMatrix,
+    points: FeatureMatrix,
 }
 
 impl GroupingOutcome {
@@ -317,15 +317,16 @@ impl GroupingOutcome {
     }
 
     /// Final cluster centers in position space (feature-vector or GNP
-    /// coordinates, per the configured representation). Used by
-    /// [`crate::maintenance`] to admit new caches without re-clustering.
-    pub fn centers(&self) -> &[Vec<f64>] {
+    /// coordinates, per the configured representation), one matrix row
+    /// per group. Used by [`crate::maintenance`] to admit new caches
+    /// without re-clustering.
+    pub fn centers(&self) -> &FeatureMatrix {
         &self.centers
     }
 
-    /// The per-cache position estimates that were clustered, in cache
-    /// order.
-    pub fn points(&self) -> &[Vec<f64>] {
+    /// The per-cache position estimates that were clustered, one matrix
+    /// row per cache, in cache order.
+    pub fn points(&self) -> &FeatureMatrix {
         &self.points
     }
 
@@ -445,17 +446,14 @@ impl GfCoordinator {
 
         // Step 2: position estimation. Cache Ec_i is matrix index i + 1.
         let nodes: Vec<usize> = (1..=n).collect();
-        let (points, server_distances_ms): (Vec<Vec<f64>>, Vec<f64>) = match cfg.representation {
+        let (points, server_distances_ms): (FeatureMatrix, Vec<f64>) = match cfg.representation {
             Representation::FeatureVectors => {
-                let fvs = build_feature_vectors(&prober, &nodes, &selection.landmarks, rng);
+                let fm = build_feature_matrix(&prober, &nodes, &selection.landmarks, rng);
                 // landmarks[0] is always the origin, so component 0
                 // of every feature vector *is* the measured server
                 // distance — SDSL reuses it for free.
-                let dists = fvs.iter().map(|fv| fv[0]).collect();
-                (
-                    fvs.into_iter().map(|fv| fv.as_slice().to_vec()).collect(),
-                    dists,
-                )
+                let dists = fm.iter_rows().map(|row| row[0]).collect();
+                (fm, dists)
             }
             Representation::Gnp(gnp) => {
                 let coords = embed_network(gnp, &prober, &nodes, &selection.landmarks, rng);
@@ -463,10 +461,12 @@ impl GfCoordinator {
                     .iter()
                     .map(|&node| prober.measure(node, 0, rng))
                     .collect();
-                (
-                    coords.into_iter().map(|c| c.as_slice().to_vec()).collect(),
-                    dists,
-                )
+                let dim = coords.first().map(|c| c.as_slice().len()).unwrap_or(0);
+                let mut fm = FeatureMatrix::with_capacity(coords.len(), dim);
+                for c in &coords {
+                    fm.push_row(c.as_slice());
+                }
+                (fm, dists)
             }
             Representation::Vivaldi(vivaldi) => {
                 let states = run_vivaldi(vivaldi, &prober, &nodes, rng);
@@ -474,13 +474,15 @@ impl GfCoordinator {
                     .iter()
                     .map(|&node| prober.measure(node, 0, rng))
                     .collect();
-                (
-                    states
-                        .into_iter()
-                        .map(|s| s.coords().as_slice().to_vec())
-                        .collect(),
-                    dists,
-                )
+                let dim = states
+                    .first()
+                    .map(|s| s.coords().as_slice().len())
+                    .unwrap_or(0);
+                let mut fm = FeatureMatrix::with_capacity(states.len(), dim);
+                for s in &states {
+                    fm.push_row(s.coords().as_slice());
+                }
+                (fm, dists)
             }
         };
 
@@ -523,7 +525,7 @@ impl GfCoordinator {
             server_distances_ms,
             probes_sent: prober.probes_sent(),
             kmeans_iterations: clustering.iterations(),
-            centers: clustering.centers().to_vec(),
+            centers: clustering.centers().clone(),
             points,
         })
     }
@@ -730,7 +732,8 @@ mod tests {
         let total: usize = outcome.groups().iter().map(Vec::len).sum();
         assert_eq!(total, 6);
         // Points are the 2-D Vivaldi coordinates.
-        assert!(outcome.points().iter().all(|p| p.len() == 2));
+        assert_eq!(outcome.points().dim(), 2);
+        assert_eq!(outcome.points().len(), 6);
     }
 
     #[test]

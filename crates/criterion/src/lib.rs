@@ -6,7 +6,14 @@
 //! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`)
 //! and reports plain wall-clock statistics: each benchmark body is
 //! warmed up once, then timed over `sample_size` samples, and the mean,
-//! minimum, and maximum per-iteration times are printed.
+//! median, minimum, and maximum per-iteration times are printed. A
+//! [`Throughput`] annotation additionally reports real units/second
+//! derived from the median sample.
+//!
+//! Every completed benchmark is also recorded as a [`SampleStats`] on
+//! the [`Criterion`] driver, and [`Criterion::json_report`] renders the
+//! whole run as machine-readable JSON for tooling (e.g. the
+//! `bench_hotpaths` baseline file).
 //!
 //! No statistical analysis, no HTML reports, no comparison against
 //! saved baselines — run times are indicative, not criterion-grade.
@@ -85,6 +92,110 @@ impl Bencher {
     }
 }
 
+/// Summary statistics for one benchmark's timed samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Number of timed samples (the warm-up call is excluded).
+    pub samples: usize,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: f64,
+    /// Work per iteration, when annotated.
+    pub throughput: Option<Throughput>,
+}
+
+impl SampleStats {
+    /// Computes the statistics over raw per-iteration samples, or `None`
+    /// if there are none.
+    pub fn from_samples(
+        name: impl Into<String>,
+        results_ns: &[f64],
+        throughput: Option<Throughput>,
+    ) -> Option<Self> {
+        if results_ns.is_empty() {
+            return None;
+        }
+        let n = results_ns.len();
+        let mut sorted = results_ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are not NaN"));
+        let median_ns = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(SampleStats {
+            name: name.into(),
+            samples: n,
+            mean_ns: results_ns.iter().sum::<f64>() / n as f64,
+            median_ns,
+            min_ns: sorted[0],
+            max_ns: sorted[n - 1],
+            throughput,
+        })
+    }
+
+    /// Units of annotated work per second, based on the median sample;
+    /// `None` without a [`Throughput`] annotation.
+    pub fn throughput_per_sec(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) => n as f64,
+            Throughput::Bytes(n) => n as f64,
+        };
+        Some(units / (self.median_ns / 1e9))
+    }
+
+    /// Renders this benchmark as one JSON object (the element format of
+    /// [`Criterion::json_report`]).
+    pub fn to_json(&self) -> String {
+        let (tput, unit) = match (self.throughput, self.throughput_per_sec()) {
+            (Some(Throughput::Elements(_)), Some(per_sec)) => {
+                (format!("{per_sec:.3}"), "\"elements\"".to_string())
+            }
+            (Some(Throughput::Bytes(_)), Some(per_sec)) => {
+                (format!("{per_sec:.3}"), "\"bytes\"".to_string())
+            }
+            _ => ("null".to_string(), "null".to_string()),
+        };
+        format!(
+            "{{\"name\":{},\"samples\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\
+             \"min_ns\":{:.3},\"max_ns\":{:.3},\"throughput_per_sec\":{},\
+             \"throughput_unit\":{}}}",
+            json_string(&self.name),
+            self.samples,
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            tput,
+            unit,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn human_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -102,38 +213,34 @@ fn run_one(
     samples: usize,
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
-) {
+) -> Option<SampleStats> {
     let mut bencher = Bencher {
         samples,
         results_ns: Vec::new(),
     };
     f(&mut bencher);
-    if bencher.results_ns.is_empty() {
+    let Some(stats) = SampleStats::from_samples(full_name, &bencher.results_ns, throughput) else {
         println!("{full_name:<40} (no measurements)");
-        return;
-    }
-    let n = bencher.results_ns.len() as f64;
-    let mean = bencher.results_ns.iter().sum::<f64>() / n;
-    let min = bencher
-        .results_ns
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let max = bencher.results_ns.iter().cloned().fold(0.0, f64::max);
+        return None;
+    };
     let mut line = format!(
-        "{full_name:<40} mean {:>12}  min {:>12}  max {:>12}",
-        human_ns(mean),
-        human_ns(min),
-        human_ns(max)
+        "{full_name:<40} mean {:>12}  median {:>12}  min {:>12}  max {:>12}",
+        human_ns(stats.mean_ns),
+        human_ns(stats.median_ns),
+        human_ns(stats.min_ns),
+        human_ns(stats.max_ns)
     );
-    if let Some(Throughput::Elements(elems)) = throughput {
-        let per_sec = elems as f64 / (mean / 1e9);
-        line.push_str(&format!("  ({per_sec:.0} elem/s)"));
-    } else if let Some(Throughput::Bytes(bytes)) = throughput {
-        let per_sec = bytes as f64 / (mean / 1e9);
-        line.push_str(&format!("  ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0)));
+    match (stats.throughput, stats.throughput_per_sec()) {
+        (Some(Throughput::Elements(_)), Some(per_sec)) => {
+            line.push_str(&format!("  ({per_sec:.0} elem/s)"));
+        }
+        (Some(Throughput::Bytes(_)), Some(per_sec)) => {
+            line.push_str(&format!("  ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0)));
+        }
+        _ => {}
     }
     println!("{line}");
+    Some(stats)
 }
 
 /// A named collection of related benchmarks.
@@ -141,7 +248,7 @@ pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -169,7 +276,9 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.label);
-        run_one(&full, self.sample_size, self.throughput, &mut f);
+        if let Some(stats) = run_one(&full, self.sample_size, self.throughput, &mut f) {
+            self.criterion.records.push(stats);
+        }
         self
     }
 
@@ -185,9 +294,11 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.label);
-        run_one(&full, self.sample_size, self.throughput, &mut |b| {
+        if let Some(stats) = run_one(&full, self.sample_size, self.throughput, &mut |b| {
             f(b, input)
-        });
+        }) {
+            self.criterion.records.push(stats);
+        }
         self
     }
 
@@ -197,7 +308,9 @@ impl BenchmarkGroup<'_> {
 
 /// The benchmark driver handed to every `criterion_group!` target.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    records: Vec<SampleStats>,
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -208,7 +321,7 @@ impl Criterion {
             name,
             sample_size: 10,
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -218,8 +331,32 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id.label, 10, None, &mut f);
+        if let Some(stats) = run_one(&id.label, 10, None, &mut f) {
+            self.records.push(stats);
+        }
         self
+    }
+
+    /// Statistics of every benchmark completed so far, in run order.
+    pub fn stats(&self) -> &[SampleStats] {
+        &self.records
+    }
+
+    /// Renders every completed benchmark as a JSON document:
+    /// `{"benchmarks":[{...}, ...]}`, one object per benchmark with
+    /// `name`, `samples`, `mean_ns`, `median_ns`, `min_ns`, `max_ns`,
+    /// `throughput_per_sec`, and `throughput_unit` fields.
+    pub fn json_report(&self) -> String {
+        let mut out = String::from("{\"benchmarks\":[\n");
+        for (i, stats) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            out.push_str(&stats.to_json());
+        }
+        out.push_str("\n]}\n");
+        out
     }
 }
 
@@ -286,6 +423,60 @@ mod tests {
             });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn sample_stats_median_and_throughput() {
+        let odd = SampleStats::from_samples("odd", &[3.0, 1.0, 2.0], None).unwrap();
+        assert_eq!(odd.median_ns, 2.0);
+        assert_eq!(odd.min_ns, 1.0);
+        assert_eq!(odd.max_ns, 3.0);
+        assert_eq!(odd.mean_ns, 2.0);
+        assert_eq!(odd.throughput_per_sec(), None);
+
+        let even = SampleStats::from_samples(
+            "even",
+            &[1e9, 3e9, 2e9, 4e9],
+            Some(Throughput::Elements(500)),
+        )
+        .unwrap();
+        assert_eq!(even.median_ns, 2.5e9);
+        // 500 elements in a 2.5 s median -> 200 elem/s.
+        assert!((even.throughput_per_sec().unwrap() - 200.0).abs() < 1e-9);
+
+        assert!(SampleStats::from_samples("empty", &[], None).is_none());
+    }
+
+    #[test]
+    fn criterion_collects_stats_and_emits_json() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .throughput(Throughput::Bytes(1024))
+                .bench_function("fast", |b| b.iter(|| std::hint::black_box(2 * 2)));
+            group.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| std::hint::black_box(1)));
+        assert_eq!(c.stats().len(), 2);
+        assert_eq!(c.stats()[0].name, "g/fast");
+        assert_eq!(c.stats()[0].samples, 3);
+        assert_eq!(c.stats()[1].name, "standalone");
+
+        let json = c.json_report();
+        assert!(json.starts_with("{\"benchmarks\":["));
+        assert!(json.contains("\"name\":\"g/fast\""));
+        assert!(json.contains("\"throughput_unit\":\"bytes\""));
+        assert!(json.contains("\"name\":\"standalone\""));
+        assert!(json.contains("\"throughput_unit\":null"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
     }
 
     #[test]

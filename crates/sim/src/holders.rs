@@ -1,0 +1,249 @@
+//! Document→holder index for the cooperative-miss hot path.
+//!
+//! On every local miss the simulator asks each group peer whether it
+//! holds a copy of the requested document. The naive path probes every
+//! peer's cache map — a `BTreeMap` lookup per peer per miss, which
+//! dominates trace replay for large groups. [`HolderIndex`] mirrors
+//! cache *membership* in one compact bitset per document, so the
+//! per-peer probe collapses to a bit test, and an entire group can be
+//! ruled out with a handful of word intersections against a
+//! precomputed peer mask ([`PeerMasks`]).
+//!
+//! The index tracks presence only. Freshness (origin version or TTL
+//! lease) is still checked against the holding peer's actual cache
+//! entry, so a lookup through the index returns exactly what a full
+//! scan would: a set bit for a stale copy simply fails the freshness
+//! check, and an absent bit short-circuits a probe that would have
+//! returned "not held" anyway.
+
+use crate::groups::GroupMap;
+use ecg_topology::CacheId;
+use ecg_workload::DocId;
+
+/// One bitset of holding caches per document.
+///
+/// The caller (the simulation driver) is responsible for keeping the
+/// index in sync with every membership change: inserts, policy
+/// evictions, stale/expired drops, pushed invalidations, and crash
+/// purges.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_sim::HolderIndex;
+/// use ecg_topology::CacheId;
+/// use ecg_workload::DocId;
+///
+/// let mut idx = HolderIndex::new(10, 70);
+/// idx.set(DocId(3), CacheId(65));
+/// assert!(idx.holds(DocId(3), CacheId(65)));
+/// assert!(!idx.holds(DocId(3), CacheId(0)));
+/// idx.clear_cache(CacheId(65));
+/// assert_eq!(idx.holder_count(DocId(3)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HolderIndex {
+    caches: usize,
+    words_per_doc: usize,
+    bits: Vec<u64>,
+}
+
+impl HolderIndex {
+    /// Creates an empty index for `docs` documents over `caches` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches == 0`.
+    pub fn new(docs: usize, caches: usize) -> Self {
+        assert!(caches > 0, "need at least one cache");
+        let words_per_doc = caches.div_ceil(64);
+        HolderIndex {
+            caches,
+            words_per_doc,
+            bits: vec![0; docs * words_per_doc],
+        }
+    }
+
+    fn locate(&self, doc: DocId, cache: CacheId) -> (usize, u64) {
+        assert!(cache.index() < self.caches, "cache {cache} out of range");
+        let word = doc.index() * self.words_per_doc + cache.index() / 64;
+        (word, 1u64 << (cache.index() % 64))
+    }
+
+    /// Marks `cache` as holding a copy of `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` or `cache` is out of range.
+    pub fn set(&mut self, doc: DocId, cache: CacheId) {
+        let (word, mask) = self.locate(doc, cache);
+        self.bits[word] |= mask;
+    }
+
+    /// Marks `cache` as no longer holding `doc`. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` or `cache` is out of range.
+    pub fn clear(&mut self, doc: DocId, cache: CacheId) {
+        let (word, mask) = self.locate(doc, cache);
+        self.bits[word] &= !mask;
+    }
+
+    /// Does `cache` hold a copy of `doc` (fresh or not)?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` or `cache` is out of range.
+    pub fn holds(&self, doc: DocId, cache: CacheId) -> bool {
+        let (word, mask) = self.locate(doc, cache);
+        self.bits[word] & mask != 0
+    }
+
+    /// Drops `cache` from every document's holder set — the crash/purge
+    /// path. One strided pass over the bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn clear_cache(&mut self, cache: CacheId) {
+        assert!(cache.index() < self.caches, "cache {cache} out of range");
+        let mask = !(1u64 << (cache.index() % 64));
+        let mut word = cache.index() / 64;
+        while word < self.bits.len() {
+            self.bits[word] &= mask;
+            word += self.words_per_doc;
+        }
+    }
+
+    /// The raw bit words of `doc`'s holder set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` is out of range.
+    pub fn doc_words(&self, doc: DocId) -> &[u64] {
+        let start = doc.index() * self.words_per_doc;
+        &self.bits[start..start + self.words_per_doc]
+    }
+
+    /// Does any cache selected by `mask` (e.g. a [`PeerMasks`] row) hold
+    /// a copy of `doc`? The group-wide early-out on the miss path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` is out of range.
+    pub fn any_intersecting(&self, doc: DocId, mask: &[u64]) -> bool {
+        self.doc_words(doc)
+            .iter()
+            .zip(mask)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of caches holding a copy of `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` is out of range.
+    pub fn holder_count(&self, doc: DocId) -> usize {
+        self.doc_words(doc)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Precomputed per-cache bitmask of that cache's group peers, laid out
+/// to line up word-for-word with [`HolderIndex::doc_words`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerMasks {
+    words_per: usize,
+    masks: Vec<u64>,
+}
+
+impl PeerMasks {
+    /// Builds the peer masks for a group partition.
+    pub fn from_groups(groups: &GroupMap) -> Self {
+        let n = groups.cache_count();
+        let words_per = n.div_ceil(64);
+        let mut masks = vec![0u64; n * words_per];
+        for c in 0..n {
+            for &p in groups.peers(CacheId(c)) {
+                masks[c * words_per + p.index() / 64] |= 1 << (p.index() % 64);
+            }
+        }
+        PeerMasks { words_per, masks }
+    }
+
+    /// The peer mask of `cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn mask(&self, cache: CacheId) -> &[u64] {
+        let start = cache.index() * self.words_per;
+        &self.masks[start..start + self.words_per]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_holds_roundtrip() {
+        let mut idx = HolderIndex::new(4, 130);
+        assert!(!idx.holds(DocId(2), CacheId(129)));
+        idx.set(DocId(2), CacheId(129));
+        idx.set(DocId(2), CacheId(0));
+        assert!(idx.holds(DocId(2), CacheId(129)));
+        assert!(idx.holds(DocId(2), CacheId(0)));
+        assert!(!idx.holds(DocId(3), CacheId(0)));
+        assert_eq!(idx.holder_count(DocId(2)), 2);
+        idx.clear(DocId(2), CacheId(0));
+        idx.clear(DocId(2), CacheId(0)); // idempotent
+        assert!(!idx.holds(DocId(2), CacheId(0)));
+        assert_eq!(idx.holder_count(DocId(2)), 1);
+    }
+
+    #[test]
+    fn clear_cache_strides_over_all_docs() {
+        let mut idx = HolderIndex::new(5, 100);
+        for d in 0..5 {
+            idx.set(DocId(d), CacheId(70));
+            idx.set(DocId(d), CacheId(1));
+        }
+        idx.clear_cache(CacheId(70));
+        for d in 0..5 {
+            assert!(!idx.holds(DocId(d), CacheId(70)));
+            assert!(idx.holds(DocId(d), CacheId(1)));
+        }
+    }
+
+    #[test]
+    fn peer_masks_select_exactly_the_peers() {
+        let groups =
+            GroupMap::new(70, vec![(0..69).map(CacheId).collect(), vec![CacheId(69)]]).unwrap();
+        let masks = PeerMasks::from_groups(&groups);
+        let mut idx = HolderIndex::new(1, 70);
+
+        // A copy on a peer is visible through the mask.
+        idx.set(DocId(0), CacheId(68));
+        assert!(idx.any_intersecting(DocId(0), masks.mask(CacheId(3))));
+        // A cache's own copy is not a *peer* copy.
+        assert!(!idx.any_intersecting(DocId(0), masks.mask(CacheId(68))));
+        // The singleton has no peers at all.
+        assert!(!idx.any_intersecting(DocId(0), masks.mask(CacheId(69))));
+
+        // A copy on the singleton is invisible to the big group.
+        idx.clear(DocId(0), CacheId(68));
+        idx.set(DocId(0), CacheId(69));
+        assert!(!idx.any_intersecting(DocId(0), masks.mask(CacheId(3))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cache_panics() {
+        let mut idx = HolderIndex::new(1, 8);
+        idx.set(DocId(0), CacheId(8));
+    }
+}

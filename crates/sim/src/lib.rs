@@ -44,6 +44,7 @@ pub mod event;
 pub mod fault;
 pub mod groups;
 pub mod histogram;
+pub mod holders;
 pub mod latency;
 pub mod metrics;
 pub mod origin;
@@ -53,11 +54,14 @@ pub mod time;
 pub use fault::{FaultError, FaultEvent, FaultKind, FaultSchedule};
 pub use groups::{GroupMap, GroupMapError};
 pub use histogram::LatencyHistogram;
+pub use holders::{HolderIndex, PeerMasks};
 pub use latency::LatencyModel;
 pub use metrics::{
     CacheAggregate, DegradationMetrics, GroupAggregate, MetricsRecorder, ServedBy, TimelineBucket,
     WindowAggregate,
 };
 pub use origin::OriginServer;
-pub use sim::{simulate, simulate_with_faults, FreshnessProtocol, SimConfig, SimError, SimReport};
+pub use sim::{
+    simulate, simulate_with_faults, FreshnessProtocol, PeerLookup, SimConfig, SimError, SimReport,
+};
 pub use time::SimTime;

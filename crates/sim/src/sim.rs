@@ -28,13 +28,14 @@
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultError, FaultKind, FaultSchedule};
 use crate::groups::GroupMap;
+use crate::holders::{HolderIndex, PeerMasks};
 use crate::latency::LatencyModel;
 use crate::metrics::{MetricsRecorder, ServedBy};
 use crate::origin::OriginServer;
 use crate::time::SimTime;
 use ecg_cache::{CacheStats, DocumentCache, LookupOutcome, PolicyKind};
 use ecg_topology::{CacheId, EdgeNetwork};
-use ecg_workload::{DocumentCatalog, TraceEvent};
+use ecg_workload::{DocId, DocumentCatalog, TraceEvent};
 use std::fmt;
 
 /// How cached copies learn about origin updates.
@@ -61,6 +62,21 @@ pub enum FreshnessProtocol {
     },
 }
 
+/// How cooperative misses locate a peer copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerLookup {
+    /// Probe every alive peer's cache map on every miss. The reference
+    /// implementation.
+    ScanAll,
+    /// Maintain a document→holder bitset ([`HolderIndex`]) updated on
+    /// every insert, eviction, invalidation, and crash, so the per-peer
+    /// probe is a bit test and holder-free groups are ruled out with a
+    /// few word intersections. Produces reports identical to
+    /// [`PeerLookup::ScanAll`]; the default.
+    #[default]
+    HolderIndex,
+}
+
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -69,6 +85,7 @@ pub struct SimConfig {
     latency: LatencyModel,
     warmup_ms: f64,
     freshness: FreshnessProtocol,
+    peer_lookup: PeerLookup,
 }
 
 impl Default for SimConfig {
@@ -81,6 +98,7 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             warmup_ms: 0.0,
             freshness: FreshnessProtocol::InvalidateOnAccess,
+            peer_lookup: PeerLookup::HolderIndex,
         }
     }
 }
@@ -138,9 +156,22 @@ impl SimConfig {
         self
     }
 
+    /// Sets the cooperative-miss lookup strategy. Both settings produce
+    /// identical reports; [`PeerLookup::ScanAll`] exists as the
+    /// reference for equivalence tests and benchmarks.
+    pub fn peer_lookup(mut self, lookup: PeerLookup) -> Self {
+        self.peer_lookup = lookup;
+        self
+    }
+
     /// The configured latency model.
     pub fn latency_model(&self) -> LatencyModel {
         self.latency
+    }
+
+    /// The configured cooperative-miss lookup strategy.
+    pub fn peer_lookup_strategy(&self) -> PeerLookup {
+        self.peer_lookup
     }
 
     /// The configured freshness protocol.
@@ -398,6 +429,19 @@ pub fn simulate_with_faults(
     let mut brownout = 1.0f64;
     let mut lost_stats = CacheStats::default();
 
+    // Holder index: mirrors cache membership so the cooperative-miss
+    // path tests a bit instead of probing every peer's cache map. Kept
+    // in sync on insert/evict/invalidate/crash below; `None` under
+    // `PeerLookup::ScanAll`.
+    let mut index = (config.peer_lookup == PeerLookup::HolderIndex).then(|| {
+        (
+            HolderIndex::new(catalog.len(), n),
+            PeerMasks::from_groups(groups),
+        )
+    });
+    // Eviction scratch reused across every insert in the event loop.
+    let mut evicted_scratch: Vec<DocId> = Vec::new();
+
     let freshness = config.freshness;
     while let Some((now, event)) = queue.pop() {
         match event {
@@ -414,6 +458,9 @@ pub fn simulate_with_faults(
                                 DocumentCache::new(config.cache_capacity_bytes, config.policy),
                             );
                             lost_stats += old.stats();
+                            if let Some((idx, _)) = index.as_mut() {
+                                idx.clear_cache(cache);
+                            }
                         }
                     }
                     FaultKind::CacheUp { cache } => {
@@ -437,6 +484,9 @@ pub fn simulate_with_faults(
                                     DocumentCache::new(config.cache_capacity_bytes, config.policy),
                                 );
                                 lost_stats += old.stats();
+                                if let Some((idx, _)) = index.as_mut() {
+                                    idx.clear_cache(cache);
+                                }
                             }
                         }
                     }
@@ -449,9 +499,12 @@ pub fn simulate_with_faults(
                 if freshness == FreshnessProtocol::OriginMulticast {
                     // Idealized push invalidation: drop every copy now;
                     // one control message per holding cache.
-                    for cache in &mut caches {
+                    for (c, cache) in caches.iter_mut().enumerate() {
                         if cache.remove(doc).is_some() {
                             metrics.invalidations_sent += 1;
+                            if let Some((idx, _)) = index.as_mut() {
+                                idx.clear(doc, CacheId(c));
+                            }
                         }
                     }
                 }
@@ -488,16 +541,32 @@ pub fn simulate_with_faults(
                     continue;
                 }
 
-                // Local lookup: Some(served version) on a hit.
+                // Local lookup: Some(served version) on a hit. A stale
+                // or expired copy is dropped by the lookup itself, so
+                // the holder index sheds the bit alongside it.
                 let local_hit: Option<u64> = match freshness {
                     FreshnessProtocol::InvalidateOnAccess | FreshnessProtocol::OriginMulticast => {
                         match caches[cache.index()].lookup(doc, current_version, now_ms) {
                             LookupOutcome::Hit => Some(current_version),
-                            _ => None,
+                            LookupOutcome::Stale => {
+                                if let Some((idx, _)) = index.as_mut() {
+                                    idx.clear(doc, cache);
+                                }
+                                None
+                            }
+                            LookupOutcome::Miss => None,
                         }
                     }
                     FreshnessProtocol::TtlLease { ttl_ms } => {
-                        caches[cache.index()].lookup_ttl(doc, now_ms, ttl_ms)
+                        let served = caches[cache.index()].lookup_ttl(doc, now_ms, ttl_ms);
+                        if served.is_none() {
+                            // Either absent or just dropped as expired;
+                            // clearing an unset bit is a no-op.
+                            if let Some((idx, _)) = index.as_mut() {
+                                idx.clear(doc, cache);
+                            }
+                        }
+                        served
                     }
                 };
 
@@ -517,6 +586,16 @@ pub fn simulate_with_faults(
                         let fanout = model.query_fanout(alive);
 
                         // Nearest peer holding a servable copy, if any.
+                        // With the holder index, a few word
+                        // intersections rule a holder-free group out up
+                        // front, and a bit test replaces the per-peer
+                        // cache-map probe; peers are still visited in
+                        // group order so an equal-RTT tie picks the same
+                        // holder as the full scan.
+                        let group_may_hold = match &index {
+                            Some((idx, masks)) => idx.any_intersecting(doc, masks.mask(cache)),
+                            None => true,
+                        };
                         let mut holder: Option<(CacheId, f64, u64)> = None;
                         let mut slowest_reply = 0.0f64;
                         for &p in peers {
@@ -525,6 +604,14 @@ pub fn simulate_with_faults(
                             }
                             let rtt = network.cache_to_cache(cache, p);
                             slowest_reply = slowest_reply.max(rtt);
+                            if !group_may_hold {
+                                continue;
+                            }
+                            if let Some((idx, _)) = &index {
+                                if !idx.holds(doc, p) {
+                                    continue;
+                                }
+                            }
                             let peer_version = match freshness {
                                 FreshnessProtocol::InvalidateOnAccess
                                 | FreshnessProtocol::OriginMulticast => caches[p.index()]
@@ -548,7 +635,11 @@ pub fn simulate_with_faults(
                                 // Hit reply piggybacks the body: fan-out
                                 // plus one RTT plus serialization.
                                 let latency = fanout + model.transfer(rtt, size);
-                                caches[cache.index()].insert(
+                                insert_tracked(
+                                    &mut caches[cache.index()],
+                                    index.as_mut().map(|(idx, _)| idx),
+                                    &mut evicted_scratch,
+                                    cache,
                                     doc,
                                     v,
                                     size,
@@ -565,7 +656,11 @@ pub fn simulate_with_faults(
                                 let latency = fanout
                                     + slowest_reply
                                     + model.origin_fetch(rtt_origin, size) * brownout;
-                                caches[cache.index()].insert(
+                                insert_tracked(
+                                    &mut caches[cache.index()],
+                                    index.as_mut().map(|(idx, _)| idx),
+                                    &mut evicted_scratch,
+                                    cache,
                                     doc,
                                     fetched_version,
                                     size,
@@ -596,6 +691,24 @@ pub fn simulate_with_faults(
         }
     }
 
+    if cfg!(debug_assertions) {
+        if let Some((idx, _)) = &index {
+            // The index must mirror cache membership exactly at all
+            // times; check the final state in debug builds.
+            for (c, cache) in caches.iter().enumerate() {
+                for d in 0..catalog.len() {
+                    // Any cached copy has version >= 0, so this is a
+                    // pure presence test.
+                    debug_assert_eq!(
+                        idx.holds(DocId(d), CacheId(c)),
+                        cache.holds_fresh(DocId(d), 0),
+                        "holder index out of sync for doc {d} at cache {c}"
+                    );
+                }
+            }
+        }
+    }
+
     let cache_stats = caches
         .iter()
         .map(|c| c.stats())
@@ -606,6 +719,52 @@ pub fn simulate_with_faults(
         origin_updates: origin.updates_applied(),
         origin_fetches: origin.fetches_served(),
     })
+}
+
+/// Inserts a fetched copy into `cache_store`, keeping the holder index
+/// (when one is maintained) in sync with the insert and any policy
+/// evictions it triggers. `evicted` is caller-owned scratch reused
+/// across the whole event loop.
+#[allow(clippy::too_many_arguments)]
+fn insert_tracked(
+    cache_store: &mut DocumentCache,
+    index: Option<&mut HolderIndex>,
+    evicted: &mut Vec<DocId>,
+    home: CacheId,
+    doc: DocId,
+    version: u64,
+    size_bytes: u64,
+    fetch_cost_ms: f64,
+    update_rate_per_sec: f64,
+    now_ms: f64,
+) {
+    match index {
+        None => cache_store.insert(
+            doc,
+            version,
+            size_bytes,
+            fetch_cost_ms,
+            update_rate_per_sec,
+            now_ms,
+        ),
+        Some(idx) => {
+            let cached = cache_store.insert_with_evicted(
+                doc,
+                version,
+                size_bytes,
+                fetch_cost_ms,
+                update_rate_per_sec,
+                now_ms,
+                evicted,
+            );
+            for &victim in evicted.iter() {
+                idx.clear(victim, home);
+            }
+            if cached {
+                idx.set(doc, home);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1043,6 +1202,96 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    /// A shared update-heavy workload with tiny caches: plenty of peer
+    /// hits, policy evictions, and stale drops to stress the holder
+    /// index against the full scan.
+    fn churny_trace(seed: u64, horizon_ms: f64) -> (DocumentCatalog, Vec<TraceEvent>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cat = CatalogConfig::default()
+            .documents(60)
+            .dynamic_fraction(0.8)
+            .dynamic_update_rate_per_sec(0.05)
+            .generate(&mut rng);
+        let requests = ecg_workload::RequestConfig::default()
+            .rate_per_sec_per_cache(5.0)
+            .similarity(1.0)
+            .generate(&cat, 6, horizon_ms, &mut rng);
+        let updates = ecg_workload::generate_updates(&cat, horizon_ms, &mut rng);
+        (cat, merge_streams(&requests, &updates))
+    }
+
+    #[test]
+    fn holder_index_matches_scan_for_every_protocol() {
+        let net = network();
+        let (cat, trace) = churny_trace(11, 120_000.0);
+        for groups in [GroupMap::one_group(6), pair_groups()] {
+            for freshness in [
+                FreshnessProtocol::InvalidateOnAccess,
+                FreshnessProtocol::OriginMulticast,
+                FreshnessProtocol::TtlLease { ttl_ms: 20_000.0 },
+            ] {
+                // Small caches force constant evictions.
+                let base = SimConfig::default()
+                    .cache_capacity_bytes(64 << 10)
+                    .freshness(freshness);
+                let scanned = simulate(
+                    &net,
+                    &groups,
+                    &cat,
+                    &trace,
+                    base.peer_lookup(PeerLookup::ScanAll),
+                )
+                .unwrap();
+                let indexed = simulate(
+                    &net,
+                    &groups,
+                    &cat,
+                    &trace,
+                    base.peer_lookup(PeerLookup::HolderIndex),
+                )
+                .unwrap();
+                assert_eq!(scanned, indexed, "diverged under {freshness:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn holder_index_matches_scan_under_faults() {
+        let net = network();
+        let (cat, trace) = churny_trace(13, 120_000.0);
+        let mut schedule = FaultSchedule::new().failover_penalty_ms(20.0);
+        schedule.push(10_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+        schedule.push(30_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+        schedule.push(40_000.0, FaultKind::CacheRetire { cache: CacheId(5) });
+        schedule.push(60_000.0, FaultKind::BrownoutStart { factor: 2.5 });
+        schedule.push(80_000.0, FaultKind::BrownoutEnd);
+        let groups = GroupMap::one_group(6);
+        let base = SimConfig::default().cache_capacity_bytes(64 << 10);
+        let scanned = simulate_with_faults(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            base.peer_lookup(PeerLookup::ScanAll),
+            &schedule,
+        )
+        .unwrap();
+        let indexed = simulate_with_faults(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            base.peer_lookup(PeerLookup::HolderIndex),
+            &schedule,
+        )
+        .unwrap();
+        assert_eq!(scanned, indexed);
+        // The fault machinery was actually exercised.
+        assert!(indexed.metrics.degradation.saw_faults());
+        assert!(indexed.metrics.degradation.failovers > 0);
+        assert!(indexed.cache_stats.evictions > 0);
     }
 
     #[test]

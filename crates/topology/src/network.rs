@@ -304,15 +304,32 @@ impl EdgeNetwork {
     /// Panics if `removed` is out of range or the network would drop to
     /// zero caches.
     pub fn with_removed_cache(&self, removed: CacheId) -> EdgeNetwork {
+        let mut out = EdgeNetwork {
+            rtt: self.rtt.clone(),
+            origin_node: self.origin_node,
+            cache_nodes: Vec::new(),
+        };
+        out.remove_cache(removed);
+        out
+    }
+
+    /// Removes cache `removed` in place; caches after it shift down by
+    /// one id. Unlike [`with_removed_cache`](Self::with_removed_cache)
+    /// this compacts the RTT matrix within its existing buffer, so a
+    /// maintenance sweep that retires many caches performs no per-step
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed` is out of range or the network would drop to
+    /// zero caches.
+    pub fn remove_cache(&mut self, removed: CacheId) {
         let n = self.cache_count();
         assert!(removed.index() < n, "cache {removed} out of range");
         assert!(n > 1, "cannot remove the last cache");
-        let keep: Vec<usize> = (0..=n).filter(|&m| m != removed.index() + 1).collect();
-        EdgeNetwork {
-            rtt: self.rtt.submatrix(&keep),
-            origin_node: self.origin_node,
-            cache_nodes: Vec::new(),
-        }
+        self.rtt.remove_index(removed.index() + 1);
+        // Node provenance is no longer meaningful once ids shift.
+        self.cache_nodes.clear();
     }
 }
 
@@ -461,6 +478,21 @@ mod tests {
             shrunk.cache_to_cache(CacheId(1), CacheId(2)),
             net.cache_to_cache(CacheId(2), CacheId(3))
         );
+    }
+
+    #[test]
+    fn remove_cache_in_place_matches_with_removed_cache() {
+        let net = EdgeNetwork::from_rtt_matrix(paper_figure1());
+        let mut swept = net.clone();
+        // Retire caches one by one and compare against the allocating
+        // variant at every step.
+        let mut expected = net;
+        for victim in [3usize, 0, 2] {
+            expected = expected.with_removed_cache(CacheId(victim));
+            swept.remove_cache(CacheId(victim));
+            assert_eq!(swept, expected);
+        }
+        assert_eq!(swept.cache_count(), 3);
     }
 
     #[test]

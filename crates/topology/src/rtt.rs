@@ -128,7 +128,66 @@ impl RttMatrix {
     ///
     /// Panics if any index is out of range.
     pub fn submatrix(&self, indices: &[usize]) -> RttMatrix {
-        RttMatrix::from_fn(indices.len(), |a, b| self.get(indices[a], indices[b]))
+        let mut out = RttMatrix::zeros(0);
+        self.submatrix_into(indices, &mut out);
+        out
+    }
+
+    /// [`RttMatrix::submatrix`] into a caller-owned matrix, reusing its
+    /// storage when the capacity suffices. Repeated extraction (e.g. a
+    /// maintenance sweep removing caches one at a time) then re-copies
+    /// entries into one buffer instead of allocating a fresh matrix per
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn submatrix_into(&self, indices: &[usize], out: &mut RttMatrix) {
+        let n = indices.len();
+        out.n = n;
+        out.data.clear();
+        out.data.reserve(n * n);
+        for &i in indices {
+            assert!(i < self.n, "rtt index out of range");
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            out.data.extend(indices.iter().map(|&j| row[j]));
+        }
+        // Symmetry and a zero diagonal are inherited from `self`, except
+        // for repeated indices, where the diagonal picks up off-diagonal
+        // source entries; pin it back to zero.
+        for a in 0..n {
+            out.data[a * n + a] = 0.0;
+        }
+    }
+
+    /// Removes node `idx` in place: row and column `idx` are deleted and
+    /// later nodes shift down by one, with no new allocation. The
+    /// zero-copy counterpart of `submatrix(&all_but_idx)` for repeated
+    /// shrinking sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove_index(&mut self, idx: usize) {
+        let n = self.n;
+        assert!(idx < n, "rtt index out of range");
+        // Forward in-place compaction: the write cursor never overtakes
+        // the read cursor.
+        let mut w = 0;
+        for i in 0..n {
+            if i == idx {
+                continue;
+            }
+            for j in 0..n {
+                if j == idx {
+                    continue;
+                }
+                self.data[w] = self.data[i * n + j];
+                w += 1;
+            }
+        }
+        self.n = n - 1;
+        self.data.truncate(w);
     }
 
     /// Mean RTT over all unordered distinct pairs, or `None` if `n < 2`.
@@ -253,6 +312,40 @@ mod tests {
         assert_eq!(sub.len(), 3);
         assert_eq!(sub.get(0, 1), 17.0); // Ec0-Ec2
         assert_eq!(sub.get(1, 2), 17.0); // Ec2-Ec4
+    }
+
+    #[test]
+    fn submatrix_into_reuses_storage_and_matches_submatrix() {
+        let m = paper_figure1();
+        let mut out = RttMatrix::zeros(0);
+        // Shrinking sweep: each extraction must equal the allocating
+        // variant regardless of what was in the buffer before.
+        for indices in [vec![0, 1, 2, 3, 4], vec![1, 3, 5], vec![6, 2]] {
+            m.submatrix_into(&indices, &mut out);
+            assert_eq!(out, m.submatrix(&indices));
+        }
+        // Repeated index: diagonal still zero, cross entries defined.
+        m.submatrix_into(&[1, 1, 3], &mut out);
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(1, 1), 0.0);
+        assert_eq!(out.get(0, 1), 0.0); // Ec0 to itself
+        assert_eq!(out.get(0, 2), m.get(1, 3));
+    }
+
+    #[test]
+    fn remove_index_matches_submatrix() {
+        let m = paper_figure1();
+        let mut shrunk = m.clone();
+        shrunk.remove_index(2);
+        let keep: Vec<usize> = (0..7).filter(|&i| i != 2).collect();
+        assert_eq!(shrunk, m.submatrix(&keep));
+        // Repeated sweep down to two nodes, always consistent.
+        while shrunk.len() > 2 {
+            let before = shrunk.clone();
+            shrunk.remove_index(0);
+            let keep: Vec<usize> = (1..before.len()).collect();
+            assert_eq!(shrunk, before.submatrix(&keep));
+        }
     }
 
     #[test]

@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
 # Regenerates every figure and ablation of EXPERIMENTS.md into results/.
+#
 # Usage: ./run_all_experiments.sh [results_dir]
+#        ./run_all_experiments.sh --check
+#
+# --check regenerates everything into a temporary directory and diffs it
+# against the committed copies under results/, exiting non-zero on any
+# drift. Every experiment is seeded, so the outputs are byte-stable; a
+# diff means a code change altered experiment behaviour.
 set -euo pipefail
 
-out="${1:-results}"
-mkdir -p "$out"
+check=0
+out="results"
+if [[ "${1:-}" == "--check" ]]; then
+  check=1
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+elif [[ -n "${1:-}" ]]; then
+  out="$1"
+fi
 
 figures=(fig3 fig4 fig5 fig6 fig7 fig8 fig9)
 ablations=(
@@ -15,9 +29,42 @@ ablations=(
 
 cargo build --release -p ecg-bench --bins
 
+root="$(pwd)"
+# Some binaries (ablation_churn) write side files under results/ relative
+# to their working directory; in check mode they run inside the temp dir
+# so the working tree is never touched.
+mkdir -p "$out" "$out/results"
+
 for bin in "${figures[@]}" "${ablations[@]}"; do
   echo "=== $bin"
-  cargo run --release -q -p ecg-bench --bin "$bin" | tee "$out/$bin.txt"
+  if [[ $check -eq 1 ]]; then
+    (cd "$out" && "$root/target/release/$bin" > "$bin.txt")
+  else
+    cargo run --release -q -p ecg-bench --bin "$bin" | tee "$out/$bin.txt"
+  fi
 done
+
+if [[ $check -eq 1 ]]; then
+  status=0
+  for committed in results/*; do
+    name="$(basename "$committed")"
+    fresh="$out/$name"
+    [[ -f "$fresh" ]] || fresh="$out/results/$name"
+    if [[ ! -f "$fresh" ]]; then
+      echo "MISSING: $name was not regenerated" >&2
+      status=1
+      continue
+    fi
+    if ! diff -q "$committed" "$fresh" > /dev/null; then
+      echo "DRIFT: $name differs from the committed copy:" >&2
+      diff -u "$committed" "$fresh" | head -40 >&2 || true
+      status=1
+    fi
+  done
+  if [[ $status -eq 0 ]]; then
+    echo "check passed: regenerated outputs match results/ byte for byte"
+  fi
+  exit $status
+fi
 
 echo "all outputs written to $out/"
