@@ -14,14 +14,15 @@
 //! analysis.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_churn
+//! cargo run --release -p ecg-bench --bin ablation_churn [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, par_map, Scenario, Table};
+use ecg_bench::{f2, par_map, MetricsSink, Scenario, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, GroupMaintainer, SchemeConfig};
 use ecg_faults::{report_to_json, ChurnConfig, ChurnDriver, FaultPlan};
-use ecg_sim::{simulate_with_faults, GroupMap, SimReport};
+use ecg_obs::Obs;
+use ecg_sim::{simulate_with_faults_observed, GroupMap, SimReport};
 use ecg_topology::CacheId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +65,8 @@ fn random_groups(caches: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<CacheId>>
 }
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     println!(
         "Ablation: grouping under churn ({CACHES} caches, K = {GROUPS}, \
          {:.0} s, mean downtime {:.0} s, {:.0}% retirements)\n",
@@ -77,10 +80,10 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(78);
     let sl = GfCoordinator::new(SchemeConfig::sl(GROUPS))
-        .form_groups(&scenario.network, &mut rng)
+        .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
         .expect("SL formation");
     let sdsl = GfCoordinator::new(SchemeConfig::sdsl(GROUPS, 1.0))
-        .form_groups(&scenario.network, &mut rng)
+        .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
         .expect("SDSL formation");
     let random = random_groups(CACHES, GROUPS, &mut rng);
 
@@ -130,35 +133,50 @@ fn main() {
         }
     }
 
-    let results: Vec<CellResult> = par_map(cells, |cell| {
+    let collect = sink.enabled();
+    let pairs: Vec<(CellResult, Option<Obs>)> = par_map(cells, |cell| {
+        let mut cell_obs = if collect { Some(Obs::new()) } else { None };
         let map = GroupMap::new(CACHES, cell.groups.clone()).expect("valid partition");
-        let report = simulate_with_faults(
+        let report = simulate_with_faults_observed(
             &scenario.network,
             &map,
             &scenario.workload.catalog,
             &scenario.trace,
             config,
             &cell.plan.schedule(),
+            cell_obs.as_mut(),
         )
         .expect("simulation succeeds");
         let max_drift = cell.maintainer.map(|m| {
             let mut driver = ChurnDriver::new(m);
             driver
-                .apply(
+                .apply_observed(
                     &scenario.network,
                     &cell.plan,
                     &mut StdRng::seed_from_u64(2_000 + cell.churn_per_hour as u64),
+                    cell_obs.as_mut(),
                 )
                 .expect("churn replay succeeds");
             driver.max_drift()
         });
-        CellResult {
-            scheme: cell.scheme,
-            churn_per_hour: cell.churn_per_hour,
-            report,
-            max_drift,
-        }
+        (
+            CellResult {
+                scheme: cell.scheme,
+                churn_per_hour: cell.churn_per_hour,
+                report,
+                max_drift,
+            },
+            cell_obs,
+        )
     });
+    // Absorb per-cell bundles in input order: the merged document is
+    // independent of worker scheduling.
+    sink.absorb(obs);
+    let mut results = Vec::with_capacity(pairs.len());
+    for (r, cell_obs) in pairs {
+        sink.absorb(cell_obs);
+        results.push(r);
+    }
 
     let mut table = Table::new([
         "churn/hr",
@@ -218,4 +236,5 @@ fn main() {
     }
     std::fs::write(&path, &json).expect("write results JSON");
     println!("\nfull reports written to {}", path.display());
+    sink.write();
 }

@@ -14,16 +14,18 @@
 //! client-visible staleness each protocol trades.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_freshness
+//! cargo run --release -p ecg-bench --bin ablation_freshness [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, Scenario, Table};
+use ecg_bench::{f2, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_sim::FreshnessProtocol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 150;
     let duration_ms = 180_000.0;
     let k = 15;
@@ -32,7 +34,7 @@ fn main() {
     let scenario = Scenario::build(caches, duration_ms, 313);
     let mut rng = StdRng::seed_from_u64(14);
     let outcome = GfCoordinator::new(SchemeConfig::sdsl(k, 1.0))
-        .form_groups(&scenario.network, &mut rng)
+        .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
         .expect("group formation");
 
     let mut table = Table::new([
@@ -55,7 +57,7 @@ fn main() {
         ),
     ] {
         let config = scenario.sim_config(duration_ms).freshness(protocol);
-        let report = scenario.simulate_groups(outcome.groups(), config);
+        let report = scenario.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
         let total = report.metrics.total_requests().max(1);
         table.row([
             name.to_string(),
@@ -76,4 +78,6 @@ fn main() {
          versions; invalidate-on-access pays neither push messages nor \
          staleness, taking the misses instead."
     );
+    sink.absorb(obs);
+    sink.write();
 }

@@ -13,10 +13,10 @@
 //! Reports the average group interaction cost.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_init
+//! cargo run --release -p ecg-bench --bin ablation_init [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_clustering::average_group_interaction_cost;
 use ecg_clustering::hierarchical::{agglomerative, Linkage};
 use ecg_core::{GfCoordinator, GroupInit, SchemeConfig};
@@ -26,6 +26,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 300;
     let ks = [10usize, 30, 60];
     let seeds: Vec<u64> = (0..6).collect();
@@ -59,7 +61,7 @@ fn main() {
                 .map(|&seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = coord
-                        .form_groups(&network, &mut rng)
+                        .form_groups_observed(&network, &mut rng, obs.as_mut())
                         .expect("group formation");
                     interaction_cost_ms(&outcome, &network)
                 })
@@ -83,4 +85,6 @@ fn main() {
          distance of the ground-truth hierarchical oracle; k-means++ and \
          uniform seeding are comparable on this objective."
     );
+    sink.absorb(obs);
+    sink.write();
 }

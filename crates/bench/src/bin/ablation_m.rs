@@ -6,15 +6,17 @@
 //! the overhead/accuracy trade the paper's greedy design is about.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_m
+//! cargo run --release -p ecg-bench --bin ablation_m [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 300;
     let k = 30;
     let ms = [1usize, 2, 4, 8, 12];
@@ -29,7 +31,7 @@ fn main() {
         for &seed in &seeds {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = coord
-                .form_groups(&network, &mut rng)
+                .form_groups_observed(&network, &mut rng, obs.as_mut())
                 .expect("group formation");
             gic.push(interaction_cost_ms(&outcome, &network));
             probes.push(outcome.probes_sent() as f64);
@@ -48,4 +50,6 @@ fn main() {
          with M while probing overhead grows quadratically; gains flatten \
          quickly — the paper's small-M default is the sweet spot."
     );
+    sink.absorb(obs);
+    sink.write();
 }

@@ -8,10 +8,10 @@
 //! maintenance against a freshly re-formed grouping at every step.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_maintenance
+//! cargo run --release -p ecg-bench --bin ablation_maintenance [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, Table};
+use ecg_bench::{f2, MetricsSink, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, GroupMaintainer, SchemeConfig};
 use ecg_topology::{CacheId, EdgeNetwork, OriginPlacement, TransitStubConfig};
@@ -19,6 +19,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let initial = 100;
     let waves = 6;
     let joins_per_wave = 15;
@@ -34,7 +36,7 @@ fn main() {
         .expect("placement");
     let coordinator = GfCoordinator::new(SchemeConfig::sdsl(k, 1.0));
     let outcome = coordinator
-        .form_groups(&network, &mut rng)
+        .form_groups_observed(&network, &mut rng, obs.as_mut())
         .expect("initial formation");
     let mut maintainer = GroupMaintainer::new(&network, outcome, ProbeConfig::default());
 
@@ -80,7 +82,9 @@ fn main() {
                 network.cache_to_origin(anchor) + rng.gen_range(0.5..2.0)
             };
             network = network.with_added_cache(to_origin, &rtts);
-            maintainer.admit(&network, &mut rng).expect("admission");
+            maintainer
+                .admit_observed(&network, &mut rng, obs.as_mut())
+                .expect("admission");
         }
 
         let incremental = gic_of(maintainer.groups(), &network);
@@ -91,7 +95,7 @@ fn main() {
         for attempt in 0..5u64 {
             let mut reform_rng = StdRng::seed_from_u64(900 + wave as u64 * 10 + attempt);
             let outcome = coordinator
-                .form_groups(&network, &mut reform_rng)
+                .form_groups_observed(&network, &mut reform_rng, obs.as_mut())
                 .expect("re-formation");
             let gic = gic_of(outcome.groups(), &network);
             if best.is_none_or(|(b, _)| gic < b) {
@@ -115,4 +119,6 @@ fn main() {
          full landmark probing bill again (last column, per attempt). \
          Re-form when drift crosses your threshold, not on a timer."
     );
+    sink.absorb(obs);
+    sink.write();
 }

@@ -7,16 +7,18 @@
 //! the SL scheme's average group interaction cost.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_noise
+//! cargo run --release -p ecg-bench --bin ablation_noise [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 300;
     let k = 30;
     let sigmas = [0.0, 0.05, 0.1, 0.2, 0.4];
@@ -44,7 +46,7 @@ fn main() {
                 .map(|&seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = coord
-                        .form_groups(&network, &mut rng)
+                        .form_groups_observed(&network, &mut rng, obs.as_mut())
                         .expect("group formation");
                     interaction_cost_ms(&outcome, &network)
                 })
@@ -58,4 +60,6 @@ fn main() {
         "\nexpected: accuracy degrades as σ grows; averaging more probes \
          per measurement recovers most of the loss."
     );
+    sink.absorb(obs);
+    sink.write();
 }

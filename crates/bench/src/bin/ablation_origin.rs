@@ -9,18 +9,20 @@
 //! heterogeneous.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_origin
+//! cargo run --release -p ecg-bench --bin ablation_origin [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, Table};
+use ecg_bench::{f2, mean, MetricsSink, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
-use ecg_sim::{simulate, GroupMap, SimConfig};
+use ecg_sim::{simulate_observed, GroupMap, SimConfig};
 use ecg_topology::{EdgeNetwork, OriginPlacement, TransitStubConfig};
 use ecg_workload::SportingEventConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 200;
     let duration_ms = 120_000.0;
     let k = 20;
@@ -53,11 +55,18 @@ fn main() {
             {
                 let mut form_rng = StdRng::seed_from_u64(seed);
                 let outcome = GfCoordinator::new(scheme)
-                    .form_groups(&network, &mut form_rng)
+                    .form_groups_observed(&network, &mut form_rng, obs.as_mut())
                     .expect("group formation");
                 let map = GroupMap::new(caches, outcome.groups().to_vec()).expect("valid groups");
-                let report = simulate(&network, &map, &workload.catalog, &trace, config)
-                    .expect("simulation");
+                let report = simulate_observed(
+                    &network,
+                    &map,
+                    &workload.catalog,
+                    &trace,
+                    config,
+                    obs.as_mut(),
+                )
+                .expect("simulation");
                 latencies[slot].push(report.average_latency_ms());
             }
         }
@@ -76,4 +85,6 @@ fn main() {
          typically has more heterogeneous cache-to-origin distances, which \
          widens SDSL's edge."
     );
+    sink.absorb(obs);
+    sink.write();
 }

@@ -6,16 +6,18 @@
 //! hit rate, and origin offload.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_policy
+//! cargo run --release -p ecg-bench --bin ablation_policy [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, Scenario, Table};
+use ecg_bench::{f2, MetricsSink, Scenario, Table};
 use ecg_cache::PolicyKind;
 use ecg_core::{GfCoordinator, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 200;
     let duration_ms = 180_000.0;
     let k = 20;
@@ -24,7 +26,7 @@ fn main() {
     let scenario = Scenario::build(caches, duration_ms, 777);
     let mut rng = StdRng::seed_from_u64(88);
     let outcome = GfCoordinator::new(SchemeConfig::sdsl(k, 1.0))
-        .form_groups(&scenario.network, &mut rng)
+        .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
         .expect("group formation");
 
     let mut table = Table::new([
@@ -41,7 +43,7 @@ fn main() {
         PolicyKind::Gdsf,
     ] {
         let config = scenario.sim_config(duration_ms).policy(policy);
-        let report = scenario.simulate_groups(outcome.groups(), config);
+        let report = scenario.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
         table.row([
             policy.name().to_string(),
             f2(report.average_latency_ms()),
@@ -59,4 +61,6 @@ fn main() {
          update rate) at or near the best latency; LRU/LFU competitive; \
          the exact ordering is workload-dependent."
     );
+    sink.absorb(obs);
+    sink.write();
 }

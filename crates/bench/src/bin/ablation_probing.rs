@@ -11,10 +11,10 @@
 //! and report both the interaction-cost accuracy and the probes spent.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_probing
+//! cargo run --release -p ecg-bench --bin ablation_probing [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_clustering::average_group_interaction_cost;
 use ecg_clustering::medoids::pam;
 use ecg_coords::{ProbeConfig, Prober};
@@ -25,6 +25,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let sizes = [100usize, 200, 300];
     let k_frac = 10;
     let seeds: Vec<u64> = (0..3).collect();
@@ -51,7 +53,9 @@ fn main() {
         let (mut sl_gic, mut sl_probes) = (Vec::new(), Vec::new());
         for &seed in &seeds {
             let mut rng = StdRng::seed_from_u64(seed);
-            let outcome = coord.form_groups(&network, &mut rng).expect("formation");
+            let outcome = coord
+                .form_groups_observed(&network, &mut rng, obs.as_mut())
+                .expect("formation");
             sl_gic.push(interaction_cost_ms(&outcome, &network));
             sl_probes.push(outcome.probes_sent() as f64);
         }
@@ -66,7 +70,7 @@ fn main() {
             #[allow(clippy::needless_range_loop)] // writes both [a][b] and [b][a]
             for a in 0..n {
                 for b in (a + 1)..n {
-                    let rtt = prober.measure(a + 1, b + 1, &mut rng);
+                    let rtt = prober.measure_observed(a + 1, b + 1, &mut rng, obs.as_mut());
                     measured[a][b] = rtt;
                     measured[b][a] = rtt;
                 }
@@ -92,4 +96,6 @@ fn main() {
          probe cost that grows with N² — the overhead the paper's \
          landmark design amortizes away."
     );
+    sink.absorb(obs);
+    sink.write();
 }

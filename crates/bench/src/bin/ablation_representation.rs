@@ -6,16 +6,18 @@
 //! paper argues about in prose.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_representation
+//! cargo run --release -p ecg-bench --bin ablation_representation [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_coords::{GnpConfig, VivaldiConfig};
 use ecg_core::{GfCoordinator, Representation, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 200;
     let k = 20;
     let seeds: Vec<u64> = (0..4).collect();
@@ -47,7 +49,7 @@ fn main() {
         for &seed in &seeds {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = coord
-                .form_groups(&network, &mut rng)
+                .form_groups_observed(&network, &mut rng, obs.as_mut())
                 .expect("group formation");
             gic.push(interaction_cost_ms(&outcome, &network));
             probes.push(outcome.probes_sent() as f64);
@@ -64,4 +66,6 @@ fn main() {
          Vivaldi lands close but needs roughly an order of magnitude more \
          probes — the cost of landmark-free convergence."
     );
+    sink.absorb(obs);
+    sink.write();
 }

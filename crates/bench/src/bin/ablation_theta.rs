@@ -7,15 +7,17 @@
 //! compact-near / spread-far structure emerge as θ grows.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_theta
+//! cargo run --release -p ecg-bench --bin ablation_theta [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, Scenario, Table};
+use ecg_bench::{f2, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 300;
     let duration_ms = 120_000.0;
     let k = 30;
@@ -40,9 +42,9 @@ fn main() {
         for &seed in &form_seeds {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = coord
-                .form_groups(&scenario.network, &mut rng)
+                .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
                 .expect("group formation");
-            let report = scenario.simulate_groups(outcome.groups(), config);
+            let report = scenario.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
             lat.push(report.average_latency_ms());
             let avg_size_of = |subset: &[ecg_topology::CacheId]| -> f64 {
                 subset
@@ -67,4 +69,6 @@ fn main() {
          grow; latency bottoms out at a moderate θ and degrades for \
          extreme bias."
     );
+    sink.absorb(obs);
+    sink.write();
 }

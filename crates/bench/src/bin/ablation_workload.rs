@@ -8,18 +8,20 @@
 //! workload shape.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin ablation_workload
+//! cargo run --release -p ecg-bench --bin ablation_workload [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, Table};
+use ecg_bench::{f2, mean, MetricsSink, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
-use ecg_sim::{simulate, GroupMap, SimConfig};
+use ecg_sim::{simulate_observed, GroupMap, SimConfig};
 use ecg_topology::{EdgeNetwork, OriginPlacement, TransitStubConfig};
 use ecg_workload::{NewsSiteConfig, SportingEventConfig, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 150;
     let duration_ms = 180_000.0;
     let k = 15;
@@ -67,10 +69,12 @@ fn main() {
             {
                 let mut form_rng = StdRng::seed_from_u64(seed);
                 let outcome = GfCoordinator::new(scheme)
-                    .form_groups(&network, &mut form_rng)
+                    .form_groups_observed(&network, &mut form_rng, obs.as_mut())
                     .expect("formation");
                 let map = GroupMap::new(caches, outcome.groups().to_vec()).expect("groups");
-                let report = simulate(&network, &map, catalog, trace, config).expect("simulation");
+                let report =
+                    simulate_observed(&network, &map, catalog, trace, config, obs.as_mut())
+                        .expect("simulation");
                 latencies[slot].push(report.average_latency_ms());
                 if slot == 1 {
                     hit_rates.push(report.metrics.group_hit_rate().unwrap_or(0.0));
@@ -92,4 +96,6 @@ fn main() {
          workload has lower hit rates overall (bigger catalog, milder \
          skew), shrinking every scheme's absolute benefit."
     );
+    sink.absorb(obs);
+    sink.write();
 }

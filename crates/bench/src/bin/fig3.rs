@@ -12,15 +12,17 @@
 //!    motivation for SDSL.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig3
+//! cargo run --release -p ecg-bench --bin fig3 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, par_map, Scenario, Table};
+use ecg_bench::{f2, mean, par_map, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
+use ecg_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
     let caches = 500;
     let duration_ms = 120_000.0;
     let sizes = [2usize, 5, 10, 25, 50, 100, 250, 500];
@@ -35,28 +37,35 @@ fn main() {
     let mut table = Table::new(["group_size", "K", "all_ms", "near50_ms", "far50_ms"]);
     let scenario_ref = &scenario;
     let (near_ref, far_ref) = (&near, &far);
+    let collect = sink.enabled();
     let rows = par_map(sizes.to_vec(), |size| {
+        let mut obs = if collect { Some(Obs::new()) } else { None };
         let k = (caches / size).max(1);
         let (mut all, mut near_l, mut far_l) = (Vec::new(), Vec::new(), Vec::new());
         for &seed in &form_seeds {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = GfCoordinator::new(SchemeConfig::sl(k))
-                .form_groups(&scenario_ref.network, &mut rng)
+                .form_groups_observed(&scenario_ref.network, &mut rng, obs.as_mut())
                 .expect("group formation");
-            let report = scenario_ref.simulate_groups(outcome.groups(), config);
+            let report =
+                scenario_ref.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
             all.push(report.average_latency_ms());
             near_l.push(report.metrics.mean_latency_of(near_ref).unwrap_or(0.0));
             far_l.push(report.metrics.mean_latency_of(far_ref).unwrap_or(0.0));
         }
-        [
-            size.to_string(),
-            k.to_string(),
-            f2(mean(&all)),
-            f2(mean(&near_l)),
-            f2(mean(&far_l)),
-        ]
+        (
+            [
+                size.to_string(),
+                k.to_string(),
+                f2(mean(&all)),
+                f2(mean(&near_l)),
+                f2(mean(&far_l)),
+            ],
+            obs,
+        )
     });
-    for row in rows {
+    for (row, obs) in rows {
+        sink.absorb(obs);
         table.row(row);
     }
     table.print();
@@ -64,4 +73,5 @@ fn main() {
         "\nexpected shape: U-shaped curves with minima at different group sizes \
          (near-origin caches prefer smaller groups than far caches)."
     );
+    sink.write();
 }

@@ -10,15 +10,17 @@
 //! random and 21–46% better than min-dist.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig4
+//! cargo run --release -p ecg-bench --bin fig4 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, LandmarkSelector, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let sizes = [100usize, 200, 300, 400, 500];
     let selectors = [
         LandmarkSelector::GreedyMaxMin,
@@ -43,7 +45,7 @@ fn main() {
                 .map(|&seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = coord
-                        .form_groups(&network, &mut rng)
+                        .form_groups_observed(&network, &mut rng, obs.as_mut())
                         .expect("group formation");
                     interaction_cost_ms(&outcome, &network)
                 })
@@ -54,4 +56,6 @@ fn main() {
     }
     table.print();
     println!("\nexpected ordering at every size: greedy_SL < random < min_dist.");
+    sink.absorb(obs);
+    sink.write();
 }

@@ -8,15 +8,17 @@
 //! accuracy at every K.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig5
+//! cargo run --release -p ecg-bench --bin fig5 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, LandmarkSelector, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 500;
     let ks = [10usize, 25, 50, 75, 100];
     let selectors = [
@@ -41,7 +43,7 @@ fn main() {
                 .map(|&seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = coord
-                        .form_groups(&network, &mut rng)
+                        .form_groups_observed(&network, &mut rng, obs.as_mut())
                         .expect("group formation");
                     interaction_cost_ms(&outcome, &network)
                 })
@@ -52,4 +54,6 @@ fn main() {
     }
     table.print();
     println!("\nexpected: greedy_SL lowest at every K; costs fall as K grows.");
+    sink.absorb(obs);
+    sink.write();
 }

@@ -10,15 +10,17 @@
 //! count.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig6
+//! cargo run --release -p ecg-bench --bin fig6 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, interaction_cost_ms, mean, Scenario, Table};
+use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, LandmarkSelector, SchemeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 500;
     let k = 10;
     let landmark_counts = [10usize, 20, 25, 35];
@@ -44,7 +46,7 @@ fn main() {
                 .map(|&seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = coord
-                        .form_groups(&network, &mut rng)
+                        .form_groups_observed(&network, &mut rng, obs.as_mut())
                         .expect("group formation");
                     interaction_cost_ms(&outcome, &network)
                 })
@@ -58,4 +60,6 @@ fn main() {
         "\nexpected: all selectors improve with more landmarks, with little \
          change beyond 25; greedy_SL best at every landmark count."
     );
+    sink.absorb(obs);
+    sink.write();
 }

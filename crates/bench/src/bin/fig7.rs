@@ -14,11 +14,11 @@
 //! would.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig7
+//! cargo run --release -p ecg-bench --bin fig7 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, Scenario, Table};
-use ecg_clustering::{average_group_interaction_cost, kmeans, Initializer, KmeansConfig};
+use ecg_bench::{f2, mean, MetricsSink, Scenario, Table};
+use ecg_clustering::{average_group_interaction_cost, kmeans_observed, Initializer, KmeansConfig};
 use ecg_coords::{
     build_feature_vectors, embed_network, FeatureMatrix, GnpConfig, ProbeConfig, Prober,
 };
@@ -28,6 +28,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
+    let mut obs = sink.collect();
     let caches = 500;
     let ks = [10usize, 25, 50, 75, 100];
     let seeds: Vec<u64> = (0..3).collect();
@@ -72,13 +74,18 @@ fn main() {
             gnp_points.push_row(c.as_slice());
         }
 
+        if let Some(o) = obs.as_mut() {
+            o.metrics.add("scheme.probes_sent", prober.probes_sent());
+        }
+
         for (ki, &k) in ks.iter().enumerate() {
             for (points, out) in [(&fv_points, &mut fv_gic), (&gnp_points, &mut gnp_gic)] {
-                let clustering = kmeans(
+                let clustering = kmeans_observed(
                     points,
                     KmeansConfig::new(k),
                     &Initializer::RandomRepresentative,
                     &mut rng,
+                    obs.as_mut(),
                 )
                 .expect("clustering");
                 out[ki].push(average_group_interaction_cost(&clustering.clusters(), cost));
@@ -95,4 +102,6 @@ fn main() {
         "\nexpected: the two columns track each other closely — the simple \
          feature-vector representation is sufficient for cache clustering."
     );
+    sink.absorb(obs);
+    sink.write();
 }

@@ -8,15 +8,17 @@
 //! by more than 27% at 500 caches with K = 20%.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig8
+//! cargo run --release -p ecg-bench --bin fig8 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, par_map, Scenario, Table};
+use ecg_bench::{f2, mean, par_map, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
+use ecg_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
     let sizes = [100usize, 200, 300, 400, 500];
     let duration_ms = 120_000.0;
     let form_seeds = [3u64, 4];
@@ -29,7 +31,9 @@ fn main() {
     let mut table = Table::new([
         "caches", "SL_10%", "SDSL_10%", "gain10", "SL_20%", "SDSL_20%", "gain20",
     ]);
+    let collect = sink.enabled();
     let rows = par_map(sizes.to_vec(), |n| {
+        let mut obs = if collect { Some(Obs::new()) } else { None };
         let scenario = Scenario::build(n, duration_ms, 500 + n as u64);
         let config = scenario.sim_config(duration_ms);
         let mut cells = vec![n.to_string()];
@@ -43,9 +47,10 @@ fn main() {
                 {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let outcome = GfCoordinator::new(scheme)
-                        .form_groups(&scenario.network, &mut rng)
+                        .form_groups_observed(&scenario.network, &mut rng, obs.as_mut())
                         .expect("group formation");
-                    let report = scenario.simulate_groups(outcome.groups(), config);
+                    let report =
+                        scenario.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
                     latencies[slot].push(report.average_latency_ms());
                 }
             }
@@ -54,11 +59,13 @@ fn main() {
             cells.push(f2(sdsl));
             cells.push(format!("{:.1}%", 100.0 * (sl - sdsl) / sl));
         }
-        cells
+        (cells, obs)
     });
-    for row in rows {
+    for (row, obs) in rows {
+        sink.absorb(obs);
         table.row(row);
     }
     table.print();
     println!("\nexpected: SDSL lower than SL at every size and both K settings.");
+    sink.write();
 }

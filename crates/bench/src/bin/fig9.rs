@@ -8,15 +8,17 @@
 //! the number of cache groups formed.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin fig9
+//! cargo run --release -p ecg-bench --bin fig9 [--metrics-out <path>]
 //! ```
 
-use ecg_bench::{f2, mean, par_map, Scenario, Table};
+use ecg_bench::{f2, mean, par_map, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
+use ecg_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut sink = MetricsSink::from_args();
     let caches = 500;
     let duration_ms = 120_000.0;
     let ks = [10usize, 25, 50, 75, 100];
@@ -43,14 +45,21 @@ fn main() {
         }
     }
     let scenario_ref = &scenario;
-    let results = par_map(cells, |(k, seed, slot, scheme)| {
+    let collect = sink.enabled();
+    let pairs = par_map(cells, |(k, seed, slot, scheme)| {
+        let mut obs = if collect { Some(Obs::new()) } else { None };
         let mut rng = StdRng::seed_from_u64(seed);
         let outcome = GfCoordinator::new(scheme)
-            .form_groups(&scenario_ref.network, &mut rng)
+            .form_groups_observed(&scenario_ref.network, &mut rng, obs.as_mut())
             .expect("group formation");
-        let report = scenario_ref.simulate_groups(outcome.groups(), config);
-        (k, slot, report.average_latency_ms())
+        let report = scenario_ref.simulate_groups_observed(outcome.groups(), config, obs.as_mut());
+        ((k, slot, report.average_latency_ms()), obs)
     });
+    let mut results = Vec::with_capacity(pairs.len());
+    for (r, obs) in pairs {
+        sink.absorb(obs);
+        results.push(r);
+    }
 
     let mut table = Table::new(["K", "SL_ms", "SDSL_ms", "SDSL_gain"]);
     for &k in &ks {
@@ -71,4 +80,5 @@ fn main() {
     }
     table.print();
     println!("\nexpected: the SDSL column below the SL column at every K.");
+    sink.write();
 }

@@ -16,11 +16,15 @@
 #![warn(missing_docs)]
 
 use ecg_core::GroupingOutcome;
-use ecg_sim::{simulate, GroupMap, LatencyModel, SimConfig, SimReport};
+use ecg_obs::Obs;
+use ecg_sim::{simulate, simulate_observed, GroupMap, LatencyModel, SimConfig, SimReport};
 use ecg_topology::{EdgeNetwork, OriginPlacement, TransitStubConfig};
 use ecg_workload::{SportingEventConfig, SportingEventWorkload, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub mod obs;
+pub use obs::MetricsSink;
 
 /// A fully built experiment scenario: network + workload + trace.
 #[derive(Debug, Clone)]
@@ -95,6 +99,33 @@ impl Scenario {
             &self.workload.catalog,
             &self.trace,
             config,
+        )
+        .expect("simulation inputs are consistent")
+    }
+
+    /// Like [`Scenario::simulate_groups`], but records the simulator's
+    /// telemetry (`sim.*` counters, latency histogram, event trace) into
+    /// an observability bundle when one is supplied. With `obs = None`
+    /// this is exactly [`Scenario::simulate_groups`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups do not partition the scenario's caches.
+    pub fn simulate_groups_observed(
+        &self,
+        groups: &[Vec<ecg_topology::CacheId>],
+        config: SimConfig,
+        obs: Option<&mut Obs>,
+    ) -> SimReport {
+        let map = GroupMap::new(self.network.cache_count(), groups.to_vec())
+            .expect("grouping partitions the caches");
+        simulate_observed(
+            &self.network,
+            &map,
+            &self.workload.catalog,
+            &self.trace,
+            config,
+            obs,
         )
         .expect("simulation inputs are consistent")
     }

@@ -1,0 +1,156 @@
+//! `--metrics-out` support for the experiment binaries.
+//!
+//! Every figure and ablation binary accepts an optional
+//! `--metrics-out <path>` flag. When present, the binary routes an
+//! [`Obs`] bundle through the instrumented library entry points
+//! (`*_observed`), merges the per-cell bundles in deterministic input
+//! order, and writes the combined bundle as one canonical JSON document.
+//! Two runs with the same seed produce byte-identical files.
+//!
+//! The flag is deliberately invisible on stdout: result tables captured
+//! into `results/*.txt` stay byte-for-byte identical whether or not
+//! metrics are collected (the confirmation note goes to stderr).
+
+use ecg_obs::Obs;
+use std::path::{Path, PathBuf};
+
+/// Collects [`Obs`] bundles from experiment cells and writes the merged
+/// JSON document to the path given by `--metrics-out`.
+///
+/// With no flag the sink is disabled: [`MetricsSink::collect`] returns
+/// `None`, [`MetricsSink::absorb`] is a no-op, and
+/// [`MetricsSink::write`] writes nothing, so binaries can thread the
+/// sink unconditionally.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    path: Option<PathBuf>,
+    merged: Obs,
+}
+
+impl MetricsSink {
+    /// Builds the sink from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--metrics-out` is present without a following path.
+    pub fn from_args() -> MetricsSink {
+        Self::from_arg_iter(std::env::args().skip(1))
+    }
+
+    /// Builds the sink from an explicit argument list (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--metrics-out` is present without a following path.
+    pub fn from_arg_iter<I, S>(args: I) -> MetricsSink
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut args = args.into_iter();
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg.as_ref() == "--metrics-out" {
+                let value = args.next().expect("--metrics-out requires a path argument");
+                path = Some(PathBuf::from(value.as_ref()));
+            }
+        }
+        MetricsSink {
+            path,
+            merged: Obs::new(),
+        }
+    }
+
+    /// Whether `--metrics-out` was given.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The output path, when enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// A fresh bundle for one experiment cell, or `None` when disabled.
+    ///
+    /// Cells running on worker threads each get their own bundle; the
+    /// binary absorbs them back in input order so the merged document is
+    /// independent of scheduling.
+    pub fn collect(&self) -> Option<Obs> {
+        self.enabled().then(Obs::new)
+    }
+
+    /// Merges a cell's bundle into the sink (no-op for `None`).
+    pub fn absorb(&mut self, obs: Option<Obs>) {
+        if let Some(obs) = obs {
+            self.merged.merge(&obs);
+        }
+    }
+
+    /// A read-only view of everything absorbed so far.
+    pub fn merged(&self) -> &Obs {
+        &self.merged
+    }
+
+    /// Writes the merged bundle as canonical JSON (one trailing
+    /// newline). Does nothing when disabled. The confirmation note goes
+    /// to **stderr** so captured result tables stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        let mut doc = self.merged.to_json();
+        doc.push('\n');
+        std::fs::write(path, doc)
+            .unwrap_or_else(|e| panic!("cannot write metrics to {}: {e}", path.display()));
+        eprintln!("metrics written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let mut sink = MetricsSink::from_arg_iter(["--caches", "40"]);
+        assert!(!sink.enabled());
+        assert!(sink.collect().is_none());
+        sink.absorb(None);
+        assert!(sink.merged().metrics.is_empty());
+        sink.write(); // no path — must not touch the filesystem
+    }
+
+    #[test]
+    fn flag_parses_and_collects() {
+        let mut sink = MetricsSink::from_arg_iter(["--metrics-out", "/tmp/m.json", "--seeds", "3"]);
+        assert!(sink.enabled());
+        assert_eq!(sink.path().unwrap().to_str(), Some("/tmp/m.json"));
+        let mut obs = sink.collect().expect("enabled sink hands out bundles");
+        obs.metrics.inc("cell.runs");
+        sink.absorb(Some(obs));
+        assert_eq!(sink.merged().metrics.counter("cell.runs"), 1);
+    }
+
+    #[test]
+    fn absorb_order_is_the_merge_order() {
+        let mut sink = MetricsSink::from_arg_iter(["--metrics-out", "/tmp/m.json"]);
+        for t in [1.0, 2.0] {
+            let mut obs = sink.collect().unwrap();
+            obs.trace.push(t, "test", "cell", vec![]);
+            sink.absorb(Some(obs));
+        }
+        let times: Vec<f64> = sink.merged().trace.events().map(|e| e.t).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a path")]
+    fn missing_path_panics() {
+        let _ = MetricsSink::from_arg_iter(["--metrics-out"]);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::init::Initializer;
 use ecg_coords::FeatureMatrix;
+use ecg_obs::Obs;
 use rand::Rng;
 
 /// Squared Euclidean distance between two points.
@@ -255,6 +256,24 @@ pub fn kmeans<R: Rng + ?Sized>(
     initializer: &Initializer,
     rng: &mut R,
 ) -> Result<Clustering, KmeansError> {
+    kmeans_observed(points, config, initializer, rng, None)
+}
+
+/// Like [`kmeans`], but records per-iteration convergence stats into an
+/// observability bundle when one is supplied: `kmeans.*` counters
+/// (iterations, reassignments, Hamerly-pruned points, bound-tightened
+/// points, exact scans), a `kmeans` phase span whose work is the
+/// iteration count, and one `kmeans`/`iter` trace event per iteration
+/// keyed by iteration number (never wall clock). With `obs = None` this
+/// is exactly [`kmeans`]; instrumentation never draws from the RNG, so
+/// the clustering is identical either way.
+pub fn kmeans_observed<R: Rng + ?Sized>(
+    points: &FeatureMatrix,
+    config: KmeansConfig,
+    initializer: &Initializer,
+    rng: &mut R,
+    mut obs: Option<&mut Obs>,
+) -> Result<Clustering, KmeansError> {
     let n = points.len();
     let k = config.k;
     if n < k {
@@ -332,12 +351,16 @@ pub fn kmeans<R: Rng + ?Sized>(
         }
 
         let mut reassigned = 0usize;
+        let mut pruned = 0usize;
+        let mut tightened = 0usize;
+        let mut exact_scans = 0usize;
         for i in 0..n {
             // Prune: `upper < lower` makes the current center the unique
             // strict nearest, so the naive scan would keep it. Ties never
             // prune (the inequality is strict), so tie-breaking always
             // falls through to the exact scan below.
             if upper[i] < lower[i] {
+                pruned += 1;
                 continue;
             }
             let p = points.row(i);
@@ -347,8 +370,10 @@ pub fn kmeans<R: Rng + ?Sized>(
             let d_a = sq_l2(p, centers.row(a)).sqrt();
             upper[i] = d_a;
             if d_a < lower[i] {
+                tightened += 1;
                 continue;
             }
+            exact_scans += 1;
             let (best, best_d2, second_d2) = scan_point(p, &centers);
             upper[i] = best_d2.sqrt();
             lower[i] = second_d2.sqrt();
@@ -356,6 +381,25 @@ pub fn kmeans<R: Rng + ?Sized>(
                 assignments[i] = best;
                 reassigned += 1;
             }
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.metrics.inc("kmeans.iterations");
+            o.metrics.add("kmeans.reassigned", reassigned as u64);
+            o.metrics.add("kmeans.pruned", pruned as u64);
+            o.metrics.add("kmeans.tightened", tightened as u64);
+            o.metrics.add("kmeans.exact_scans", exact_scans as u64);
+            o.trace.push(
+                iterations as f64,
+                "kmeans",
+                "iter",
+                vec![
+                    ("reassigned", reassigned.into()),
+                    ("pruned", pruned.into()),
+                    ("tightened", tightened.into()),
+                    ("exact_scans", exact_scans.into()),
+                    ("max_center_move", max_move.into()),
+                ],
+            );
         }
         if reassigned <= config.reassignment_threshold {
             converged = true;
@@ -367,6 +411,15 @@ pub fn kmeans<R: Rng + ?Sized>(
     // and guarantee no empty groups.
     update.update_centers(points, &assignments, &mut centers);
     repair_empty_clusters(points, &mut assignments, &mut centers, &mut stolen);
+
+    if let Some(o) = obs {
+        o.metrics.inc("kmeans.runs");
+        if converged {
+            o.metrics.inc("kmeans.converged");
+        }
+        let mut span = o.phases.span("kmeans");
+        span.add_work(iterations as f64);
+    }
 
     Ok(Clustering {
         assignments,
@@ -876,5 +929,44 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn zero_k_rejected() {
         let _ = KmeansConfig::new(0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_accounts_every_point() {
+        let pts = three_blobs();
+        let plain = {
+            let mut rng = StdRng::seed_from_u64(3);
+            kmeans(
+                &pts,
+                KmeansConfig::new(3),
+                &Initializer::RandomRepresentative,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut obs = Obs::new();
+        let observed = kmeans_observed(
+            &pts,
+            KmeansConfig::new(3),
+            &Initializer::RandomRepresentative,
+            &mut rng,
+            Some(&mut obs),
+        )
+        .unwrap();
+        // Identical RNG consumption: same clustering in every field.
+        assert_eq!(plain, observed);
+        let iters = obs.metrics.counter("kmeans.iterations");
+        assert_eq!(iters, observed.iterations() as u64);
+        assert_eq!(obs.metrics.counter("kmeans.runs"), 1);
+        assert_eq!(obs.metrics.counter("kmeans.converged"), 1);
+        // Every point is pruned, tightened, or scanned each iteration.
+        let handled = obs.metrics.counter("kmeans.pruned")
+            + obs.metrics.counter("kmeans.tightened")
+            + obs.metrics.counter("kmeans.exact_scans");
+        assert_eq!(handled, iters * pts.len() as u64);
+        // One trace event per iteration, keyed by iteration number.
+        assert_eq!(obs.trace.len(), iters as usize);
+        assert_eq!(obs.phases.roots()[0].work(), iters as f64);
     }
 }

@@ -53,7 +53,9 @@ pub mod quality;
 pub use balanced::{kmeans_capped, CapError};
 pub use ecg_coords::FeatureMatrix;
 pub use init::{server_distance_weights, Initializer};
-pub use kmeans::{kmeans, kmeans_reference, Clustering, KmeansConfig, KmeansError};
+pub use kmeans::{
+    kmeans, kmeans_observed, kmeans_reference, Clustering, KmeansConfig, KmeansError,
+};
 pub use medoids::{pam, pam_euclidean, Medoids};
 pub use model_selection::{suggest_k, KSelection};
 pub use quality::{

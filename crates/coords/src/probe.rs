@@ -7,6 +7,7 @@
 //! by log-normal noise, and a measurement averages a configurable number
 //! of probes.
 
+use ecg_obs::Obs;
 use ecg_topology::RttMatrix;
 use rand::Rng;
 
@@ -251,6 +252,37 @@ impl<'a> Prober<'a> {
         }
     }
 
+    /// Like [`Prober::measure`], but also records the measurement into
+    /// an observability bundle when one is supplied: `probe.sent` /
+    /// `probe.lost` / `probe.timeouts` counters, a `probe.measurements`
+    /// counter, and a `probe.rtt_ms` histogram. With `obs = None` this
+    /// is exactly [`Prober::measure`] — instrumentation never touches
+    /// the RNG stream either way.
+    pub fn measure_observed<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        rng: &mut R,
+        obs: Option<&mut Obs>,
+    ) -> f64 {
+        let Some(obs) = obs else {
+            return self.measure(a, b, rng);
+        };
+        let sent_before = self.probes_sent.get();
+        let lost_before = self.probes_lost.get();
+        let rtt = self.measure(a, b, rng);
+        let lost = self.probes_lost.get() - lost_before;
+        obs.metrics.inc("probe.measurements");
+        obs.metrics
+            .add("probe.sent", self.probes_sent.get() - sent_before);
+        obs.metrics.add("probe.lost", lost);
+        obs.metrics.observe("probe.rtt_ms", rtt);
+        if a != b && lost == self.config.probes as u64 {
+            obs.metrics.inc("probe.timeouts");
+        }
+        rtt
+    }
+
     /// Measures the RTT from `from` to every node in `targets`, in order.
     pub fn measure_all<R: Rng + ?Sized>(
         &self,
@@ -277,6 +309,23 @@ impl<'a> Prober<'a> {
         out.reserve(targets.len());
         for &t in targets {
             out.push(self.measure(from, t, rng));
+        }
+    }
+
+    /// Like [`Prober::measure_all_into`], but records each measurement
+    /// via [`Prober::measure_observed`] when a bundle is supplied.
+    pub fn measure_all_into_observed<R: Rng + ?Sized>(
+        &self,
+        from: usize,
+        targets: &[usize],
+        rng: &mut R,
+        out: &mut Vec<f64>,
+        mut obs: Option<&mut Obs>,
+    ) {
+        out.clear();
+        out.reserve(targets.len());
+        for &t in targets {
+            out.push(self.measure_observed(from, t, rng, obs.as_deref_mut()));
         }
     }
 }
@@ -430,6 +479,48 @@ mod tests {
             (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_measurement_matches_plain_and_records_counters() {
+        let m = paper_figure1();
+        let cfg = ProbeConfig::default().probes_per_measurement(4);
+        let plain = {
+            let p = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(5);
+            (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
+        };
+        let p = Prober::new(&m, cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut obs = Obs::new();
+        let observed = (
+            p.measure_observed(0, 1, &mut rng, Some(&mut obs)),
+            p.measure_observed(2, 3, &mut rng, Some(&mut obs)),
+        );
+        // Identical RNG stream: instrumentation must not perturb it.
+        assert_eq!(plain, observed);
+        assert_eq!(obs.metrics.counter("probe.sent"), 8);
+        assert_eq!(obs.metrics.counter("probe.measurements"), 2);
+        assert_eq!(obs.metrics.counter("probe.timeouts"), 0);
+        let hist = obs.metrics.histogram("probe.rtt_ms").expect("histogram");
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn observed_total_loss_records_timeout() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::noiseless()
+                .probes_per_measurement(3)
+                .loss_rate(0.999),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obs = Obs::new();
+        let mut out = Vec::new();
+        p.measure_all_into_observed(0, &[1], &mut rng, &mut out, Some(&mut obs));
+        assert_eq!(obs.metrics.counter("probe.lost"), 3);
+        assert_eq!(obs.metrics.counter("probe.timeouts"), 1);
     }
 
     #[test]

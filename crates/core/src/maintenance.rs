@@ -17,6 +17,7 @@
 
 use crate::scheme::{GroupingOutcome, SchemeError};
 use ecg_coords::{FeatureMatrix, ProbeConfig, Prober};
+use ecg_obs::Obs;
 use ecg_topology::{CacheId, EdgeNetwork};
 use rand::Rng;
 use std::fmt;
@@ -104,6 +105,8 @@ pub struct GroupMaintainer {
     retired: Vec<CacheId>,
     /// Probe-scratch buffer reused across admit/readmit calls.
     fv_scratch: Vec<f64>,
+    /// Completed maintenance operations; keys the event-trace timeline.
+    ops: u64,
 }
 
 impl GroupMaintainer {
@@ -122,6 +125,7 @@ impl GroupMaintainer {
             formation_cost,
             retired: Vec::new(),
             fv_scratch: Vec::new(),
+            ops: 0,
         }
     }
 
@@ -170,6 +174,24 @@ impl GroupMaintainer {
         network: &EdgeNetwork,
         rng: &mut R,
     ) -> Result<usize, MaintenanceError> {
+        self.admit_observed(network, rng, None)
+    }
+
+    /// Like [`GroupMaintainer::admit`], but records a
+    /// `maintenance.admissions` counter, the newcomer's landmark probes
+    /// (`probe.*`), and a `maintenance`/`admit` trace event when an
+    /// observability bundle is supplied. With `obs = None` this is
+    /// exactly [`GroupMaintainer::admit`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GroupMaintainer::admit`].
+    pub fn admit_observed<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<usize, MaintenanceError> {
         let expected = self.assignments.len() + 1;
         if network.cache_count() != expected {
             return Err(MaintenanceError::CacheCountMismatch {
@@ -178,9 +200,23 @@ impl GroupMaintainer {
             });
         }
         let newcomer = CacheId(expected - 1);
-        let best_group = self.nearest_group(network, newcomer, rng);
+        let best_group = self.nearest_group(network, newcomer, rng, obs.as_deref_mut());
         self.groups[best_group].push(newcomer);
         self.assignments.push(Some(best_group));
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(o) = obs {
+            o.metrics.inc("maintenance.admissions");
+            o.trace.push(
+                op as f64,
+                "maintenance",
+                "admit",
+                vec![
+                    ("cache", newcomer.index().into()),
+                    ("group", best_group.into()),
+                ],
+            );
+        }
         Ok(best_group)
     }
 
@@ -192,13 +228,15 @@ impl GroupMaintainer {
         network: &EdgeNetwork,
         cache: CacheId,
         rng: &mut R,
+        obs: Option<&mut Obs>,
     ) -> usize {
         let prober = Prober::new(network.rtt_matrix(), self.probe);
-        prober.measure_all_into(
+        prober.measure_all_into_observed(
             cache.index() + 1,
             &self.landmarks,
             rng,
             &mut self.fv_scratch,
+            obs,
         );
         let fv = &self.fv_scratch;
         self.centers
@@ -238,6 +276,25 @@ impl GroupMaintainer {
         cache: CacheId,
         rng: &mut R,
     ) -> Result<usize, MaintenanceError> {
+        self.readmit_observed(network, cache, rng, None)
+    }
+
+    /// Like [`GroupMaintainer::readmit`], but records a
+    /// `maintenance.readmissions` counter, the returning cache's landmark
+    /// probes (`probe.*`), and a `maintenance`/`readmit` trace event when
+    /// an observability bundle is supplied. With `obs = None` this is
+    /// exactly [`GroupMaintainer::readmit`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GroupMaintainer::readmit`].
+    pub fn readmit_observed<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        cache: CacheId,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<usize, MaintenanceError> {
         if network.cache_count() != self.assignments.len() {
             return Err(MaintenanceError::CacheCountMismatch {
                 expected: self.assignments.len(),
@@ -250,10 +307,24 @@ impl GroupMaintainer {
         if self.assignments[cache.index()].is_some() {
             return Err(MaintenanceError::AlreadyActive(cache));
         }
-        let best_group = self.nearest_group(network, cache, rng);
+        let best_group = self.nearest_group(network, cache, rng, obs.as_deref_mut());
         self.groups[best_group].push(cache);
         self.assignments[cache.index()] = Some(best_group);
         self.retired.retain(|&c| c != cache);
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(o) = obs {
+            o.metrics.inc("maintenance.readmissions");
+            o.trace.push(
+                op as f64,
+                "maintenance",
+                "readmit",
+                vec![
+                    ("cache", cache.index().into()),
+                    ("group", best_group.into()),
+                ],
+            );
+        }
         Ok(best_group)
     }
 
@@ -265,6 +336,22 @@ impl GroupMaintainer {
     /// Returns an error if the cache is unknown/already retired, or if
     /// removing it would leave its group empty (re-form instead).
     pub fn retire(&mut self, cache: CacheId) -> Result<(), MaintenanceError> {
+        self.retire_observed(cache, None)
+    }
+
+    /// Like [`GroupMaintainer::retire`], but records a
+    /// `maintenance.retirements` counter and a `maintenance`/`retire`
+    /// trace event when an observability bundle is supplied. With
+    /// `obs = None` this is exactly [`GroupMaintainer::retire`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GroupMaintainer::retire`].
+    pub fn retire_observed(
+        &mut self,
+        cache: CacheId,
+        obs: Option<&mut Obs>,
+    ) -> Result<(), MaintenanceError> {
         let Some(group) = self.group_of(cache) else {
             return Err(MaintenanceError::UnknownCache(cache));
         };
@@ -274,6 +361,17 @@ impl GroupMaintainer {
         self.groups[group].retain(|&c| c != cache);
         self.assignments[cache.index()] = None;
         self.retired.push(cache);
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(o) = obs {
+            o.metrics.inc("maintenance.retirements");
+            o.trace.push(
+                op as f64,
+                "maintenance",
+                "retire",
+                vec![("cache", cache.index().into()), ("group", group.into())],
+            );
+        }
         Ok(())
     }
 
@@ -549,6 +647,47 @@ mod tests {
         let drift = fresh.drift(&grown).unwrap();
         assert!((drift - 1.0).abs() < 1e-9);
         assert_eq!(fresh.active_caches(), 7);
+    }
+
+    #[test]
+    fn observed_ops_match_plain_and_record_lifecycle() {
+        let (network, mut plain, mut rng_a) = formed();
+        let (_, mut observed, mut rng_b) = formed();
+        let grown = network.with_added_cache(8.2, &[14.4, 11.3, 14.4, 11.3, 1.0, 1.0]);
+        let mut obs = Obs::new();
+
+        let ga = plain.admit(&grown, &mut rng_a).unwrap();
+        plain.retire(CacheId(0)).unwrap();
+        let ra = plain.readmit(&grown, CacheId(0), &mut rng_a).unwrap();
+
+        let gb = observed
+            .admit_observed(&grown, &mut rng_b, Some(&mut obs))
+            .unwrap();
+        observed
+            .retire_observed(CacheId(0), Some(&mut obs))
+            .unwrap();
+        let rb = observed
+            .readmit_observed(&grown, CacheId(0), &mut rng_b, Some(&mut obs))
+            .unwrap();
+
+        // Instrumentation must not perturb maintenance decisions.
+        assert_eq!((ga, ra), (gb, rb));
+        assert_eq!(plain, observed);
+
+        assert_eq!(obs.metrics.counter("maintenance.admissions"), 1);
+        assert_eq!(obs.metrics.counter("maintenance.retirements"), 1);
+        assert_eq!(obs.metrics.counter("maintenance.readmissions"), 1);
+        // Admit + readmit each probe every landmark once.
+        assert_eq!(
+            obs.metrics.counter("probe.measurements"),
+            2 * observed.landmarks.len() as u64
+        );
+
+        let kinds: Vec<&str> = obs.trace.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["admit", "retire", "readmit"]);
+        // Trace time is the per-maintainer operation counter.
+        let times: Vec<f64> = obs.trace.events().map(|e| e.t).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0]);
     }
 
     #[test]

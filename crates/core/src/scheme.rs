@@ -12,13 +12,14 @@
 
 use crate::landmarks::{select_landmarks, LandmarkError, LandmarkSelection, LandmarkSelector};
 use ecg_clustering::{
-    kmeans, kmeans_capped, server_distance_weights, CapError, Initializer, KmeansConfig,
+    kmeans_capped, kmeans_observed, server_distance_weights, CapError, Initializer, KmeansConfig,
     KmeansError,
 };
 use ecg_coords::{
     build_feature_matrix, embed_network, run_vivaldi, FeatureMatrix, GnpConfig, ProbeConfig,
     Prober, VivaldiConfig,
 };
+use ecg_obs::Obs;
 use ecg_topology::{CacheId, EdgeNetwork};
 use rand::Rng;
 use std::fmt;
@@ -424,6 +425,29 @@ impl GfCoordinator {
         network: &EdgeNetwork,
         rng: &mut R,
     ) -> Result<GroupingOutcome, SchemeError> {
+        self.form_groups_observed(network, rng, None)
+    }
+
+    /// Like [`GfCoordinator::form_groups`], but records pipeline
+    /// telemetry into an observability bundle when one is supplied:
+    /// `scheme.landmarks` / `scheme.positions` phase spans whose work is
+    /// the probe packets each step sent, a `scheme.clustering` span
+    /// whose work is the K-means iteration count, the `kmeans.*`
+    /// per-iteration stats (uncapped clustering only), `scheme.*`
+    /// counters, and one `scheme`/`formed` trace event. With
+    /// `obs = None` this is exactly [`GfCoordinator::form_groups`];
+    /// instrumentation never draws from the RNG, so the grouping is
+    /// identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GfCoordinator::form_groups`].
+    pub fn form_groups_observed<R: Rng + ?Sized>(
+        &self,
+        network: &EdgeNetwork,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<GroupingOutcome, SchemeError> {
         let cfg = &self.config;
         let n = network.cache_count();
         if cfg.groups > n {
@@ -436,6 +460,7 @@ impl GfCoordinator {
         let prober = Prober::new(network.rtt_matrix(), cfg.probe);
 
         // Step 1: landmark selection.
+        let probes_before = prober.probes_sent();
         let selection = select_landmarks(
             &prober,
             cfg.selector,
@@ -443,8 +468,13 @@ impl GfCoordinator {
             cfg.plset_multiplier,
             rng,
         )?;
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.landmarks");
+            span.add_work((prober.probes_sent() - probes_before) as f64);
+        }
 
         // Step 2: position estimation. Cache Ec_i is matrix index i + 1.
+        let probes_before = prober.probes_sent();
         let nodes: Vec<usize> = (1..=n).collect();
         let (points, server_distances_ms): (FeatureMatrix, Vec<f64>) = match cfg.representation {
             Representation::FeatureVectors => {
@@ -485,6 +515,10 @@ impl GfCoordinator {
                 (fm, dists)
             }
         };
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.positions");
+            span.add_work((prober.probes_sent() - probes_before) as f64);
+        }
 
         // Step 3: clustering with the scheme's initialization.
         let initializer = match cfg.init {
@@ -496,7 +530,13 @@ impl GfCoordinator {
         };
         let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
         let clustering = match cfg.max_group_size {
-            None => kmeans(&points, kmeans_config, &initializer, rng)?,
+            None => kmeans_observed(
+                &points,
+                kmeans_config,
+                &initializer,
+                rng,
+                obs.as_deref_mut(),
+            )?,
             Some(cap) => kmeans_capped(&points, kmeans_config, &initializer, cap, rng).map_err(
                 |e| match e {
                     CapError::InsufficientCapacity {
@@ -512,6 +552,26 @@ impl GfCoordinator {
                 },
             )?,
         };
+
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.clustering");
+            span.add_work(clustering.iterations() as f64);
+        }
+
+        if let Some(o) = obs {
+            o.metrics.inc("scheme.runs");
+            o.metrics.add("scheme.probes_sent", prober.probes_sent());
+            o.trace.push(
+                clustering.iterations() as f64,
+                "scheme",
+                "formed",
+                vec![
+                    ("groups", cfg.groups.into()),
+                    ("probes_sent", prober.probes_sent().into()),
+                    ("kmeans_iterations", clustering.iterations().into()),
+                ],
+            );
+        }
 
         let groups: Vec<Vec<CacheId>> = clustering
             .clusters()
@@ -841,5 +901,53 @@ mod tests {
     #[should_panic(expected = "theta")]
     fn sdsl_rejects_bad_theta() {
         let _ = SchemeConfig::sdsl(3, f64::NAN);
+    }
+
+    #[test]
+    fn observed_form_groups_matches_plain_and_records_pipeline() {
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sdsl(3, 1.0).landmarks(3).plset_multiplier(2),
+        ));
+        let plain = coord
+            .form_groups(&net, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let mut obs = Obs::new();
+        let observed = coord
+            .form_groups_observed(&net, &mut StdRng::seed_from_u64(11), Some(&mut obs))
+            .unwrap();
+
+        // Instrumentation must not perturb the pipeline.
+        assert_eq!(plain.assignments(), observed.assignments());
+        assert_eq!(plain.probes_sent(), observed.probes_sent());
+        assert_eq!(plain.kmeans_iterations(), observed.kmeans_iterations());
+
+        assert_eq!(obs.metrics.counter("scheme.runs"), 1);
+        assert_eq!(
+            obs.metrics.counter("scheme.probes_sent"),
+            observed.probes_sent()
+        );
+        assert_eq!(obs.metrics.counter("kmeans.runs"), 1);
+        assert_eq!(
+            obs.metrics.counter("kmeans.iterations"),
+            observed.kmeans_iterations() as u64
+        );
+
+        // The landmark + position spans together account for every probe
+        // the coordinator sent (clustering sends none).
+        let roots = obs.phases.roots();
+        let names: Vec<&str> = roots.iter().map(|n| n.name()).collect();
+        for phase in ["scheme.landmarks", "scheme.positions", "scheme.clustering"] {
+            assert!(names.contains(&phase), "missing phase {phase}: {names:?}");
+        }
+        let probe_work: f64 = roots
+            .iter()
+            .filter(|n| matches!(n.name(), "scheme.landmarks" | "scheme.positions"))
+            .map(|n| n.work())
+            .sum();
+        assert_eq!(probe_work, observed.probes_sent() as f64);
+
+        let last = obs.trace.events().last().expect("trace has events");
+        assert_eq!((last.component, last.kind), ("scheme", "formed"));
     }
 }

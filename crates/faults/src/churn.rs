@@ -8,6 +8,7 @@
 //! away from its formation-time baseline as membership churns.
 
 use ecg_core::maintenance::{GroupMaintainer, MaintenanceError};
+use ecg_obs::Obs;
 use ecg_sim::fault::FaultKind;
 use ecg_sim::GroupMap;
 use ecg_topology::{CacheId, EdgeNetwork};
@@ -219,6 +220,28 @@ impl ChurnDriver {
         plan: &FaultPlan,
         rng: &mut R,
     ) -> Result<(), MaintenanceError> {
+        self.apply_observed(network, plan, rng, None)
+    }
+
+    /// Like [`ChurnDriver::apply`], but records churn telemetry into an
+    /// observability bundle when one is supplied: `churn.retirements` /
+    /// `churn.readmissions` / `churn.skipped_retirements` counters, a
+    /// `churn.max_drift` high-water gauge, `churn` trace events keyed by
+    /// the fault's simulated time (with the post-change drift ratio),
+    /// plus the underlying `maintenance.*` and `probe.*` streams from
+    /// the maintainer. With `obs = None` this is exactly
+    /// [`ChurnDriver::apply`]; instrumentation never draws from the RNG.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ChurnDriver::apply`].
+    pub fn apply_observed<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        plan: &FaultPlan,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<(), MaintenanceError> {
         let mut events: Vec<_> = plan.events().to_vec();
         events.sort_by(|a, b| {
             a.time_ms
@@ -228,10 +251,19 @@ impl ChurnDriver {
         for event in &events {
             let applied = match event.kind {
                 FaultKind::CacheDown { cache } | FaultKind::CacheRetire { cache } => {
-                    match self.maintainer.retire(cache) {
+                    match self.maintainer.retire_observed(cache, obs.as_deref_mut()) {
                         Ok(()) => true,
                         Err(MaintenanceError::WouldEmptyGroup { .. }) => {
                             self.skipped_retirements += 1;
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.metrics.inc("churn.skipped_retirements");
+                                o.trace.push(
+                                    event.time_ms,
+                                    "churn",
+                                    "skipped_retire",
+                                    vec![("cache", cache.index().into())],
+                                );
+                            }
                             false
                         }
                         // Already out (e.g. crash of a retired cache).
@@ -240,7 +272,10 @@ impl ChurnDriver {
                     }
                 }
                 FaultKind::CacheUp { cache } => {
-                    match self.maintainer.readmit(network, cache, rng) {
+                    match self
+                        .maintainer
+                        .readmit_observed(network, cache, rng, obs.as_deref_mut())
+                    {
                         Ok(_) => true,
                         // Its retirement was skipped, so it never left.
                         Err(MaintenanceError::AlreadyActive(_)) => false,
@@ -250,16 +285,28 @@ impl ChurnDriver {
                 FaultKind::BrownoutStart { .. } | FaultKind::BrownoutEnd => false,
             };
             if applied {
-                if let FaultKind::CacheUp { .. } = event.kind {
+                let kind = if let FaultKind::CacheUp { .. } = event.kind {
                     self.readmissions += 1;
+                    "readmit"
                 } else {
                     self.retirements += 1;
-                }
+                    "retire"
+                };
                 let drift = self.maintainer.drift(network)?;
                 self.drift_series.push(DriftSample {
                     time_ms: event.time_ms,
                     drift,
                 });
+                if let Some(o) = obs.as_deref_mut() {
+                    o.metrics.inc(if kind == "readmit" {
+                        "churn.readmissions"
+                    } else {
+                        "churn.retirements"
+                    });
+                    o.metrics.max_gauge("churn.max_drift", drift);
+                    o.trace
+                        .push(event.time_ms, "churn", kind, vec![("drift", drift.into())]);
+                }
             }
         }
         Ok(())
@@ -457,6 +504,75 @@ mod tests {
         assert_eq!(driver.retirements(), members.len() as u64 - 1);
         assert_eq!(driver.skipped_retirements(), 1);
         assert_eq!(driver.maintainer().groups()[0].len(), 1);
+    }
+
+    #[test]
+    fn observed_apply_matches_plain_and_records_churn() {
+        let (network, maintainer) = network_and_maintainer();
+        let cfg = ChurnConfig::default()
+            .crashes_per_hour_per_cache(240.0)
+            .mean_downtime_ms(30_000.0);
+        let plan = cfg.generate(6, 600_000.0, &mut StdRng::seed_from_u64(12));
+
+        let mut plain = ChurnDriver::new(maintainer.clone());
+        plain
+            .apply(&network, &plan, &mut StdRng::seed_from_u64(13))
+            .expect("apply succeeds");
+
+        let mut obs = Obs::new();
+        let mut observed = ChurnDriver::new(maintainer);
+        observed
+            .apply_observed(
+                &network,
+                &plan,
+                &mut StdRng::seed_from_u64(13),
+                Some(&mut obs),
+            )
+            .expect("apply succeeds");
+
+        // Instrumentation must not perturb the churn replay.
+        assert_eq!(plain.drift_series(), observed.drift_series());
+        assert_eq!(plain.maintainer(), observed.maintainer());
+
+        assert_eq!(
+            obs.metrics.counter("churn.retirements"),
+            observed.retirements()
+        );
+        assert_eq!(
+            obs.metrics.counter("churn.readmissions"),
+            observed.readmissions()
+        );
+        assert_eq!(
+            obs.metrics.counter("churn.skipped_retirements"),
+            observed.skipped_retirements()
+        );
+        // Churn counters layer over the maintainer's own stream.
+        assert_eq!(
+            obs.metrics.counter("maintenance.retirements"),
+            observed.retirements()
+        );
+        assert_eq!(
+            obs.metrics.counter("maintenance.readmissions"),
+            observed.readmissions()
+        );
+        let series_max = observed
+            .drift_series()
+            .iter()
+            .map(|s| s.drift)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(obs.metrics.gauge("churn.max_drift"), Some(series_max));
+        assert!(observed.retirements() > 0, "plan produced no churn");
+
+        // Every drift sample has a matching churn trace event at the
+        // fault's simulated time.
+        let churn_times: Vec<f64> = obs
+            .trace
+            .events()
+            .filter(|e| e.component == "churn" && e.kind != "skipped_retire")
+            .map(|e| e.t)
+            .collect();
+        let sample_times: Vec<f64> = observed.drift_series().iter().map(|s| s.time_ms).collect();
+        assert_eq!(churn_times, sample_times);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Minimal deterministic JSON emission helpers.
+//!
+//! The workspace has no serde; every exporter hand-writes JSON. These
+//! helpers keep escaping and float formatting in one place. `f64`
+//! values are emitted with Rust's `Display`, the shortest decimal that
+//! round-trips — identical across platforms, so equal values always
+//! serialize to equal bytes.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` as a JSON number.
+///
+/// # Panics
+///
+/// Panics on NaN or infinity — neither is valid JSON, and no
+/// deterministic metric should produce one.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    assert!(v.is_finite(), "non-finite value {v} cannot be serialized");
+    out.push_str(&v.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1);
+        s.push(' ');
+        push_f64(&mut s, 3.0);
+        assert_eq!(s, "0.1 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+    }
+}

@@ -4,12 +4,16 @@
 //! [`LatencyHistogram`] records every request latency into
 //! geometrically spaced bins so a simulation can report percentiles
 //! with O(1) memory per run, independent of request count.
+//!
+//! Deprecation note: the histogram implementation moved to the
+//! `ecg-obs` crate so the whole workspace shares one bucket layout;
+//! this module is now a thin alias kept for source compatibility. New
+//! code should use [`ecg_obs::Histogram`] directly.
 
-/// A histogram over `[min_ms, max_ms)` with geometrically spaced bins.
-///
-/// Values below the range land in the first bin, values above in the
-/// overflow bin, so percentiles are always defined (with saturated
-/// resolution at the edges).
+/// Alias for [`ecg_obs::Histogram`] under the simulator's historical
+/// name. The API is unchanged: `new(min_ms, max_ms, bins)`, `record`,
+/// `percentile`, `merge`, and a default layout of 256 bins over
+/// 0.05 ms – 60 s.
 ///
 /// # Examples
 ///
@@ -24,230 +28,25 @@
 /// let p50 = h.percentile(0.5).unwrap();
 /// assert!(p50 >= 2.0 && p50 <= 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Bin counts; the last entry is the overflow bin.
-    bins: Vec<u64>,
-    count: u64,
-    /// Cached parameters: lower bound and per-bin growth factor (as
-    /// integers-in-disguise they stay `Eq`-friendly via bit patterns).
-    min_ms_bits: u64,
-    growth_bits: u64,
-}
-
-impl Default for LatencyHistogram {
-    /// 256 bins from 0.05 ms to 60 s — ample for network latencies.
-    fn default() -> Self {
-        LatencyHistogram::new(0.05, 60_000.0, 256)
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates a histogram over `[min_ms, max_ms)` with `bins`
-    /// geometric bins (plus one overflow bin).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < min_ms < max_ms` and `bins >= 1`.
-    pub fn new(min_ms: f64, max_ms: f64, bins: usize) -> Self {
-        assert!(
-            min_ms.is_finite() && max_ms.is_finite() && min_ms > 0.0 && min_ms < max_ms,
-            "invalid histogram range [{min_ms}, {max_ms})"
-        );
-        assert!(bins >= 1, "need at least one bin");
-        let growth = (max_ms / min_ms).powf(1.0 / bins as f64);
-        LatencyHistogram {
-            bins: vec![0; bins + 1],
-            count: 0,
-            min_ms_bits: min_ms.to_bits(),
-            growth_bits: growth.to_bits(),
-        }
-    }
-
-    fn min_ms(&self) -> f64 {
-        f64::from_bits(self.min_ms_bits)
-    }
-
-    fn growth(&self) -> f64 {
-        f64::from_bits(self.growth_bits)
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Returns `true` before the first sample.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Records one latency sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the value is negative or not finite.
-    pub fn record(&mut self, latency_ms: f64) {
-        assert!(
-            latency_ms.is_finite() && latency_ms >= 0.0,
-            "latency must be finite and >= 0, got {latency_ms}"
-        );
-        let idx = self.bin_index(latency_ms);
-        self.bins[idx] += 1;
-        self.count += 1;
-    }
-
-    fn bin_index(&self, latency_ms: f64) -> usize {
-        if latency_ms < self.min_ms() {
-            return 0;
-        }
-        let idx = (latency_ms / self.min_ms()).ln() / self.growth().ln();
-        (idx as usize).min(self.bins.len() - 1)
-    }
-
-    /// Lower edge of bin `idx` in ms (the overflow bin's lower edge is
-    /// the configured maximum).
-    fn bin_lower(&self, idx: usize) -> f64 {
-        self.min_ms() * self.growth().powi(idx as i32)
-    }
-
-    /// The `p`-quantile (`p` in `[0, 1]`) as the upper edge of the bin
-    /// containing it, or `None` before the first sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-        if self.count == 0 {
-            return None;
-        }
-        let target = (p * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.bins.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(self.bin_lower(idx + 1));
-            }
-        }
-        Some(self.bin_lower(self.bins.len()))
-    }
-
-    /// Merges another histogram into this one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histograms have different shapes.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(
-            self.bins.len(),
-            other.bins.len(),
-            "histogram shape mismatch"
-        );
-        assert_eq!(
-            self.min_ms_bits, other.min_ms_bits,
-            "histogram range mismatch"
-        );
-        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
-            *a += b;
-        }
-        self.count += other.count;
-    }
-}
+pub use ecg_obs::Histogram as LatencyHistogram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The full histogram test suite lives in `ecg-obs`; this checks the
+    // alias keeps the simulator-facing contract.
     #[test]
-    fn empty_histogram_has_no_percentiles() {
-        let h = LatencyHistogram::default();
-        assert!(h.is_empty());
-        assert_eq!(h.percentile(0.5), None);
-    }
-
-    #[test]
-    fn percentiles_bracket_true_quantiles() {
-        let mut h = LatencyHistogram::new(0.1, 10_000.0, 400);
-        // 1..=1000 ms uniformly.
-        for i in 1..=1000 {
-            h.record(i as f64);
+    fn alias_is_the_obs_histogram_with_latency_defaults() {
+        let mut sim_side = LatencyHistogram::default();
+        let mut obs_side = ecg_obs::Histogram::default();
+        for v in [0.3, 7.0, 42.0, 900.0, 70_000.0] {
+            sim_side.record(v);
+            obs_side.record(v);
         }
-        let p50 = h.percentile(0.5).unwrap();
-        let p95 = h.percentile(0.95).unwrap();
-        let p99 = h.percentile(0.99).unwrap();
-        assert!((p50 / 500.0 - 1.0).abs() < 0.1, "p50 {p50}");
-        assert!((p95 / 950.0 - 1.0).abs() < 0.1, "p95 {p95}");
-        assert!((p99 / 990.0 - 1.0).abs() < 0.1, "p99 {p99}");
-        assert!(p50 <= p95 && p95 <= p99);
-    }
-
-    #[test]
-    fn percentiles_are_monotone_in_p() {
-        let mut h = LatencyHistogram::default();
-        for i in 0..500 {
-            h.record((i % 97) as f64 + 0.5);
-        }
-        let mut prev = 0.0;
-        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let v = h.percentile(p).unwrap();
-            assert!(v >= prev, "p{p}: {v} < {prev}");
-            prev = v;
-        }
-    }
-
-    #[test]
-    fn out_of_range_values_saturate() {
-        let mut h = LatencyHistogram::new(1.0, 100.0, 10);
-        h.record(0.001); // below range → first bin
-        h.record(1e6); // above range → overflow bin
-        assert_eq!(h.count(), 2);
-        assert!(h.percentile(0.01).unwrap() <= 2.0);
-        assert!(h.percentile(1.0).unwrap() >= 100.0);
-    }
-
-    #[test]
-    fn merge_accumulates() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        for i in 1..=10 {
-            a.record(i as f64);
-            b.record((i * 100) as f64);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 20);
-        // Median sits between the two clusters.
-        let p50 = a.percentile(0.5).unwrap();
-        assert!((10.0..=110.0).contains(&p50), "p50 {p50}");
-    }
-
-    #[test]
-    fn zero_latency_is_allowed() {
-        let mut h = LatencyHistogram::default();
-        h.record(0.0);
-        assert_eq!(h.count(), 1);
-        assert!(h.percentile(0.5).is_some());
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid histogram range")]
-    fn bad_range_panics() {
-        let _ = LatencyHistogram::new(10.0, 1.0, 8);
-    }
-
-    #[test]
-    #[should_panic(expected = "percentile")]
-    fn bad_percentile_panics() {
-        let mut h = LatencyHistogram::default();
-        h.record(1.0);
-        let _ = h.percentile(1.5);
-    }
-
-    #[test]
-    #[should_panic(expected = "shape mismatch")]
-    fn merge_rejects_mismatched_shapes() {
-        let mut a = LatencyHistogram::new(1.0, 100.0, 8);
-        let b = LatencyHistogram::new(1.0, 100.0, 16);
-        a.merge(&b);
+        // Same type, same layout: cross-merge must succeed.
+        sim_side.merge(&obs_side);
+        assert_eq!(sim_side.count(), 10);
+        assert_eq!(sim_side.percentile(0.5), obs_side.percentile(0.5));
     }
 }

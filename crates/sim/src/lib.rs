@@ -62,6 +62,7 @@ pub use metrics::{
 };
 pub use origin::OriginServer;
 pub use sim::{
-    simulate, simulate_with_faults, FreshnessProtocol, PeerLookup, SimConfig, SimError, SimReport,
+    simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed,
+    FreshnessProtocol, PeerLookup, SimConfig, SimError, SimReport,
 };
 pub use time::SimTime;

@@ -34,6 +34,7 @@ use crate::metrics::{MetricsRecorder, ServedBy};
 use crate::origin::OriginServer;
 use crate::time::SimTime;
 use ecg_cache::{CacheStats, DocumentCache, LookupOutcome, PolicyKind};
+use ecg_obs::Obs;
 use ecg_topology::{CacheId, EdgeNetwork};
 use ecg_workload::{DocId, DocumentCatalog, TraceEvent};
 use std::fmt;
@@ -364,6 +365,68 @@ pub fn simulate_with_faults(
     config: SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<SimReport, SimError> {
+    simulate_with_faults_observed(network, groups, catalog, trace, config, schedule, None)
+}
+
+/// Like [`simulate`], but records internal telemetry into an
+/// observability bundle when one is supplied (see
+/// [`simulate_with_faults_observed`] for what is recorded).
+///
+/// # Errors
+///
+/// Exactly as [`simulate`].
+pub fn simulate_observed(
+    network: &EdgeNetwork,
+    groups: &GroupMap,
+    catalog: &DocumentCatalog,
+    trace: &[TraceEvent],
+    config: SimConfig,
+    obs: Option<&mut Obs>,
+) -> Result<SimReport, SimError> {
+    simulate_with_faults_observed(
+        network,
+        groups,
+        catalog,
+        trace,
+        config,
+        &FaultSchedule::new(),
+        obs,
+    )
+}
+
+/// Like [`simulate_with_faults`], but records internal telemetry into an
+/// observability bundle when one is supplied:
+///
+/// * per-group outcome counters `sim.group.NNN.{local_hits, peer_hits,
+///   coop_misses}` (zero-padded so sorted export order equals numeric
+///   group order) plus workload-wide totals `sim.{local_hits,
+///   peer_hits, coop_misses, failovers, control_messages,
+///   stale_served}` — counted over the whole run, warm-up included;
+/// * holder-index counters `sim.holder.{group_checks, ruled_out,
+///   bit_tests}` (all zero under [`PeerLookup::ScanAll`]);
+/// * a `sim.queue.max_depth` gauge (the event queue only drains, so the
+///   high-water mark is the initially scheduled event count);
+/// * the request-latency distribution merged into a `sim.latency_ms`
+///   histogram;
+/// * one `sim` trace event per fault injection, timestamped with sim
+///   time, and a `sim` phase span whose work is the timestamp of the
+///   last processed event in ms.
+///
+/// The report is identical with and without a bundle — the simulator is
+/// RNG-free and instrumentation only reads state.
+///
+/// # Errors
+///
+/// Exactly as [`simulate_with_faults`].
+pub fn simulate_with_faults_observed(
+    network: &EdgeNetwork,
+    groups: &GroupMap,
+    catalog: &DocumentCatalog,
+    trace: &[TraceEvent],
+    config: SimConfig,
+    schedule: &FaultSchedule,
+    mut obs: Option<&mut Obs>,
+) -> Result<SimReport, SimError> {
     let n = network.cache_count();
     if groups.cache_count() != n {
         return Err(SimError::CacheCountMismatch {
@@ -442,10 +505,42 @@ pub fn simulate_with_faults(
     // Eviction scratch reused across every insert in the event loop.
     let mut evicted_scratch: Vec<DocId> = Vec::new();
 
+    // Observability tallies. Plain integer bumps are cheap enough to
+    // keep unconditional; they are flushed into `obs` (when present)
+    // after the loop. The queue only drains, so its high-water mark is
+    // the initial event count.
+    let queue_max_depth = queue.len();
+    let mut group_outcomes = vec![[0u64; 3]; groups.group_count()];
+    let mut obs_failovers = 0u64;
+    let mut holder_group_checks = 0u64;
+    let mut holder_ruled_out = 0u64;
+    let mut holder_bit_tests = 0u64;
+    let mut last_event_ms = 0.0f64;
+
     let freshness = config.freshness;
     while let Some((now, event)) = queue.pop() {
+        last_event_ms = now.as_ms();
         match event {
             Event::Fault { idx } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let (kind, field) = match schedule.events()[idx].kind {
+                        FaultKind::CacheDown { cache } => {
+                            ("cache_down", ("cache", cache.index().into()))
+                        }
+                        FaultKind::CacheUp { cache } => {
+                            ("cache_up", ("cache", cache.index().into()))
+                        }
+                        FaultKind::CacheRetire { cache } => {
+                            ("cache_retire", ("cache", cache.index().into()))
+                        }
+                        FaultKind::BrownoutStart { factor } => {
+                            ("brownout_start", ("factor", factor.into()))
+                        }
+                        FaultKind::BrownoutEnd => ("brownout_end", ("factor", 1.0f64.into())),
+                    };
+                    o.metrics.inc("sim.fault_events");
+                    o.trace.push(now.as_ms(), "sim", kind, vec![field]);
+                }
                 let deg = &mut metrics.degradation;
                 match schedule.events()[idx].kind {
                     FaultKind::CacheDown { cache } => {
@@ -531,6 +626,7 @@ pub fn simulate_with_faults(
                     let rtt_origin = network.cache_to_origin(cache);
                     let latency = schedule.failover_penalty()
                         + model.origin_fetch(rtt_origin, size) * brownout;
+                    obs_failovers += 1;
                     if now >= warmup {
                         metrics.record(cache, latency, ServedBy::Origin);
                         metrics.degradation.failovers += 1;
@@ -593,7 +689,12 @@ pub fn simulate_with_faults(
                         // group order so an equal-RTT tie picks the same
                         // holder as the full scan.
                         let group_may_hold = match &index {
-                            Some((idx, masks)) => idx.any_intersecting(doc, masks.mask(cache)),
+                            Some((idx, masks)) => {
+                                holder_group_checks += 1;
+                                let may = idx.any_intersecting(doc, masks.mask(cache));
+                                holder_ruled_out += u64::from(!may);
+                                may
+                            }
                             None => true,
                         };
                         let mut holder: Option<(CacheId, f64, u64)> = None;
@@ -608,6 +709,7 @@ pub fn simulate_with_faults(
                                 continue;
                             }
                             if let Some((idx, _)) = &index {
+                                holder_bit_tests += 1;
                                 if !idx.holds(doc, p) {
                                     continue;
                                 }
@@ -673,6 +775,12 @@ pub fn simulate_with_faults(
                         }
                     }
                 };
+                let outcome_slot = match served_by {
+                    ServedBy::Local => 0,
+                    ServedBy::Peer => 1,
+                    ServedBy::Origin => 2,
+                };
+                group_outcomes[groups.group_of(cache)][outcome_slot] += 1;
                 if now >= warmup {
                     let stale = served_version < current_version;
                     metrics.record(cache, latency, served_by);
@@ -707,6 +815,37 @@ pub fn simulate_with_faults(
                 }
             }
         }
+    }
+
+    if let Some(o) = obs {
+        let mut totals = [0u64; 3];
+        for (g, counts) in group_outcomes.iter().enumerate() {
+            for (slot, name) in ["local_hits", "peer_hits", "coop_misses"]
+                .iter()
+                .enumerate()
+            {
+                o.metrics
+                    .add(&format!("sim.group.{g:03}.{name}"), counts[slot]);
+                totals[slot] += counts[slot];
+            }
+        }
+        o.metrics.add("sim.local_hits", totals[0]);
+        o.metrics.add("sim.peer_hits", totals[1]);
+        o.metrics.add("sim.coop_misses", totals[2]);
+        o.metrics.add("sim.failovers", obs_failovers);
+        o.metrics
+            .add("sim.control_messages", metrics.control_messages);
+        o.metrics.add("sim.stale_served", metrics.stale_served);
+        o.metrics
+            .add("sim.holder.group_checks", holder_group_checks);
+        o.metrics.add("sim.holder.ruled_out", holder_ruled_out);
+        o.metrics.add("sim.holder.bit_tests", holder_bit_tests);
+        o.metrics
+            .max_gauge("sim.queue.max_depth", queue_max_depth as f64);
+        o.metrics
+            .merge_histogram("sim.latency_ms", metrics.latency_histogram());
+        let mut span = o.phases.span("sim");
+        span.add_work(last_event_ms);
     }
 
     let cache_stats = caches
@@ -1524,6 +1663,52 @@ mod tests {
             err,
             SimError::Fault(FaultError::CacheOutOfRange { cache: 9 })
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_covers_counters() {
+        let net = network();
+        let (cat, trace) = churny_trace(21, 60_000.0);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(10_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+        schedule.push(30_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+        let groups = pair_groups();
+        let config = SimConfig::default().cache_capacity_bytes(64 << 10);
+        let plain = simulate_with_faults(&net, &groups, &cat, &trace, config, &schedule).unwrap();
+        let mut obs = Obs::new();
+        let observed = simulate_with_faults_observed(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            config,
+            &schedule,
+            Some(&mut obs),
+        )
+        .unwrap();
+        assert_eq!(plain, observed);
+
+        // Per-group counters sum to the totals and the fault events
+        // landed in the trace with their sim-time stamps.
+        let m = &obs.metrics;
+        for name in ["local_hits", "peer_hits", "coop_misses"] {
+            let per_group: u64 = (0..groups.group_count())
+                .map(|g| m.counter(&format!("sim.group.{g:03}.{name}")))
+                .sum();
+            assert_eq!(per_group, m.counter(&format!("sim.{name}")), "{name}");
+        }
+        assert!(m.counter("sim.peer_hits") > 0);
+        assert!(m.counter("sim.coop_misses") > 0);
+        assert_eq!(m.counter("sim.fault_events"), 2);
+        assert!(m.counter("sim.holder.group_checks") > 0);
+        assert_eq!(
+            m.gauge("sim.queue.max_depth"),
+            Some(trace.len() as f64 + 2.0)
+        );
+        assert!(m.histogram("sim.latency_ms").expect("latency hist").count() > 0);
+        let kinds: Vec<&str> = obs.trace.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["cache_down", "cache_up"]);
+        assert_eq!(obs.phases.roots()[0].name(), "sim");
     }
 
     #[test]

@@ -79,8 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             k, latencies[0], latencies[1], gain
         );
         for (name, latency) in [("SL", latencies[0]), ("SDSL", latencies[1])] {
-            if best.is_none() || latency < best.as_ref().unwrap().2 {
-                best = Some((k, name, latency));
+            match best {
+                Some((_, _, incumbent)) if latency >= incumbent => {}
+                _ => best = Some((k, name, latency)),
             }
         }
     }

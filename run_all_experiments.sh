@@ -37,10 +37,19 @@ mkdir -p "$out" "$out/results"
 
 for bin in "${figures[@]}" "${ablations[@]}"; do
   echo "=== $bin"
+  # ablation_maintenance doubles as the observability golden: its
+  # metrics JSON is committed under results/ and re-checked for drift.
+  extra=()
+  if [[ "$bin" == "ablation_maintenance" ]]; then
+    extra=(--metrics-out "metrics_$bin.json")
+  fi
   if [[ $check -eq 1 ]]; then
-    (cd "$out" && "$root/target/release/$bin" > "$bin.txt")
+    (cd "$out" && "$root/target/release/$bin" "${extra[@]}" > "$bin.txt")
   else
-    cargo run --release -q -p ecg-bench --bin "$bin" | tee "$out/$bin.txt"
+    if [[ ${#extra[@]} -gt 0 ]]; then
+      extra=(--metrics-out "$out/metrics_$bin.json")
+    fi
+    cargo run --release -q -p ecg-bench --bin "$bin" -- "${extra[@]}" | tee "$out/$bin.txt"
   fi
 done
 
@@ -65,6 +74,36 @@ if [[ $check -eq 1 ]]; then
     echo "check passed: regenerated outputs match results/ byte for byte"
   fi
   exit $status
+fi
+
+# Observability summary: pretty-print the captured metrics document.
+metrics="$out/metrics_ablation_maintenance.json"
+if [[ -f "$metrics" ]] && command -v python3 > /dev/null; then
+  echo
+  echo "=== observability summary ($metrics)"
+  python3 - "$metrics" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+metrics = doc["metrics"]
+rows = [("counter", k, str(v)) for k, v in metrics["counters"].items()]
+rows += [("gauge", k, f"{v:g}") for k, v in metrics["gauges"].items()]
+rows += [
+    ("histogram", k, f"n={h['count']} p50={h['p50']:g} p99={h['p99']:g}")
+    for k, h in metrics["histograms"].items()
+]
+
+def walk(nodes, depth=0):
+    for p in nodes:
+        rows.append(("phase", "  " * depth + p["name"], f"calls={p['calls']} work={p['work']:g}"))
+        walk(p["children"], depth + 1)
+
+walk(doc["phases"])
+rows.append(("trace", "events", str(doc["trace"]["recorded"])))
+width = max(len(k) for _, k, _ in rows)
+for kind, key, val in rows:
+    print(f"{kind:<9} {key:<{width}}  {val}")
+PY
 fi
 
 echo "all outputs written to $out/"

@@ -68,6 +68,7 @@ pub use ecg_clustering as clustering;
 pub use ecg_coords as coords;
 pub use ecg_core as core;
 pub use ecg_faults as faults;
+pub use ecg_obs as obs;
 pub use ecg_sim as sim;
 pub use ecg_topology as topology;
 pub use ecg_workload as workload;
@@ -81,8 +82,10 @@ pub mod prelude {
         Representation, SchemeConfig,
     };
     pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
+    pub use ecg_obs::Obs;
     pub use ecg_sim::{
-        simulate, simulate_with_faults, GroupMap, LatencyModel, SimConfig, SimReport,
+        simulate, simulate_with_faults, simulate_with_faults_observed, GroupMap, LatencyModel,
+        SimConfig, SimReport,
     };
     pub use ecg_topology::{CacheId, EdgeNetwork, OriginPlacement, RttMatrix, TransitStubConfig};
     pub use ecg_workload::{CatalogConfig, DocId, RequestConfig, SportingEventConfig, ZipfSampler};
