@@ -189,7 +189,24 @@ fn main() {
     println!("\nkmeans speedup (pruned_flat vs reference):    {kmeans_speedup:.2}x");
     println!("trace replay speedup (holder_index vs scan):  {replay_speedup:.2}x");
 
-    let mut doc = String::from("{\n  \"benchmarks\": [\n");
+    // Record the run context alongside the numbers: a timing baseline
+    // is only comparable to runs with the same core budget and sizes.
+    let logical_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let threads_used = ecg_par::max_threads();
+    let ecg_threads_env = std::env::var("ECG_THREADS").ok();
+
+    let mut doc = String::from("{\n  \"context\": {\n");
+    doc.push_str(&format!("    \"logical_cpus\": {logical_cpus},\n"));
+    doc.push_str(&format!("    \"threads_used\": {threads_used},\n"));
+    doc.push_str(&format!(
+        "    \"ecg_threads_env\": {},\n",
+        ecg_threads_env.map_or("null".to_string(), |v| format!("\"{v}\""))
+    ));
+    doc.push_str(&format!(
+        "    \"mode\": \"{}\"\n  }},\n",
+        if quick { "quick" } else { "full" }
+    ));
+    doc.push_str("  \"benchmarks\": [\n");
     for (i, s) in stats.iter().enumerate() {
         if i > 0 {
             doc.push_str(",\n");
@@ -199,11 +216,7 @@ fn main() {
     }
     doc.push_str("\n  ],\n");
     doc.push_str(&format!(
-        "  \"speedups\": {{\"kmeans\": {kmeans_speedup:.3}, \"trace_replay\": {replay_speedup:.3}}},\n"
-    ));
-    doc.push_str(&format!(
-        "  \"mode\": \"{}\"\n}}\n",
-        if quick { "quick" } else { "full" }
+        "  \"speedups\": {{\"kmeans\": {kmeans_speedup:.3}, \"trace_replay\": {replay_speedup:.3}}}\n}}\n"
     ));
     std::fs::write(&out_path, doc).expect("write baseline json");
     println!("wrote {out_path}");

@@ -1,0 +1,268 @@
+//! Large-N scaling sweep for full SL / SDSL group formation.
+//!
+//! Runs the formation pipeline — landmark selection, parallel feature
+//! matrix construction, K-means clustering, and the group interaction
+//! cost metric — over an implicit [`SyntheticRtt`] oracle (O(n) state,
+//! so N = 50 000 fits where a dense RTT matrix would need ~20 GB),
+//! sweeping N × thread counts through [`ecg_par::set_max_threads`].
+//!
+//! Every configuration is also a determinism check: the run at each
+//! thread count must reproduce the threads = 1 assignments and the
+//! bit-exact GIC value, or the binary panics. Optimizations change
+//! time, never results.
+//!
+//! ```text
+//! cargo run --release -p ecg-bench --bin bench_scale            # full, writes BENCH_scale.json
+//! cargo run --release -p ecg-bench --bin bench_scale -- --quick # CI smoke sizes
+//! cargo run --release -p ecg-bench --bin bench_scale -- --out /tmp/s.json
+//! ```
+//!
+//! The emitted JSON records the host context (logical CPUs, the
+//! `ECG_THREADS` environment override, quick/full mode) alongside
+//! per-kernel timings, because wall-clock scaling is only meaningful
+//! relative to the cores the run actually had.
+
+use ecg_clustering::{
+    average_group_interaction_cost, kmeans, server_distance_weights, Initializer, KmeansConfig,
+};
+use ecg_coords::{build_feature_matrix_par, ProbeConfig, Prober};
+use ecg_core::{select_landmarks, LandmarkSelector};
+use ecg_topology::{RttSource, SyntheticRtt, SyntheticRttConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One formation scheme to sweep.
+#[derive(Clone, Copy)]
+enum Scheme {
+    Sl,
+    /// SDSL with the given θ.
+    Sdsl(f64),
+}
+
+impl Scheme {
+    fn name(self) -> &'static str {
+        match self {
+            Scheme::Sl => "sl",
+            Scheme::Sdsl(_) => "sdsl",
+        }
+    }
+}
+
+struct RunResult {
+    scheme: &'static str,
+    n: usize,
+    threads: usize,
+    k: usize,
+    landmarks: usize,
+    landmarks_ms: f64,
+    features_ms: f64,
+    kmeans_ms: f64,
+    gic_ms: f64,
+    total_ms: f64,
+    gic_value: f64,
+    assignments: Vec<usize>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Runs one full formation at a forced thread count and times each
+/// kernel. All RNG seeds are fixed per (scheme, n), so two runs that
+/// differ only in `threads` must produce identical results.
+fn run_formation(scheme: Scheme, net: &SyntheticRtt, n: usize, threads: usize) -> RunResult {
+    const LANDMARKS: usize = 8;
+    const PLSET_MULTIPLIER: usize = 4;
+    const KMEANS_ITERS: usize = 15;
+    let k = (n / 100).max(2);
+
+    ecg_par::set_max_threads(Some(threads));
+    let prober = Prober::new(net, ProbeConfig::default());
+    let mut rng = StdRng::seed_from_u64(1_000 + n as u64);
+    let whole = Instant::now();
+
+    let t = Instant::now();
+    let selection = select_landmarks(
+        &prober,
+        LandmarkSelector::GreedyMaxMin,
+        LANDMARKS,
+        PLSET_MULTIPLIER,
+        &mut rng,
+    )
+    .expect("landmark selection");
+    let landmarks_ms = ms(t);
+
+    let nodes: Vec<usize> = (1..=n).collect();
+    let t = Instant::now();
+    let features = build_feature_matrix_par(&prober, &nodes, &selection.landmarks, &mut rng);
+    let features_ms = ms(t);
+
+    // Landmark 0 is always the origin, so component 0 of each feature
+    // row is the cache's measured server distance.
+    let init = match scheme {
+        Scheme::Sl => Initializer::RandomRepresentative,
+        Scheme::Sdsl(theta) => {
+            let dists: Vec<f64> = (0..features.len()).map(|i| features.row(i)[0]).collect();
+            Initializer::Weighted(server_distance_weights(&dists, theta))
+        }
+    };
+
+    let t = Instant::now();
+    let clustering = kmeans(
+        &features,
+        KmeansConfig::new(k).max_iterations(KMEANS_ITERS),
+        &init,
+        &mut rng,
+    )
+    .expect("clustering");
+    let kmeans_ms = ms(t);
+
+    let groups = clustering.clusters();
+    let t = Instant::now();
+    let gic_value = average_group_interaction_cost(&groups, |a, b| net.rtt_ms(nodes[a], nodes[b]));
+    let gic_ms = ms(t);
+
+    let total_ms = ms(whole);
+    ecg_par::set_max_threads(None);
+
+    RunResult {
+        scheme: scheme.name(),
+        n,
+        threads,
+        k,
+        landmarks: selection.landmarks.len(),
+        landmarks_ms,
+        features_ms,
+        kmeans_ms,
+        gic_ms,
+        total_ms,
+        gic_value,
+        assignments: clustering.assignments().to_vec(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    let sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[5_000, 20_000, 50_000]
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let schemes = [Scheme::Sl, Scheme::Sdsl(1.0)];
+
+    let logical_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let ecg_threads_env = std::env::var("ECG_THREADS").ok();
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    for &n in sizes {
+        // Node 0 is the origin; n edge caches follow.
+        let net = SyntheticRttConfig::default().generate(n + 1, 9_000 + n as u64);
+        for scheme in schemes {
+            let mut baseline: Option<(Vec<usize>, f64)> = None;
+            for &threads in thread_counts {
+                let run = run_formation(scheme, &net, n, threads);
+                eprintln!(
+                    "{} n={} threads={}: total {:.0} ms (landmarks {:.0}, features {:.0}, kmeans {:.0}, gic {:.0})",
+                    run.scheme,
+                    run.n,
+                    run.threads,
+                    run.total_ms,
+                    run.landmarks_ms,
+                    run.features_ms,
+                    run.kmeans_ms,
+                    run.gic_ms
+                );
+                match &baseline {
+                    None => baseline = Some((run.assignments.clone(), run.gic_value)),
+                    Some((assignments, gic)) => {
+                        assert_eq!(
+                            assignments, &run.assignments,
+                            "{} n={n}: assignments diverged at {threads} threads",
+                            run.scheme
+                        );
+                        assert_eq!(
+                            gic.to_bits(),
+                            run.gic_value.to_bits(),
+                            "{} n={n}: GIC diverged at {threads} threads",
+                            run.scheme
+                        );
+                    }
+                }
+                runs.push(run);
+            }
+        }
+    }
+
+    // End-to-end speedups of the widest run vs threads = 1, per (scheme, n).
+    let max_threads = *thread_counts.last().expect("non-empty thread list");
+    let mut speedups = String::new();
+    for &n in sizes {
+        for scheme in schemes {
+            let time_at = |threads: usize| {
+                runs.iter()
+                    .find(|r| r.scheme == scheme.name() && r.n == n && r.threads == threads)
+                    .expect("run present")
+                    .total_ms
+            };
+            let s = time_at(1) / time_at(max_threads);
+            if !speedups.is_empty() {
+                speedups.push_str(", ");
+            }
+            speedups.push_str(&format!(
+                "\"{}_n{}_t{}\": {:.3}",
+                scheme.name(),
+                n,
+                max_threads,
+                s
+            ));
+        }
+    }
+
+    let mut doc = String::from("{\n  \"context\": {\n");
+    doc.push_str(&format!("    \"logical_cpus\": {logical_cpus},\n"));
+    doc.push_str(&format!(
+        "    \"ecg_threads_env\": {},\n",
+        ecg_threads_env.map_or("null".to_string(), |v| format!("\"{v}\""))
+    ));
+    doc.push_str(&format!(
+        "    \"mode\": \"{}\"\n  }},\n",
+        if quick { "quick" } else { "full" }
+    ));
+    doc.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"n\": {}, \"threads\": {}, \"k\": {}, \"landmarks\": {}, \
+             \"total_ms\": {:.3}, \"kernels\": {{\"landmarks_ms\": {:.3}, \"features_ms\": {:.3}, \
+             \"kmeans_ms\": {:.3}, \"gic_ms\": {:.3}}}, \"gic_value\": {:.6}, \
+             \"determinism_ok\": true}}",
+            r.scheme,
+            r.n,
+            r.threads,
+            r.k,
+            r.landmarks,
+            r.total_ms,
+            r.landmarks_ms,
+            r.features_ms,
+            r.kmeans_ms,
+            r.gic_ms,
+            r.gic_value
+        ));
+    }
+    doc.push_str("\n  ],\n");
+    doc.push_str(&format!("  \"end_to_end_speedups\": {{{speedups}}}\n}}\n"));
+    std::fs::write(&out_path, doc).expect("write scale json");
+    println!("wrote {out_path}");
+}

@@ -152,57 +152,14 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
-/// Applies `f` to every item on a thread pool sized to the host,
+/// Applies `f` to every item on a thread pool sized by
+/// [`ecg_par::threads_for`] (honoring the `ECG_THREADS` override),
 /// returning results in input order. The figure binaries use this to
 /// run independent (seed, parameter) cells concurrently.
 ///
-/// # Panics
-///
-/// Propagates a panic from any worker.
-pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot lock")
-                    .take()
-                    .expect("each slot is taken once");
-                let result = f(item);
-                *out[i].lock().expect("out slot lock") = Some(result);
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("out slot lock")
-                .expect("every slot was filled")
-        })
-        .collect()
-}
+/// This is a re-export of [`ecg_par::par_map`], kept under the
+/// historical `ecg_bench::par_map` path the experiment binaries import.
+pub use ecg_par::par_map;
 
 /// An aligned text table accumulated row by row.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,73 @@
+//! End-to-end thread-count invariance: the experiment binaries must
+//! emit byte-identical output whatever `ECG_THREADS` says.
+//!
+//! This is the binary-level counterpart of the in-process invariance
+//! tests in `ecg-par`, `ecg-clustering`, `ecg-coords`, and
+//! `ecg-workload`: one figure binary and one ablation binary (the
+//! observability golden, including its `--metrics-out` document) run at
+//! 1 and 4 threads and their stdout bytes are compared. Parallelism may
+//! change time, never results.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(exe: &str, threads: &str, args: &[&str]) -> Vec<u8> {
+    let out = Command::new(exe)
+        .args(args)
+        .env("ECG_THREADS", threads)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} with ECG_THREADS={threads} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ecg_thread_invariance_{}_{name}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn fig_binary_stdout_is_thread_count_invariant() {
+    let exe = env!("CARGO_BIN_EXE_fig6");
+    let one = run(exe, "1", &[]);
+    let four = run(exe, "4", &[]);
+    assert!(!one.is_empty(), "fig6 produced no output");
+    assert_eq!(one, four, "fig6 stdout differs between 1 and 4 threads");
+}
+
+#[test]
+fn ablation_binary_stdout_and_metrics_are_thread_count_invariant() {
+    let exe = env!("CARGO_BIN_EXE_ablation_maintenance");
+    let metrics_one = scratch_path("metrics_t1.json");
+    let metrics_four = scratch_path("metrics_t4.json");
+    let one = run(
+        exe,
+        "1",
+        &["--metrics-out", metrics_one.to_str().expect("utf-8 path")],
+    );
+    let four = run(
+        exe,
+        "4",
+        &["--metrics-out", metrics_four.to_str().expect("utf-8 path")],
+    );
+    assert!(!one.is_empty(), "ablation_maintenance produced no output");
+    assert_eq!(
+        one, four,
+        "ablation_maintenance stdout differs between 1 and 4 threads"
+    );
+    let doc_one = std::fs::read(&metrics_one).expect("metrics written at 1 thread");
+    let doc_four = std::fs::read(&metrics_four).expect("metrics written at 4 threads");
+    assert!(!doc_one.is_empty(), "empty metrics document");
+    assert_eq!(
+        doc_one, doc_four,
+        "metrics JSON differs between 1 and 4 threads"
+    );
+    let _ = std::fs::remove_file(&metrics_one);
+    let _ = std::fs::remove_file(&metrics_four);
+}

@@ -14,6 +14,16 @@
 //! exact distances, so [`kmeans`] produces assignments, centers,
 //! iteration counts, and convergence flags identical to the retained
 //! naive implementation [`kmeans_reference`].
+//!
+//! The O(n·k·d) assignment scans (the initial pass and the
+//! per-iteration re-scan) fan out across [`ecg_par`] workers in fixed
+//! chunks. Each point's scan reads shared immutable centers and writes
+//! only its own assignment/bound slots, and the per-chunk
+//! prune/tighten/scan counters are integers reduced in chunk order, so
+//! the clustering is **bit-identical at any thread count**. The
+//! f64-order-sensitive steps — center mean accumulation and
+//! empty-cluster repair — deliberately stay sequential in point-index
+//! order to preserve exact equality with [`kmeans_reference`].
 
 use crate::init::Initializer;
 use ecg_coords::FeatureMatrix;
@@ -294,12 +304,18 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
     // `lower[i] <= min over other centers of d(i, center)`.
     let mut upper = vec![0.0f64; n];
     let mut lower = vec![0.0f64; n];
-    for i in 0..n {
-        let (best, best_d2, second_d2) = scan_point(points.row(i), &centers);
-        assignments[i] = best;
-        upper[i] = best_d2.sqrt();
-        lower[i] = second_d2.sqrt();
-    }
+    ecg_par::par_map(
+        scan_chunks(&mut assignments, &mut upper, &mut lower),
+        |(start, a_chunk, u_chunk, l_chunk)| {
+            let cells = a_chunk.iter_mut().zip(u_chunk.iter_mut().zip(l_chunk));
+            for (off, (a, (u, l))) in cells.enumerate() {
+                let (best, best_d2, second_d2) = scan_point(points.row(start + off), &centers);
+                *a = best;
+                *u = best_d2.sqrt();
+                *l = second_d2.sqrt();
+            }
+        },
+    );
 
     // Iterative phase.
     let mut iterations = 0;
@@ -350,38 +366,54 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
             lower[i] = f64::NEG_INFINITY;
         }
 
-        let mut reassigned = 0usize;
-        let mut pruned = 0usize;
-        let mut tightened = 0usize;
-        let mut exact_scans = 0usize;
-        for i in 0..n {
-            // Prune: `upper < lower` makes the current center the unique
-            // strict nearest, so the naive scan would keep it. Ties never
-            // prune (the inequality is strict), so tie-breaking always
-            // falls through to the exact scan below.
-            if upper[i] < lower[i] {
-                pruned += 1;
-                continue;
-            }
-            let p = points.row(i);
-            let a = assignments[i];
-            // Tighten the upper bound with one exact distance and retest
-            // before paying for the full k-way scan.
-            let d_a = sq_l2(p, centers.row(a)).sqrt();
-            upper[i] = d_a;
-            if d_a < lower[i] {
-                tightened += 1;
-                continue;
-            }
-            exact_scans += 1;
-            let (best, best_d2, second_d2) = scan_point(p, &centers);
-            upper[i] = best_d2.sqrt();
-            lower[i] = second_d2.sqrt();
-            if best != a {
-                assignments[i] = best;
-                reassigned += 1;
-            }
-        }
+        // Per-point scans are independent (shared immutable centers,
+        // per-point bound slots) and the counters are integers, so the
+        // chunked fan-out below reproduces the sequential loop exactly.
+        let partials = ecg_par::par_map(
+            scan_chunks(&mut assignments, &mut upper, &mut lower),
+            |(start, a_chunk, u_chunk, l_chunk)| {
+                let mut counts = ScanCounts::default();
+                let cells = a_chunk.iter_mut().zip(u_chunk.iter_mut().zip(l_chunk));
+                for (off, (a, (u, l))) in cells.enumerate() {
+                    // Prune: `upper < lower` makes the current center the
+                    // unique strict nearest, so the naive scan would keep
+                    // it. Ties never prune (the inequality is strict), so
+                    // tie-breaking always falls through to the exact scan
+                    // below.
+                    if *u < *l {
+                        counts.pruned += 1;
+                        continue;
+                    }
+                    let p = points.row(start + off);
+                    // Tighten the upper bound with one exact distance and
+                    // retest before paying for the full k-way scan.
+                    let d_a = sq_l2(p, centers.row(*a)).sqrt();
+                    *u = d_a;
+                    if d_a < *l {
+                        counts.tightened += 1;
+                        continue;
+                    }
+                    counts.exact_scans += 1;
+                    let (best, best_d2, second_d2) = scan_point(p, &centers);
+                    *u = best_d2.sqrt();
+                    *l = second_d2.sqrt();
+                    if best != *a {
+                        *a = best;
+                        counts.reassigned += 1;
+                    }
+                }
+                counts
+            },
+        );
+        // Chunk-order reduction of the per-chunk tallies.
+        let ScanCounts {
+            reassigned,
+            pruned,
+            tightened,
+            exact_scans,
+        } = partials
+            .into_iter()
+            .fold(ScanCounts::default(), |s, c| s + c);
         if let Some(o) = obs.as_deref_mut() {
             o.metrics.inc("kmeans.iterations");
             o.metrics.add("kmeans.reassigned", reassigned as u64);
@@ -491,6 +523,51 @@ pub fn kmeans_reference<R: Rng + ?Sized>(
         iterations,
         converged,
     })
+}
+
+/// Per-chunk tallies of the Hamerly scan, reduced in chunk order.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScanCounts {
+    reassigned: usize,
+    pruned: usize,
+    tightened: usize,
+    exact_scans: usize,
+}
+
+impl std::ops::Add for ScanCounts {
+    type Output = ScanCounts;
+
+    fn add(self, other: ScanCounts) -> ScanCounts {
+        ScanCounts {
+            reassigned: self.reassigned + other.reassigned,
+            pruned: self.pruned + other.pruned,
+            tightened: self.tightened + other.tightened,
+            exact_scans: self.exact_scans + other.exact_scans,
+        }
+    }
+}
+
+/// One parallel-scan work item: `(start index, assignments, upper
+/// bounds, lower bounds)` over one fixed chunk of points.
+type ScanChunk<'s> = (usize, &'s mut [usize], &'s mut [f64], &'s mut [f64]);
+
+/// Splits the assignment/bound arrays into matching fixed chunks
+/// (`(start index, assignments, upper, lower)` work items) for the
+/// parallel scans. Boundaries come from [`ecg_par::chunk_ranges`], so
+/// they depend only on `n`.
+fn scan_chunks<'s>(
+    assignments: &'s mut [usize],
+    upper: &'s mut [f64],
+    lower: &'s mut [f64],
+) -> Vec<ScanChunk<'s>> {
+    let chunk = ecg_par::DEFAULT_CHUNK;
+    let ranges = ecg_par::chunk_ranges(assignments.len());
+    ranges
+        .into_iter()
+        .zip(assignments.chunks_mut(chunk))
+        .zip(upper.chunks_mut(chunk).zip(lower.chunks_mut(chunk)))
+        .map(|((r, a), (u, l))| (r.start, a, u, l))
+        .collect()
 }
 
 /// Full scan of `p` against every center: `(best index, best squared

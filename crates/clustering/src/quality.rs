@@ -6,6 +6,14 @@
 //! mean over groups. This module computes that plus standard clustering
 //! diagnostics (within-cluster scatter, silhouette) used by the ablation
 //! benches.
+//!
+//! The O(Σ|g|²) pairwise sums fan out across [`ecg_par`] workers with
+//! the crate's standing determinism contract: each order-sensitive f64
+//! chain (a group's pairwise sum, a point's silhouette) is computed
+//! whole inside one work item, and the cross-item reduction folds the
+//! returned values sequentially in input order — so every metric here
+//! is bit-identical to its original sequential loop at any thread
+//! count.
 
 use crate::kmeans::sq_l2;
 use ecg_coords::FeatureMatrix;
@@ -51,19 +59,23 @@ pub fn group_interaction_cost(members: &[usize], cost: impl Fn(usize, usize) -> 
 /// clustering-accuracy metric ("the mean of the group interaction costs
 /// of all groups within the edge cache network").
 ///
+/// The per-group pairwise sums run on [`ecg_par`] workers (one group
+/// per work item, its summation chain intact) and the outer mean folds
+/// the per-group costs in group order, so the result is bit-identical
+/// to the sequential computation at any thread count.
+///
 /// Returns `0.0` for an empty group set.
 pub fn average_group_interaction_cost(
     groups: &[Vec<usize>],
-    cost: impl Fn(usize, usize) -> f64,
+    cost: impl Fn(usize, usize) -> f64 + Sync,
 ) -> f64 {
     if groups.is_empty() {
         return 0.0;
     }
-    groups
-        .iter()
-        .map(|g| group_interaction_cost(g, &cost))
-        .sum::<f64>()
-        / groups.len() as f64
+    let per_group = ecg_par::par_map(groups.iter().collect(), |g: &Vec<usize>| {
+        group_interaction_cost(g, &cost)
+    });
+    per_group.into_iter().sum::<f64>() / groups.len() as f64
 }
 
 /// Mean silhouette coefficient of a clustering under an arbitrary
@@ -72,40 +84,58 @@ pub fn average_group_interaction_cost(
 /// Points in singleton clusters contribute a silhouette of zero (the
 /// standard convention). Returns `0.0` when there are fewer than two
 /// clusters or fewer than two points.
-pub fn mean_silhouette(groups: &[Vec<usize>], cost: impl Fn(usize, usize) -> f64) -> f64 {
+pub fn mean_silhouette(groups: &[Vec<usize>], cost: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
     let total: usize = groups.iter().map(Vec::len).sum();
     if groups.len() < 2 || total < 2 {
         return 0.0;
     }
+    // One work item per point, in (group, member) order. Each point's
+    // O(total) silhouette runs whole inside its item; `None` marks the
+    // points the sequential loop skipped (singletons, no finite `b`,
+    // zero denominator), so the ordered fold below performs exactly the
+    // same f64 additions in the same order as the original single loop.
+    let pairs: Vec<(usize, usize)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, group)| group.iter().map(move |&p| (gi, p)))
+        .collect();
+    let contributions: Vec<Vec<Option<f64>>> = ecg_par::par_chunk_map(pairs.len(), |range| {
+        pairs[range]
+            .iter()
+            .map(|&(gi, p)| {
+                let group = &groups[gi];
+                if group.len() < 2 {
+                    return None; // silhouette 0 for singletons
+                }
+                // a = mean intra-cluster dissimilarity.
+                let a = group
+                    .iter()
+                    .filter(|&&q| q != p)
+                    .map(|&q| cost(p, q))
+                    .sum::<f64>()
+                    / (group.len() - 1) as f64;
+                // b = min over other clusters of mean dissimilarity.
+                let mut b = f64::INFINITY;
+                for (gj, other) in groups.iter().enumerate() {
+                    if gj == gi || other.is_empty() {
+                        continue;
+                    }
+                    let mean = other.iter().map(|&q| cost(p, q)).sum::<f64>() / other.len() as f64;
+                    b = b.min(mean);
+                }
+                if b.is_finite() {
+                    let denom = a.max(b);
+                    if denom > 0.0 {
+                        return Some((b - a) / denom);
+                    }
+                }
+                None
+            })
+            .collect()
+    });
     let mut sum = 0.0;
-    for (gi, group) in groups.iter().enumerate() {
-        for &p in group {
-            if group.len() < 2 {
-                continue; // silhouette 0 for singletons
-            }
-            // a = mean intra-cluster dissimilarity.
-            let a = group
-                .iter()
-                .filter(|&&q| q != p)
-                .map(|&q| cost(p, q))
-                .sum::<f64>()
-                / (group.len() - 1) as f64;
-            // b = min over other clusters of mean dissimilarity.
-            let mut b = f64::INFINITY;
-            for (gj, other) in groups.iter().enumerate() {
-                if gj == gi || other.is_empty() {
-                    continue;
-                }
-                let mean = other.iter().map(|&q| cost(p, q)).sum::<f64>() / other.len() as f64;
-                b = b.min(mean);
-            }
-            if b.is_finite() {
-                let denom = a.max(b);
-                if denom > 0.0 {
-                    sum += (b - a) / denom;
-                }
-            }
-        }
+    for s in contributions.into_iter().flatten().flatten() {
+        sum += s;
     }
     sum / total as f64
 }

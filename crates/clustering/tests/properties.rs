@@ -196,6 +196,47 @@ proptest! {
     }
 
     #[test]
+    fn parallel_kmeans_matches_sequential_and_reference(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // The parallel assignment scans must be invisible three ways:
+        // forced 4 workers == forced 1 worker (thread-count invariance)
+        // == the naive reference (algorithmic equivalence), all bit for
+        // bit. Thread-count invariance holds by construction (fixed
+        // chunks, ordered reduction), so flipping the global override
+        // here cannot perturb concurrently running tests.
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let run_at = |threads: usize| {
+            ecg_par::set_max_threads(Some(threads));
+            let r = kmeans(
+                &points,
+                KmeansConfig::new(k),
+                &Initializer::RandomRepresentative,
+                &mut StdRng::seed_from_u64(seed),
+            ).unwrap();
+            ecg_par::set_max_threads(None);
+            r
+        };
+        let seq = run_at(1);
+        let par = run_at(4);
+        let reference = kmeans_reference(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        prop_assert_eq!(par.assignments(), seq.assignments());
+        prop_assert_eq!(par.centers().as_flat(), seq.centers().as_flat());
+        prop_assert_eq!(par.iterations(), seq.iterations());
+        prop_assert_eq!(par.converged(), seq.converged());
+        prop_assert_eq!(seq.assignments(), reference.assignments());
+        prop_assert_eq!(seq.centers().as_flat(), reference.centers().as_flat());
+        prop_assert_eq!(seq.iterations(), reference.iterations());
+    }
+
+    #[test]
     fn capped_kmeans_with_loose_cap_is_a_valid_partition(
         points in arb_points(),
         seed in any::<u64>(),
@@ -215,4 +256,80 @@ proptest! {
         all.sort_unstable();
         prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
     }
+}
+
+/// Multi-chunk point set (> `ecg_par::DEFAULT_CHUNK` rows), so the
+/// parallel scans genuinely split across work items — the proptest
+/// sizes above all fit in one chunk.
+fn big_points(n: usize, seed: u64) -> FeatureMatrix {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..4).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    FeatureMatrix::from_rows(&rows)
+}
+
+#[test]
+fn multi_chunk_parallel_kmeans_matches_reference_bit_for_bit() {
+    let points = big_points(700, 13);
+    let config = KmeansConfig::new(25);
+    let run_at = |threads: usize| {
+        ecg_par::set_max_threads(Some(threads));
+        let r = kmeans(
+            &points,
+            config,
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        ecg_par::set_max_threads(None);
+        r
+    };
+    let seq = run_at(1);
+    let par = run_at(4);
+    let reference = kmeans_reference(
+        &points,
+        config,
+        &Initializer::RandomRepresentative,
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap();
+    assert_eq!(par.assignments(), seq.assignments());
+    assert_eq!(par.assignments(), reference.assignments());
+    for (a, b) in par
+        .centers()
+        .as_flat()
+        .iter()
+        .zip(reference.centers().as_flat())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(par.iterations(), reference.iterations());
+}
+
+#[test]
+fn multi_chunk_quality_metrics_are_thread_count_invariant() {
+    use ecg_clustering::mean_silhouette;
+    let points = big_points(600, 29);
+    let clustering = kmeans(
+        &points,
+        KmeansConfig::new(12),
+        &Initializer::RandomRepresentative,
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    let groups = clustering.clusters();
+    let cost = ecg_clustering::euclidean_cost(&points);
+    let run_at = |threads: usize| {
+        ecg_par::set_max_threads(Some(threads));
+        let gic = average_group_interaction_cost(&groups, &cost);
+        let sil = mean_silhouette(&groups, &cost);
+        ecg_par::set_max_threads(None);
+        (gic, sil)
+    };
+    let (gic1, sil1) = run_at(1);
+    let (gic4, sil4) = run_at(4);
+    assert_eq!(gic1.to_bits(), gic4.to_bits());
+    assert_eq!(sil1.to_bits(), sil4.to_bits());
 }

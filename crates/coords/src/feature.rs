@@ -209,6 +209,68 @@ pub fn build_feature_matrix<R: Rng + ?Sized>(
     matrix
 }
 
+/// Parallel, thread-count-invariant variant of [`build_feature_matrix`]
+/// for the large-N scaling path.
+///
+/// Instead of threading one shared RNG stream through every probe (which
+/// would serialize the measurements), this draws a single master seed
+/// from `rng` and gives each node its own derived stream
+/// ([`ecg_par::derive_seed`] on the node's position in `nodes`). Rows
+/// are then probed on [`ecg_par`] workers over fixed chunk boundaries
+/// and reassembled in `nodes` order, so the result depends only on
+/// `(rng state, nodes, landmarks, prober config)` — never on
+/// `ECG_THREADS` or scheduling.
+///
+/// The measurements are **not** stream-compatible with
+/// [`build_feature_matrix`]: the sequential builder remains the default
+/// so historical experiment outputs stay byte-identical; this variant is
+/// for new large-N runs where per-node streams are the spec.
+///
+/// # Panics
+///
+/// Panics if a measurement comes back negative or non-finite.
+pub fn build_feature_matrix_par<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    nodes: &[usize],
+    landmarks: &[usize],
+    rng: &mut R,
+) -> FeatureMatrix {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let master: u64 = rng.gen();
+    let dim = landmarks.len();
+    let mut matrix = FeatureMatrix::with_capacity(nodes.len(), dim);
+    if dim == 0 {
+        for _ in nodes {
+            matrix.push_row(&[]);
+        }
+        return matrix;
+    }
+    let chunks: Vec<Vec<f64>> = ecg_par::par_chunk_map(nodes.len(), |range| {
+        let mut flat = Vec::with_capacity(range.len() * dim);
+        let mut row = Vec::with_capacity(dim);
+        for i in range {
+            let mut node_rng = StdRng::seed_from_u64(ecg_par::derive_seed(master, i as u64));
+            prober.measure_all_into(nodes[i], landmarks, &mut node_rng, &mut row);
+            for &v in &row {
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "feature components must be finite and non-negative, got {v}"
+                );
+            }
+            flat.extend_from_slice(&row);
+        }
+        flat
+    });
+    for flat in &chunks {
+        for row in flat.chunks(dim) {
+            matrix.push_row(row);
+        }
+    }
+    matrix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +374,56 @@ mod tests {
         assert_eq!(buf, vec![1.0, 2.0]);
         assert!(!FeatureVector::mean_into([].iter(), &mut buf));
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn par_matrix_noiseless_matches_truth() {
+        // With noiseless probing the per-node RNG streams are never
+        // consulted, so the parallel builder must reproduce the exact
+        // truth rows of the sequential one.
+        let m = paper_figure1();
+        let prober = Prober::new(&m, ProbeConfig::noiseless());
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let seq = build_feature_matrix(&prober, &nodes, &landmarks, &mut StdRng::seed_from_u64(9));
+        let par =
+            build_feature_matrix_par(&prober, &nodes, &landmarks, &mut StdRng::seed_from_u64(9));
+        assert_eq!(par.len(), seq.len());
+        for i in 0..seq.len() {
+            assert_eq!(par.row(i), seq.row(i));
+        }
+    }
+
+    #[test]
+    fn par_matrix_is_thread_count_invariant() {
+        // Noisy probing, forced thread counts: the rows must be
+        // bit-identical because every node has its own derived stream
+        // and chunk boundaries ignore the worker count.
+        let m = paper_figure1();
+        let prober = Prober::new(&m, ProbeConfig::default().noise_sigma(0.2));
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let build = |threads| {
+            ecg_par::set_max_threads(Some(threads));
+            let fm = build_feature_matrix_par(
+                &prober,
+                &nodes,
+                &landmarks,
+                &mut StdRng::seed_from_u64(77),
+            );
+            ecg_par::set_max_threads(None);
+            fm
+        };
+        let one = build(1);
+        let four = build(4);
+        assert_eq!(one.len(), four.len());
+        for i in 0..one.len() {
+            let (a, b) = (one.row(i), four.row(i));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i}");
+            }
+        }
     }
 
     #[test]

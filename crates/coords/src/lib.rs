@@ -48,7 +48,9 @@ pub mod probe;
 pub mod simplex;
 pub mod vivaldi;
 
-pub use feature::{build_feature_matrix, build_feature_vectors, FeatureVector};
+pub use feature::{
+    build_feature_matrix, build_feature_matrix_par, build_feature_vectors, FeatureVector,
+};
 pub use gnp::{embed_network, GnpConfig, GnpCoordinates, GnpModel};
 pub use matrix::FeatureMatrix;
 pub use metrics::{feature_vector_distance_error, proximity_order_preservation, ErrorStats};

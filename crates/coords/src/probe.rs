@@ -8,8 +8,9 @@
 //! of probes.
 
 use ecg_obs::Obs;
-use ecg_topology::RttMatrix;
+use ecg_topology::RttSource;
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the probing model.
 ///
@@ -151,11 +152,19 @@ pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// A simulated prober over a ground-truth RTT matrix.
+/// A simulated prober over a ground-truth RTT oracle.
 ///
-/// Node indices follow the matrix the prober wraps; for an
+/// The ground truth is any [`RttSource`] — a dense
+/// [`RttMatrix`](ecg_topology::RttMatrix) for paper-scale runs, or an
+/// implicit oracle like [`SyntheticRtt`](ecg_topology::SyntheticRtt)
+/// when N is too large to materialize O(n²) RTTs. Node indices follow
+/// the oracle the prober wraps; for an
 /// [`EdgeNetwork`](ecg_topology::EdgeNetwork) matrix, index `0` is the
 /// origin and `i + 1` is cache `Ec_i`.
+///
+/// The probe counters are atomics (relaxed ordering — they are plain
+/// commutative tallies), so a shared `&Prober` can serve concurrent
+/// [`ecg_par`] workers and still report exact totals.
 ///
 /// # Examples
 ///
@@ -169,28 +178,39 @@ pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// let mut rng = StdRng::seed_from_u64(1);
 /// assert_eq!(prober.measure(1, 2, &mut rng), 4.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Prober<'a> {
-    truth: &'a RttMatrix,
+    truth: &'a dyn RttSource,
     config: ProbeConfig,
-    probes_sent: std::cell::Cell<u64>,
-    probes_lost: std::cell::Cell<u64>,
+    probes_sent: AtomicU64,
+    probes_lost: AtomicU64,
+}
+
+impl Clone for Prober<'_> {
+    fn clone(&self) -> Self {
+        Prober {
+            truth: self.truth,
+            config: self.config,
+            probes_sent: AtomicU64::new(self.probes_sent()),
+            probes_lost: AtomicU64::new(self.probes_lost()),
+        }
+    }
 }
 
 impl<'a> Prober<'a> {
-    /// Wraps a ground-truth matrix with the given probing behaviour.
-    pub fn new(truth: &'a RttMatrix, config: ProbeConfig) -> Self {
+    /// Wraps a ground-truth RTT oracle with the given probing behaviour.
+    pub fn new(truth: &'a dyn RttSource, config: ProbeConfig) -> Self {
         Prober {
             truth,
             config,
-            probes_sent: std::cell::Cell::new(0),
-            probes_lost: std::cell::Cell::new(0),
+            probes_sent: AtomicU64::new(0),
+            probes_lost: AtomicU64::new(0),
         }
     }
 
     /// Number of nodes visible to the prober.
     pub fn node_count(&self) -> usize {
-        self.truth.len()
+        self.truth.node_count()
     }
 
     /// The probing configuration.
@@ -201,13 +221,13 @@ impl<'a> Prober<'a> {
     /// Total probes sent so far — the measurement overhead the paper's
     /// greedy PLSet construction is designed to bound.
     pub fn probes_sent(&self) -> u64 {
-        self.probes_sent.get()
+        self.probes_sent.load(Ordering::Relaxed)
     }
 
     /// Probes lost in transit so far (only with a non-zero
     /// [`ProbeConfig::loss_rate`]).
     pub fn probes_lost(&self) -> u64 {
-        self.probes_lost.get()
+        self.probes_lost.load(Ordering::Relaxed)
     }
 
     /// Measures the RTT between `a` and `b`: the average of the
@@ -224,7 +244,7 @@ impl<'a> Prober<'a> {
         if a == b {
             return 0.0;
         }
-        let truth = self.truth.get(a, b);
+        let truth = self.truth.rtt_ms(a, b);
         let mut sum = 0.0;
         let mut answered = 0u32;
         for _ in 0..self.config.probes {
@@ -232,7 +252,7 @@ impl<'a> Prober<'a> {
             // from the RNG (keeps loss_rate = 0 streams identical to
             // the pre-loss model).
             if self.config.loss_rate > 0.0 && rng.gen_bool(self.config.loss_rate) {
-                self.probes_lost.set(self.probes_lost.get() + 1);
+                self.probes_lost.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let noise = if self.config.noise_sigma == 0.0 {
@@ -244,7 +264,7 @@ impl<'a> Prober<'a> {
             answered += 1;
         }
         self.probes_sent
-            .set(self.probes_sent.get() + self.config.probes as u64);
+            .fetch_add(self.config.probes as u64, Ordering::Relaxed);
         if answered == 0 {
             self.config.timeout_ms
         } else {
@@ -268,13 +288,13 @@ impl<'a> Prober<'a> {
         let Some(obs) = obs else {
             return self.measure(a, b, rng);
         };
-        let sent_before = self.probes_sent.get();
-        let lost_before = self.probes_lost.get();
+        let sent_before = self.probes_sent();
+        let lost_before = self.probes_lost();
         let rtt = self.measure(a, b, rng);
-        let lost = self.probes_lost.get() - lost_before;
+        let lost = self.probes_lost() - lost_before;
         obs.metrics.inc("probe.measurements");
         obs.metrics
-            .add("probe.sent", self.probes_sent.get() - sent_before);
+            .add("probe.sent", self.probes_sent() - sent_before);
         obs.metrics.add("probe.lost", lost);
         obs.metrics.observe("probe.rtt_ms", rtt);
         if a != b && lost == self.config.probes as u64 {

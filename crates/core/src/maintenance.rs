@@ -377,7 +377,7 @@ impl GroupMaintainer {
 
     /// Current average group interaction cost under `cost`, over the
     /// active membership.
-    pub fn current_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64) -> f64 {
+    pub fn current_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64 + Sync) -> f64 {
         let groups_idx: Vec<Vec<usize>> = self
             .groups
             .iter()

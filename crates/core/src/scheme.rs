@@ -333,7 +333,7 @@ impl GroupingOutcome {
 
     /// Average group interaction cost of the grouping under a pairwise
     /// cost function — the paper's clustering accuracy metric (§2).
-    pub fn average_interaction_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64) -> f64 {
+    pub fn average_interaction_cost(&self, cost: impl Fn(CacheId, CacheId) -> f64 + Sync) -> f64 {
         let as_indices: Vec<Vec<usize>> = self
             .groups
             .iter()

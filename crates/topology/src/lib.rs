@@ -10,6 +10,9 @@
 //! * [`TransitStubConfig`] — the hierarchical transit-stub generator.
 //! * [`shortest_path`] — Dijkstra and parallel all-pairs RTT computation.
 //! * [`RttMatrix`] — symmetric round-trip-time matrices.
+//! * [`RttSource`] / [`SyntheticRtt`] — the pairwise-RTT oracle trait and
+//!   an O(n)-state implicit geometric implementation for large-N scaling
+//!   runs where a dense matrix would not fit in memory.
 //! * [`EdgeNetwork`] — an origin server plus `N` placed edge caches, the
 //!   problem instance every group formation scheme consumes.
 //! * [`fixtures`] — the worked example from Figure 1 of the paper.
@@ -42,14 +45,16 @@ pub mod network;
 pub mod rtt;
 pub mod rtt_io;
 pub mod shortest_path;
+pub mod synthetic;
 pub mod transit_stub;
 pub mod waxman;
 
 pub use graph::{AddEdgeError, Edge, Graph, Neighbor, NodeId};
 pub use graph_io::{read_graph, write_graph, GraphIoError};
 pub use network::{CacheId, EdgeNetwork, OriginPlacement, PlacementError};
-pub use rtt::RttMatrix;
+pub use rtt::{RttMatrix, RttSource};
 pub use rtt_io::{read_rtt_matrix, write_rtt_matrix, RttIoError};
 pub use shortest_path::all_pairs_rtt;
+pub use synthetic::{SyntheticRtt, SyntheticRttConfig};
 pub use transit_stub::{LatencyBand, NodeKind, StubDomain, TransitStubConfig, TransitStubTopology};
 pub use waxman::WaxmanConfig;

@@ -7,6 +7,41 @@
 
 use std::fmt;
 
+/// A read-only oracle of pairwise round-trip times.
+///
+/// [`RttMatrix`] is the materialized implementation; implicit
+/// implementations (e.g. [`SyntheticRtt`](crate::SyntheticRtt)) compute
+/// RTTs on the fly from O(n) state, which is what makes N ≈ 50k-cache
+/// runs feasible — a dense 50k × 50k matrix alone would need ~20 GB.
+/// Consumers such as the probing model hold `&dyn RttSource`, so either
+/// form plugs in unchanged.
+///
+/// Implementations must be symmetric (`rtt_ms(a, b) == rtt_ms(b, a)`),
+/// zero on the diagonal, and return finite non-negative values. The
+/// `Sync` supertrait lets parallel kernels share the oracle across
+/// worker threads; the `Debug` supertrait keeps holders derivable.
+pub trait RttSource: fmt::Debug + Sync {
+    /// Number of nodes the oracle spans.
+    fn node_count(&self) -> usize;
+
+    /// Round-trip time between nodes `a` and `b` in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    fn rtt_ms(&self, a: usize, b: usize) -> f64;
+}
+
+impl RttSource for RttMatrix {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn rtt_ms(&self, a: usize, b: usize) -> f64 {
+        self.get(a, b)
+    }
+}
+
 /// A symmetric matrix of round-trip times in milliseconds.
 ///
 /// Storage is a dense `n × n` `Vec<f64>`; `set` writes both `(i, j)` and

@@ -92,8 +92,10 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> Vec<f64> {
 
 /// Shortest one-way latencies from every node in `sources`.
 ///
-/// Runs the single-source computations in parallel across up to
-/// `threads` worker threads. Rows are returned in `sources` order.
+/// Runs the single-source computations on [`ecg_par`] workers, at most
+/// `threads` of them. Rows are returned in `sources` order; each row is
+/// an independent Dijkstra run, so the result is identical at any
+/// thread count.
 ///
 /// # Panics
 ///
@@ -105,13 +107,11 @@ pub fn multi_source_latencies(graph: &Graph, sources: &[NodeId], threads: usize)
     }
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
     let chunk = sources.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (row_chunk, src_chunk) in rows.chunks_mut(chunk).zip(sources.chunks(chunk)) {
-            scope.spawn(move || {
-                for (row, &src) in row_chunk.iter_mut().zip(src_chunk) {
-                    *row = dijkstra(graph, src);
-                }
-            });
+    let work: Vec<(&mut [Vec<f64>], &[NodeId])> =
+        rows.chunks_mut(chunk).zip(sources.chunks(chunk)).collect();
+    ecg_par::par_map_with(work, threads, |(row_chunk, src_chunk)| {
+        for (row, &src) in row_chunk.iter_mut().zip(src_chunk) {
+            *row = dijkstra(graph, src);
         }
     });
     rows
@@ -120,8 +120,8 @@ pub fn multi_source_latencies(graph: &Graph, sources: &[NodeId], threads: usize)
 /// Builds the all-pairs round-trip-time matrix of `graph`.
 ///
 /// `rtt(i, j) = 2 × shortest one-way latency(i, j)`. Uses
-/// [`multi_source_latencies`] internally with a thread count matched to
-/// the host's available parallelism.
+/// [`multi_source_latencies`] internally with the thread count resolved
+/// by [`ecg_par::threads_for`] (honoring the `ECG_THREADS` override).
 ///
 /// # Panics
 ///
@@ -129,11 +129,7 @@ pub fn multi_source_latencies(graph: &Graph, sources: &[NodeId], threads: usize)
 pub fn all_pairs_rtt(graph: &Graph) -> RttMatrix {
     let n = graph.node_count();
     let sources: Vec<NodeId> = (0..n).map(NodeId).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let rows = multi_source_latencies(graph, &sources, threads);
+    let rows = multi_source_latencies(graph, &sources, ecg_par::threads_for(n));
     RttMatrix::from_rows_one_way(&rows)
 }
 

@@ -1,0 +1,229 @@
+//! Implicit synthetic RTT oracles for large-N scaling runs.
+//!
+//! The GT-ITM pipeline materializes a dense [`RttMatrix`], which is
+//! O(n²) memory — about 20 GB at n = 50 000. The scaling benchmarks
+//! instead use [`SyntheticRtt`]: a geometric RTT model that stores O(n)
+//! state (a plane position and a last-hop access penalty per node) and
+//! computes any pairwise RTT on demand through the
+//! [`RttSource`] trait. The model is a standard
+//! cities-on-a-plane abstraction: nodes cluster around metro sites,
+//! propagation delay is the Euclidean plane distance, and each endpoint
+//! adds its own access-link penalty — qualitatively the same
+//! short-intra-site / long-inter-site structure the transit-stub
+//! generator produces.
+
+use crate::rtt::RttSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the [`SyntheticRtt`] geometric model.
+///
+/// # Examples
+///
+/// ```
+/// use ecg_topology::{RttSource, SyntheticRttConfig};
+///
+/// let net = SyntheticRttConfig::default().generate(1_000, 7);
+/// assert_eq!(net.node_count(), 1_000);
+/// assert_eq!(net.rtt_ms(3, 3), 0.0);
+/// assert_eq!(net.rtt_ms(1, 2), net.rtt_ms(2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticRttConfig {
+    extent_ms: f64,
+    spread_ms: f64,
+    access_min_ms: f64,
+    access_max_ms: f64,
+    nodes_per_site: usize,
+}
+
+impl Default for SyntheticRttConfig {
+    /// A continental plane: 100 ms of one-way extent, metro sites of
+    /// about 64 nodes spread over ±5 ms, and 1–5 ms access links.
+    fn default() -> Self {
+        SyntheticRttConfig {
+            extent_ms: 100.0,
+            spread_ms: 5.0,
+            access_min_ms: 1.0,
+            access_max_ms: 5.0,
+            nodes_per_site: 64,
+        }
+    }
+}
+
+impl SyntheticRttConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the one-way plane extent in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive and finite.
+    pub fn extent_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "extent must be positive");
+        self.extent_ms = ms;
+        self
+    }
+
+    /// Sets how far nodes scatter around their metro site, in ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn spread_ms(mut self, ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "spread must be finite and non-negative"
+        );
+        self.spread_ms = ms;
+        self
+    }
+
+    /// Sets the average metro-site population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn nodes_per_site(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node per site");
+        self.nodes_per_site = nodes;
+        self
+    }
+
+    /// Generates the oracle for `nodes` nodes from a seed. Node `0`
+    /// plays the origin-server role downstream consumers expect.
+    ///
+    /// Generation is O(n) time and memory and depends only on
+    /// `(self, nodes, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn generate(&self, nodes: usize, seed: u64) -> SyntheticRtt {
+        assert!(nodes > 0, "need at least one node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let site_count = nodes.div_ceil(self.nodes_per_site).max(1);
+        let sites: Vec<(f64, f64)> = (0..site_count)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..self.extent_ms),
+                    rng.gen_range(0.0..self.extent_ms),
+                )
+            })
+            .collect();
+        let mut positions = Vec::with_capacity(nodes);
+        let mut access_ms = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (sx, sy) = sites[rng.gen_range(0..site_count)];
+            positions.push((
+                sx + rng.gen_range(-self.spread_ms..=self.spread_ms),
+                sy + rng.gen_range(-self.spread_ms..=self.spread_ms),
+            ));
+            access_ms.push(rng.gen_range(self.access_min_ms..=self.access_max_ms));
+        }
+        SyntheticRtt {
+            positions,
+            access_ms,
+        }
+    }
+}
+
+/// An implicit RTT oracle over a geometric node embedding: O(n) state,
+/// O(1) per-pair evaluation. See the module docs for the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticRtt {
+    positions: Vec<(f64, f64)>,
+    access_ms: Vec<f64>,
+}
+
+impl RttSource for SyntheticRtt {
+    fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn rtt_ms(&self, a: usize, b: usize) -> f64 {
+        assert!(
+            a < self.positions.len() && b < self.positions.len(),
+            "rtt index out of range"
+        );
+        if a == b {
+            return 0.0;
+        }
+        let (ax, ay) = self.positions[a];
+        let (bx, by) = self.positions[b];
+        let one_way = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        // The access pair is summed first: f64 addition is commutative
+        // but not associative, and exact rtt(a,b) == rtt(b,a) symmetry
+        // requires the same grouping from both directions.
+        2.0 * one_way + (self.access_ms[a] + self.access_ms[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticRttConfig::default().generate(500, 9);
+        let b = SyntheticRttConfig::default().generate(500, 9);
+        assert_eq!(a, b);
+        let c = SyntheticRttConfig::default().generate(500, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn symmetric_zero_diagonal_and_positive() {
+        let net = SyntheticRttConfig::default().generate(100, 3);
+        for i in (0..100).step_by(7) {
+            assert_eq!(net.rtt_ms(i, i), 0.0);
+            for j in (0..100).step_by(11) {
+                let r = net.rtt_ms(i, j);
+                assert_eq!(r, net.rtt_ms(j, i));
+                assert!(r.is_finite() && r >= 0.0);
+                if i != j {
+                    // Two access links bound the RTT away from zero.
+                    assert!(r >= 2.0, "rtt({i},{j}) = {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // d(a,b) + acc_a + acc_b <= (d(a,c) + acc_a + acc_c)
+        //                         + (d(c,b) + acc_c + acc_b)
+        // because plane distances are a metric and access penalties are
+        // non-negative.
+        let net = SyntheticRttConfig::default().generate(40, 5);
+        for a in 0..40 {
+            for b in 0..40 {
+                for c in 0..40 {
+                    assert!(
+                        net.rtt_ms(a, b) <= net.rtt_ms(a, c) + net.rtt_ms(c, b) + 1e-9,
+                        "triangle violated at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_linear_in_nodes() {
+        // 50k nodes is exactly the scale a dense matrix cannot reach;
+        // the implicit oracle builds it in O(n).
+        let net = SyntheticRttConfig::default().generate(50_000, 1);
+        assert_eq!(net.node_count(), 50_000);
+        assert!(net.rtt_ms(0, 49_999) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let net = SyntheticRttConfig::default().generate(10, 1);
+        let _ = net.rtt_ms(0, 10);
+    }
+}

@@ -226,6 +226,83 @@ impl RequestConfig {
         });
         requests
     }
+
+    /// Parallel, thread-count-invariant variant of
+    /// [`RequestConfig::generate`] for the large-N scaling path.
+    ///
+    /// Draws one master seed from `rng`, derives an independent RNG
+    /// stream per cache ([`ecg_par::derive_seed`]), and generates each
+    /// cache's stream on an [`ecg_par`] worker: the cache's rotation
+    /// offset first, then its thinned Poisson arrivals — so every
+    /// cache's realization depends only on `(rng state, cache index,
+    /// config, catalog)`. Streams are concatenated in cache order and
+    /// stably sorted by time, making the output identical at any
+    /// `ECG_THREADS` setting.
+    ///
+    /// Not stream-compatible with [`RequestConfig::generate`] (which
+    /// threads one shared RNG through all caches and stays the default
+    /// so historical experiment outputs are unchanged); the two draw the
+    /// same workload *distribution*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or `caches == 0`.
+    pub fn generate_par<R: Rng + ?Sized>(
+        &self,
+        catalog: &DocumentCatalog,
+        caches: usize,
+        duration_ms: f64,
+        rng: &mut R,
+    ) -> Vec<Request> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        assert!(!catalog.is_empty(), "catalog must contain documents");
+        assert!(caches > 0, "need at least one cache");
+        let zipf = ZipfSampler::new(catalog.len(), self.zipf_exponent);
+        let n_docs = catalog.len();
+        let master: u64 = rng.gen();
+        let max_rate_per_ms = self.rate_per_sec_per_cache * self.modulation.max_factor() / 1_000.0;
+
+        let per_cache: Vec<Vec<Request>> = ecg_par::par_map((0..caches).collect(), |cache| {
+            let mut rng = StdRng::seed_from_u64(ecg_par::derive_seed(master, cache as u64));
+            let offset = rng.gen_range(0..n_docs);
+            let mut stream = Vec::new();
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                t += -u.ln() / max_rate_per_ms;
+                if t >= duration_ms {
+                    break;
+                }
+                let accept = self.modulation.factor(t) / self.modulation.max_factor();
+                if rng.gen::<f64>() >= accept {
+                    continue;
+                }
+                let rank = zipf.sample(&mut rng);
+                let doc = if rng.gen::<f64>() < self.similarity {
+                    rank
+                } else {
+                    (rank + offset) % n_docs
+                };
+                stream.push(Request {
+                    time_ms: t,
+                    cache,
+                    doc: DocId(doc),
+                });
+            }
+            stream
+        });
+        let mut requests: Vec<Request> = per_cache.into_iter().flatten().collect();
+        // Stable sort: simultaneous arrivals keep cache order, exactly
+        // like the sequential generator's concatenation-then-sort.
+        requests.sort_by(|a, b| {
+            a.time_ms
+                .partial_cmp(&b.time_ms)
+                .expect("times are not NaN")
+        });
+        requests
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +445,44 @@ mod tests {
             RequestConfig::default().generate(&cat, 3, 10_000.0, &mut StdRng::seed_from_u64(seed))
         };
         assert_eq!(gen(4), gen(4));
+    }
+
+    #[test]
+    fn par_stream_is_thread_count_invariant() {
+        let cat = catalog(80, 0);
+        let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);
+        let gen = |threads| {
+            ecg_par::set_max_threads(Some(threads));
+            let reqs = cfg.generate_par(&cat, 6, 20_000.0, &mut StdRng::seed_from_u64(21));
+            ecg_par::set_max_threads(None);
+            reqs
+        };
+        let one = gen(1);
+        let four = gen(4);
+        assert!(!one.is_empty());
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.time_ms.to_bits(), b.time_ms.to_bits());
+            assert_eq!((a.cache, a.doc), (b.cache, b.doc));
+        }
+    }
+
+    #[test]
+    fn par_stream_is_sorted_valid_and_rate_matched() {
+        let cat = catalog(100, 0);
+        let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let reqs = cfg.generate_par(&cat, 4, 100_000.0, &mut rng);
+        for pair in reqs.windows(2) {
+            assert!(pair[0].time_ms <= pair[1].time_ms);
+        }
+        assert!(reqs.iter().all(|r| r.cache < 4 && r.doc.index() < 100));
+        let expected = cfg.expected_requests(4, 100_000.0);
+        let actual = reqs.len() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.1,
+            "expected ~{expected}, got {actual}"
+        );
     }
 
     #[test]
