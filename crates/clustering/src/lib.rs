@@ -46,6 +46,7 @@ pub mod balanced;
 pub mod hierarchical;
 pub mod init;
 pub mod kmeans;
+pub mod masked;
 pub mod medoids;
 pub mod model_selection;
 pub mod quality;
@@ -56,6 +57,7 @@ pub use init::{server_distance_weights, Initializer};
 pub use kmeans::{
     kmeans, kmeans_observed, kmeans_reference, Clustering, KmeansConfig, KmeansError,
 };
+pub use masked::{kmeans_masked, kmeans_masked_observed, masked_sq_l2};
 pub use medoids::{pam, pam_euclidean, Medoids};
 pub use model_selection::{suggest_k, KSelection};
 pub use quality::{

@@ -2,9 +2,10 @@
 
 use ecg_clustering::hierarchical::{agglomerative, Linkage};
 use ecg_clustering::{
-    average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped,
+    average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped, kmeans_masked,
     kmeans_reference, server_distance_weights, FeatureMatrix, Initializer, KmeansConfig,
 };
+use ecg_coords::FeatureMask;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -234,6 +235,78 @@ proptest! {
         prop_assert_eq!(seq.assignments(), reference.assignments());
         prop_assert_eq!(seq.centers().as_flat(), reference.centers().as_flat());
         prop_assert_eq!(seq.iterations(), reference.iterations());
+    }
+
+    #[test]
+    fn masked_kmeans_equals_full_kmeans_when_nothing_is_missing(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // With every feature observed, the masked Lloyd loop must be
+        // indistinguishable from the plain one — same assignments, same
+        // centers bit for bit, same iteration count and convergence
+        // flag. This pins the degraded-mode path to the healthy one so
+        // resilience-on cannot perturb fault-free runs.
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let mask = FeatureMask::all_observed(points.len(), points.dim());
+        let full = kmeans(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let masked = kmeans_masked(
+            &points,
+            &mask,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        prop_assert_eq!(masked.assignments(), full.assignments());
+        for (a, b) in masked.centers().as_flat().iter().zip(full.centers().as_flat()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(masked.iterations(), full.iterations());
+        prop_assert_eq!(masked.converged(), full.converged());
+    }
+
+    #[test]
+    fn masked_kmeans_is_a_partition_under_masking(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        drop_frac in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let n = points.len();
+        let dim = points.dim();
+        let k = ((n as f64 * k_frac).ceil() as usize).clamp(1, n);
+        // Mask random cells but always keep component 0 observed, so no
+        // row needs quarantining.
+        let mut mask = FeatureMask::all_observed(n, dim);
+        let mut mask_rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for i in 0..n {
+            for j in 1..dim {
+                if mask_rng.gen_bool(drop_frac) {
+                    mask.set(i, j, false);
+                }
+            }
+        }
+        let r = kmeans_masked(
+            &points,
+            &mask,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        prop_assert_eq!(r.assignments().len(), n);
+        let sizes = r.cluster_sizes();
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        // Centers stay finite despite missing cells.
+        prop_assert!(r.centers().as_flat().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use crate::matrix::FeatureMatrix;
 use crate::probe::Prober;
+use crate::resilience::{FeatureMask, RetryPolicy};
+use ecg_obs::Obs;
 use rand::Rng;
 use std::fmt;
 use std::ops::Index;
@@ -207,6 +209,73 @@ pub fn build_feature_matrix<R: Rng + ?Sized>(
         matrix.push_row(&row);
     }
     matrix
+}
+
+/// Failure-aware variant of [`build_feature_matrix`]: measures every
+/// cell with bounded retries and reports which cells were actually
+/// observed instead of averaging timeout sentinels into the features.
+///
+/// Cells whose measurement failed after retries (timeout or
+/// unreachable) hold a `0.0` placeholder in the matrix and `false` in
+/// the returned [`FeatureMask`]; masked K-means
+/// (`ecg_clustering::kmeans_masked`) clusters on the observed cells
+/// only. On the healthy path (nothing times out) the first attempt of
+/// every cell consumes the shared RNG exactly like
+/// [`build_feature_matrix`], so the matrix is bit-identical to the
+/// non-resilient builder and the mask is fully observed.
+pub fn build_feature_matrix_resilient<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    nodes: &[usize],
+    landmarks: &[usize],
+    policy: &RetryPolicy,
+    rng: &mut R,
+) -> (FeatureMatrix, FeatureMask) {
+    build_feature_matrix_resilient_observed(prober, nodes, landmarks, policy, rng, None)
+}
+
+/// Like [`build_feature_matrix_resilient`], but records every probe
+/// attempt and retry into an observability bundle when one is supplied
+/// (see [`Prober::measure_retry_observed`]). Instrumentation never
+/// draws from the RNG.
+pub fn build_feature_matrix_resilient_observed<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    nodes: &[usize],
+    landmarks: &[usize],
+    policy: &RetryPolicy,
+    rng: &mut R,
+    mut obs: Option<&mut Obs>,
+) -> (FeatureMatrix, FeatureMask) {
+    let dim = landmarks.len();
+    let mut matrix = FeatureMatrix::with_capacity(nodes.len(), dim);
+    let mut mask = FeatureMask::new(dim);
+    let mut row = Vec::with_capacity(dim);
+    let mut row_mask = Vec::with_capacity(dim);
+    for &node in nodes {
+        row.clear();
+        row_mask.clear();
+        for &lm in landmarks {
+            match prober
+                .measure_retry_observed(node, lm, policy, rng, obs.as_deref_mut())
+                .value()
+            {
+                Some(v) => {
+                    assert!(
+                        v.is_finite() && v >= 0.0,
+                        "feature components must be finite and non-negative, got {v}"
+                    );
+                    row.push(v);
+                    row_mask.push(true);
+                }
+                None => {
+                    row.push(0.0);
+                    row_mask.push(false);
+                }
+            }
+        }
+        matrix.push_row(&row);
+        mask.push_row(&row_mask);
+    }
+    (matrix, mask)
 }
 
 /// Parallel, thread-count-invariant variant of [`build_feature_matrix`]
@@ -424,6 +493,100 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn resilient_matrix_matches_plain_on_the_healthy_path() {
+        // Noisy probing, zero loss, no faults: the resilient builder
+        // must consume the shared RNG identically and mask nothing.
+        let m = paper_figure1();
+        let prober = Prober::new(&m, ProbeConfig::default());
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let plain =
+            build_feature_matrix(&prober, &nodes, &landmarks, &mut StdRng::seed_from_u64(13));
+        let (resilient, mask) = build_feature_matrix_resilient(
+            &prober,
+            &nodes,
+            &landmarks,
+            &RetryPolicy::default(),
+            &mut StdRng::seed_from_u64(13),
+        );
+        assert!(mask.is_fully_observed());
+        assert_eq!(resilient.len(), plain.len());
+        for i in 0..plain.len() {
+            assert_eq!(resilient.row(i), plain.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn resilient_matrix_masks_dead_landmark_column() {
+        use crate::resilience::ProbeFaults;
+        // Landmark node 5 is crashed: its column must be masked for
+        // every probing node, with 0.0 placeholders, and node 5's own
+        // row (it cannot probe at all) must be fully masked except the
+        // free self-measurement.
+        let m = paper_figure1();
+        let faults = ProbeFaults::new().node_down(5);
+        let prober = Prober::with_faults(&m, ProbeConfig::noiseless(), faults);
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let (fm, mask) = build_feature_matrix_resilient(
+            &prober,
+            &nodes,
+            &landmarks,
+            &RetryPolicy::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        for (i, &node) in nodes.iter().enumerate() {
+            if node == 5 {
+                // Self-probe is free and observed even for a down node.
+                assert_eq!(mask.row(i), &[false, false, true]);
+                assert_eq!(fm.row(i), &[0.0, 0.0, 0.0]);
+            } else {
+                assert_eq!(mask.row(i), &[true, true, false], "node {node}");
+                assert_eq!(fm.row(i)[2], 0.0);
+                assert_eq!(fm.row(i)[0], m.get(node, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_matrix_observed_matches_plain_variant() {
+        let m = paper_figure1();
+        let prober = Prober::new(
+            &m,
+            ProbeConfig::default()
+                .probes_per_measurement(2)
+                .loss_rate(0.4),
+        );
+        let landmarks = [0usize, 1, 5];
+        let nodes: Vec<usize> = (1..7).collect();
+        let policy = RetryPolicy::default();
+        let (fm_a, mask_a) = build_feature_matrix_resilient(
+            &prober,
+            &nodes,
+            &landmarks,
+            &policy,
+            &mut StdRng::seed_from_u64(50),
+        );
+        let mut obs = Obs::new();
+        let (fm_b, mask_b) = build_feature_matrix_resilient_observed(
+            &prober,
+            &nodes,
+            &landmarks,
+            &policy,
+            &mut StdRng::seed_from_u64(50),
+            Some(&mut obs),
+        );
+        assert_eq!(mask_a, mask_b);
+        for i in 0..fm_a.len() {
+            assert_eq!(fm_a.row(i), fm_b.row(i));
+        }
+        assert!(
+            obs.metrics.counter("probe.measurements") > 0,
+            "attempts recorded"
+        );
     }
 
     #[test]

@@ -45,14 +45,17 @@ pub mod gnp;
 pub mod matrix;
 pub mod metrics;
 pub mod probe;
+pub mod resilience;
 pub mod simplex;
 pub mod vivaldi;
 
 pub use feature::{
-    build_feature_matrix, build_feature_matrix_par, build_feature_vectors, FeatureVector,
+    build_feature_matrix, build_feature_matrix_par, build_feature_matrix_resilient,
+    build_feature_matrix_resilient_observed, build_feature_vectors, FeatureVector,
 };
 pub use gnp::{embed_network, GnpConfig, GnpCoordinates, GnpModel};
 pub use matrix::FeatureMatrix;
 pub use metrics::{feature_vector_distance_error, proximity_order_preservation, ErrorStats};
 pub use probe::{ProbeConfig, Prober};
+pub use resilience::{FeatureMask, Measurement, ProbeFaults, RetryPolicy};
 pub use vivaldi::{mean_relative_error, run_vivaldi, VivaldiConfig, VivaldiNode};

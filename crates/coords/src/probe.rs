@@ -7,9 +7,11 @@
 //! by log-normal noise, and a measurement averages a configurable number
 //! of probes.
 
+use crate::resilience::{Measurement, ProbeFaults, RetryPolicy};
 use ecg_obs::Obs;
 use ecg_topology::RttSource;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the probing model.
@@ -94,8 +96,13 @@ impl ProbeConfig {
     /// A lost probe contributes nothing to the measured average; it is
     /// still counted in [`Prober::probes_sent`] and tallied in
     /// [`Prober::probes_lost`]. If *every* probe of a measurement is
-    /// lost, the measurement reports the timeout instead of an RTT —
-    /// probing a crashed or partitioned target looks exactly like this.
+    /// lost, the measurement's true outcome is
+    /// [`Measurement::Timeout`], reported as such by
+    /// [`Prober::measure_outcome`] and [`Prober::measure_retry`]. The
+    /// legacy `f64` API ([`Prober::measure`]) cannot express that and
+    /// falls back to reporting [`ProbeConfig::timeout`] as if it were
+    /// an RTT — callers that must not average a timeout into a feature
+    /// vector should use the outcome-returning API.
     ///
     /// # Panics
     ///
@@ -109,8 +116,13 @@ impl ProbeConfig {
         self
     }
 
-    /// Sets how long a prober waits before declaring a probe lost; this
-    /// is the RTT reported when a whole measurement times out.
+    /// Sets how long a prober waits before declaring a probe lost.
+    ///
+    /// This value doubles as the *sentinel RTT* the legacy `f64` API
+    /// reports when a whole measurement times out or the target is
+    /// unreachable; the outcome-returning API
+    /// ([`Prober::measure_outcome`] / [`Prober::measure_retry`]) never
+    /// reports it as a measurement.
     ///
     /// # Panics
     ///
@@ -182,8 +194,12 @@ pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 pub struct Prober<'a> {
     truth: &'a dyn RttSource,
     config: ProbeConfig,
+    faults: ProbeFaults,
     probes_sent: AtomicU64,
     probes_lost: AtomicU64,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+    backoff_ms: AtomicU64,
 }
 
 impl Clone for Prober<'_> {
@@ -191,8 +207,12 @@ impl Clone for Prober<'_> {
         Prober {
             truth: self.truth,
             config: self.config,
+            faults: self.faults.clone(),
             probes_sent: AtomicU64::new(self.probes_sent()),
             probes_lost: AtomicU64::new(self.probes_lost()),
+            retries: AtomicU64::new(self.retries()),
+            gave_up: AtomicU64::new(self.gave_up()),
+            backoff_ms: AtomicU64::new(self.backoff_ms()),
         }
     }
 }
@@ -200,12 +220,29 @@ impl Clone for Prober<'_> {
 impl<'a> Prober<'a> {
     /// Wraps a ground-truth RTT oracle with the given probing behaviour.
     pub fn new(truth: &'a dyn RttSource, config: ProbeConfig) -> Self {
+        Prober::with_faults(truth, config, ProbeFaults::default())
+    }
+
+    /// Like [`Prober::new`], with an injected failure set: links marked
+    /// dead by `faults` report [`Measurement::Unreachable`] instead of
+    /// an RTT. An empty set behaves exactly like [`Prober::new`].
+    pub fn with_faults(truth: &'a dyn RttSource, config: ProbeConfig, faults: ProbeFaults) -> Self {
         Prober {
             truth,
             config,
+            faults,
             probes_sent: AtomicU64::new(0),
             probes_lost: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(0),
         }
+    }
+
+    /// The injected failure set (empty unless built with
+    /// [`Prober::with_faults`]).
+    pub fn faults(&self) -> &ProbeFaults {
+        &self.faults
     }
 
     /// Number of nodes visible to the prober.
@@ -225,15 +262,34 @@ impl<'a> Prober<'a> {
     }
 
     /// Probes lost in transit so far (only with a non-zero
-    /// [`ProbeConfig::loss_rate`]).
+    /// [`ProbeConfig::loss_rate`] or injected faults).
     pub fn probes_lost(&self) -> u64 {
         self.probes_lost.load(Ordering::Relaxed)
     }
 
+    /// Retry attempts performed so far by [`Prober::measure_retry`].
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Measurements [`Prober::measure_retry`] gave up on (exhausted
+    /// retries, or the target was unreachable).
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up.load(Ordering::Relaxed)
+    }
+
+    /// Total *virtual* backoff accounted by retries, in milliseconds —
+    /// what a real deployment would have slept. Never wall clock.
+    pub fn backoff_ms(&self) -> u64 {
+        self.backoff_ms.load(Ordering::Relaxed)
+    }
+
     /// Measures the RTT between `a` and `b`: the average of the
     /// successful probes out of `config.probes()` noisy ones, in
-    /// milliseconds. If every probe is lost the measurement times out
-    /// and reports [`ProbeConfig::timeout`].
+    /// milliseconds. If every probe is lost — or the link is dead under
+    /// the injected faults — the measurement times out and reports
+    /// [`ProbeConfig::timeout`]; use [`Prober::measure_outcome`] to
+    /// tell those cases apart.
     ///
     /// Probing yourself returns `0.0` without sending probes.
     ///
@@ -241,8 +297,31 @@ impl<'a> Prober<'a> {
     ///
     /// Panics if an index is out of range of the wrapped matrix.
     pub fn measure<R: Rng + ?Sized>(&self, a: usize, b: usize, rng: &mut R) -> f64 {
+        self.measure_outcome(a, b, rng)
+            .value_or(self.config.timeout_ms)
+    }
+
+    /// Measures the RTT between `a` and `b` with an explicit outcome:
+    /// [`Measurement::Ok`] with the average of the answering probes,
+    /// [`Measurement::Timeout`] when every probe is lost, or
+    /// [`Measurement::Unreachable`] when the injected faults mark the
+    /// link dead (no RNG draws are consumed in that case, but the
+    /// probes are still counted as sent and lost).
+    ///
+    /// Probing yourself returns `Ok(0.0)` without sending probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range of the wrapped matrix.
+    pub fn measure_outcome<R: Rng + ?Sized>(&self, a: usize, b: usize, rng: &mut R) -> Measurement {
         if a == b {
-            return 0.0;
+            return Measurement::Ok(0.0);
+        }
+        if !self.faults.is_empty() && self.faults.link_dead(a, b) {
+            let probes = self.config.probes as u64;
+            self.probes_sent.fetch_add(probes, Ordering::Relaxed);
+            self.probes_lost.fetch_add(probes, Ordering::Relaxed);
+            return Measurement::Unreachable;
         }
         let truth = self.truth.rtt_ms(a, b);
         let mut sum = 0.0;
@@ -266,10 +345,121 @@ impl<'a> Prober<'a> {
         self.probes_sent
             .fetch_add(self.config.probes as u64, Ordering::Relaxed);
         if answered == 0 {
-            self.config.timeout_ms
+            Measurement::Timeout
         } else {
-            sum / answered as f64
+            Measurement::Ok(sum / answered as f64)
         }
+    }
+
+    /// Like [`Prober::measure_outcome`], but records the attempt into an
+    /// observability bundle when one is supplied: `probe.measurements` /
+    /// `probe.sent` / `probe.lost` counters, a `probe.rtt_ms` histogram
+    /// for successful measurements, and `probe.timeouts` /
+    /// `probe.unreachable` counters for the failure outcomes.
+    /// Instrumentation never touches the RNG stream.
+    pub fn measure_outcome_observed<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        rng: &mut R,
+        obs: Option<&mut Obs>,
+    ) -> Measurement {
+        let Some(obs) = obs else {
+            return self.measure_outcome(a, b, rng);
+        };
+        let sent_before = self.probes_sent();
+        let lost_before = self.probes_lost();
+        let outcome = self.measure_outcome(a, b, rng);
+        obs.metrics.inc("probe.measurements");
+        obs.metrics
+            .add("probe.sent", self.probes_sent() - sent_before);
+        obs.metrics
+            .add("probe.lost", self.probes_lost() - lost_before);
+        match outcome {
+            Measurement::Ok(rtt) => obs.metrics.observe("probe.rtt_ms", rtt),
+            Measurement::Timeout => obs.metrics.inc("probe.timeouts"),
+            Measurement::Unreachable => obs.metrics.inc("probe.unreachable"),
+        }
+        outcome
+    }
+
+    /// Measures with bounded retries under `policy`.
+    ///
+    /// The first attempt consumes the caller's RNG exactly like
+    /// [`Prober::measure_outcome`], so on the healthy path (first
+    /// attempt succeeds) this is draw-for-draw identical to the
+    /// non-retrying API. On a [`Measurement::Timeout`] one `u64` master
+    /// value is drawn from the caller's stream and each retry probes on
+    /// its own derived stream ([`ecg_par::derive_seed`] of the attempt
+    /// number), accounting the policy's virtual backoff — the caller's
+    /// stream therefore advances by the same amount no matter how many
+    /// retries run. [`Measurement::Unreachable`] gives up immediately:
+    /// a dead link cannot be retried into answering.
+    pub fn measure_retry<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        policy: &RetryPolicy,
+        rng: &mut R,
+    ) -> Measurement {
+        self.measure_retry_observed(a, b, policy, rng, None)
+    }
+
+    /// Like [`Prober::measure_retry`], but records every attempt via
+    /// [`Prober::measure_outcome_observed`] plus `probe.retries` and
+    /// `probe.gave_up` counters when a bundle is supplied.
+    pub fn measure_retry_observed<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Measurement {
+        let first = self.measure_outcome_observed(a, b, rng, obs.as_deref_mut());
+        match first {
+            Measurement::Ok(_) => return first,
+            Measurement::Unreachable => {
+                self.gave_up.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.metrics.inc("probe.gave_up");
+                }
+                return first;
+            }
+            Measurement::Timeout => {}
+        }
+        // One master draw regardless of retry count keeps the caller's
+        // stream deterministic across policies.
+        let master: u64 = rng.gen();
+        for attempt in 1..=policy.max_retries() {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.backoff_ms
+                .fetch_add(policy.backoff_before_ms(attempt), Ordering::Relaxed);
+            if let Some(o) = obs.as_deref_mut() {
+                o.metrics.inc("probe.retries");
+            }
+            let mut retry_rng =
+                StdRng::seed_from_u64(ecg_par::derive_seed(master, u64::from(attempt)));
+            let outcome = self.measure_outcome_observed(a, b, &mut retry_rng, obs.as_deref_mut());
+            match outcome {
+                Measurement::Ok(_) => return outcome,
+                Measurement::Unreachable => {
+                    // Faults are fixed for the prober's lifetime, so a
+                    // dead link cannot come back; stop retrying.
+                    self.gave_up.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = obs {
+                        o.metrics.inc("probe.gave_up");
+                    }
+                    return outcome;
+                }
+                Measurement::Timeout => {}
+            }
+        }
+        self.gave_up.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.metrics.inc("probe.gave_up");
+        }
+        Measurement::Timeout
     }
 
     /// Like [`Prober::measure`], but also records the measurement into
@@ -541,6 +731,209 @@ mod tests {
         p.measure_all_into_observed(0, &[1], &mut rng, &mut out, Some(&mut obs));
         assert_eq!(obs.metrics.counter("probe.lost"), 3);
         assert_eq!(obs.metrics.counter("probe.timeouts"), 1);
+    }
+
+    #[test]
+    fn outcome_reports_timeout_not_sentinel() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::noiseless()
+                .probes_per_measurement(3)
+                .loss_rate(0.999),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.measure_outcome(0, 1, &mut rng), Measurement::Timeout);
+    }
+
+    #[test]
+    fn dead_link_is_unreachable_without_rng_draws() {
+        let m = paper_figure1();
+        let faults = ProbeFaults::new().node_down(2);
+        let p = Prober::with_faults(&m, ProbeConfig::default(), faults);
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = rng.clone();
+        assert_eq!(p.measure_outcome(1, 2, &mut rng), Measurement::Unreachable);
+        // No randomness consumed for a known-dead link.
+        let mut before = before;
+        assert_eq!(rng.gen::<u64>(), before.gen::<u64>());
+        // The probes still count as sent and lost.
+        assert_eq!(p.probes_sent(), 3);
+        assert_eq!(p.probes_lost(), 3);
+        // Legacy f64 API maps it onto the timeout sentinel.
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(p.measure(1, 2, &mut rng), p.config().timeout());
+    }
+
+    #[test]
+    fn blackholed_link_leaves_other_links_alive() {
+        let m = paper_figure1();
+        let faults = ProbeFaults::new().blackhole(1, 2);
+        let p = Prober::with_faults(&m, ProbeConfig::noiseless(), faults);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.measure_outcome(2, 1, &mut rng).is_unreachable());
+        assert_eq!(p.measure_outcome(1, 3, &mut rng), Measurement::Ok(17.0));
+    }
+
+    #[test]
+    fn empty_faults_match_plain_prober_exactly() {
+        let m = paper_figure1();
+        let cfg = ProbeConfig::default().loss_rate(0.2);
+        let a = {
+            let p = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(8);
+            (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
+        };
+        let b = {
+            let p = Prober::with_faults(&m, cfg, ProbeFaults::default());
+            let mut rng = StdRng::seed_from_u64(8);
+            (p.measure(0, 1, &mut rng), p.measure(2, 3, &mut rng))
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retry_is_draw_identical_to_measure_on_the_healthy_path() {
+        let m = paper_figure1();
+        let cfg = ProbeConfig::default().probes_per_measurement(4);
+        let p = Prober::new(&m, cfg);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let plain = (p.measure(0, 1, &mut rng_a), p.measure(2, 3, &mut rng_a));
+        let after_plain: u64 = rng_a.gen();
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let policy = RetryPolicy::default();
+        let retried = (
+            p.measure_retry(0, 1, &policy, &mut rng_b).value().unwrap(),
+            p.measure_retry(2, 3, &policy, &mut rng_b).value().unwrap(),
+        );
+        assert_eq!(plain, retried);
+        // The caller's stream is in the same state afterwards.
+        assert_eq!(after_plain, rng_b.gen::<u64>());
+        assert_eq!(p.retries(), 0);
+        assert_eq!(p.gave_up(), 0);
+    }
+
+    #[test]
+    fn retry_recovers_transient_loss() {
+        // 60% loss with 3 probes times out ~21.6% of the time; two
+        // retries cut a measurement's give-up odds to ~1%. Seed-search
+        // for a first-attempt timeout and check a retry rescues it.
+        let m = paper_figure1();
+        let cfg = ProbeConfig::noiseless()
+            .probes_per_measurement(3)
+            .loss_rate(0.6);
+        let policy = RetryPolicy::default().retries(5);
+        let mut rescued = false;
+        for seed in 0..200 {
+            let probe_a = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plain = probe_a.measure_outcome(0, 1, &mut rng);
+            if !plain.is_timeout() {
+                continue;
+            }
+            let probe_b = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let retried = probe_b.measure_retry(0, 1, &policy, &mut rng);
+            if let Measurement::Ok(v) = retried {
+                assert_eq!(v, m.get(0, 1));
+                assert!(probe_b.retries() >= 1);
+                assert_eq!(probe_b.gave_up(), 0);
+                assert!(probe_b.backoff_ms() >= policy.backoff_before_ms(1));
+                rescued = true;
+                break;
+            }
+        }
+        assert!(rescued, "no seed produced a rescued timeout");
+    }
+
+    #[test]
+    fn retry_gives_up_immediately_on_unreachable() {
+        let m = paper_figure1();
+        let faults = ProbeFaults::new().node_down(1);
+        let p = Prober::with_faults(&m, ProbeConfig::default(), faults);
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = RetryPolicy::default().retries(10);
+        let out = p.measure_retry(0, 1, &policy, &mut rng);
+        assert!(out.is_unreachable());
+        assert_eq!(p.retries(), 0, "dead links must not be retried");
+        assert_eq!(p.gave_up(), 1);
+        assert_eq!(p.backoff_ms(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_with_accounted_backoff() {
+        let m = paper_figure1();
+        let p = Prober::new(
+            &m,
+            ProbeConfig::noiseless()
+                .probes_per_measurement(2)
+                .loss_rate(0.999),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = RetryPolicy::default()
+            .retries(3)
+            .base_backoff_ms(10)
+            .multiplier(2);
+        let out = p.measure_retry(0, 1, &policy, &mut rng);
+        assert!(out.is_timeout());
+        assert_eq!(p.retries(), 3);
+        assert_eq!(p.gave_up(), 1);
+        assert_eq!(p.backoff_ms(), 10 + 20 + 40);
+    }
+
+    #[test]
+    fn retry_caller_stream_is_policy_independent() {
+        // Whether the policy allows 1 or 10 retries, a timed-out
+        // measurement advances the caller's stream identically (one
+        // master draw): subsequent draws agree.
+        let m = paper_figure1();
+        let cfg = ProbeConfig::noiseless()
+            .probes_per_measurement(2)
+            .loss_rate(0.999);
+        let drain = |retries: u32| -> u64 {
+            let p = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(17);
+            let _ = p.measure_retry(0, 1, &RetryPolicy::default().retries(retries), &mut rng);
+            rng.gen()
+        };
+        assert_eq!(drain(1), drain(10));
+    }
+
+    #[test]
+    fn observed_retry_matches_plain_and_records_counters() {
+        let m = paper_figure1();
+        let cfg = ProbeConfig::noiseless()
+            .probes_per_measurement(2)
+            .loss_rate(0.999);
+        let policy = RetryPolicy::default().retries(2);
+        let plain = {
+            let p = Prober::new(&m, cfg);
+            let mut rng = StdRng::seed_from_u64(4);
+            p.measure_retry(0, 1, &policy, &mut rng)
+        };
+        let p = Prober::new(&m, cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut obs = Obs::new();
+        let observed = p.measure_retry_observed(0, 1, &policy, &mut rng, Some(&mut obs));
+        assert_eq!(plain, observed);
+        assert_eq!(obs.metrics.counter("probe.retries"), 2);
+        assert_eq!(obs.metrics.counter("probe.gave_up"), 1);
+        assert_eq!(obs.metrics.counter("probe.measurements"), 3);
+        assert_eq!(obs.metrics.counter("probe.timeouts"), 3);
+    }
+
+    #[test]
+    fn observed_unreachable_is_counted() {
+        let m = paper_figure1();
+        let faults = ProbeFaults::new().node_down(1);
+        let p = Prober::with_faults(&m, ProbeConfig::default(), faults);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obs = Obs::new();
+        let out = p.measure_retry_observed(0, 1, &RetryPolicy::default(), &mut rng, Some(&mut obs));
+        assert!(out.is_unreachable());
+        assert_eq!(obs.metrics.counter("probe.unreachable"), 1);
+        assert_eq!(obs.metrics.counter("probe.gave_up"), 1);
+        assert_eq!(obs.metrics.counter("probe.retries"), 0);
     }
 
     #[test]

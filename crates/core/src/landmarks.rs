@@ -16,7 +16,8 @@
 //! uniform random selection, and the adversarial *Min-Dist* selector
 //! that greedily *minimizes* `MinDist(LmSet)`.
 
-use ecg_coords::Prober;
+use ecg_coords::{Measurement, Prober, RetryPolicy};
+use ecg_obs::Obs;
 use rand::Rng;
 use std::collections::HashMap;
 use std::fmt;
@@ -217,6 +218,204 @@ pub fn select_landmarks<R: Rng + ?Sized>(
     })
 }
 
+/// Result of [`select_landmarks_resilient`]: the selection plus what
+/// the failure-detection pass saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientLandmarkSelection {
+    /// The (possibly failed-over) landmark selection.
+    pub selection: LandmarkSelection,
+    /// PLSet members whose *every* pairwise measurement failed after
+    /// retries — treated as crashed and barred from the landmark set.
+    /// Sorted by node index.
+    pub dead_nodes: Vec<usize>,
+    /// The subset of `dead_nodes` the greedy phase had initially
+    /// elected; each was evicted and replaced (when an alive candidate
+    /// remained) by re-running the max–min step. Sorted by node index.
+    pub replaced: Vec<usize>,
+}
+
+impl ResilientLandmarkSelection {
+    /// Number of landmark slots that failed over to a replacement.
+    pub fn failover_count(&self) -> usize {
+        self.replaced.len()
+    }
+}
+
+/// [`select_landmarks`] hardened against probe loss and crashed nodes.
+///
+/// Every pairwise PLSet measurement goes through
+/// [`Prober::measure_retry`] under `policy`; pairs that still fail
+/// report the probe timeout as their distance (matching the legacy
+/// sentinel semantics). A PLSet member with *no* successful pair is
+/// declared dead. The greedy phase then runs unchanged, after which any
+/// dead member that slipped into the landmark set — dead nodes look
+/// maximally far, so greedy max–min is actively drawn to them — is
+/// evicted and the existing max–min step re-elects a replacement from
+/// the surviving PLSet.
+///
+/// On a fault-free network this draws from `rng` exactly like
+/// [`select_landmarks`] and returns the identical selection.
+///
+/// If the PLSet runs out of alive candidates the returned set is
+/// shorter than `l` (callers decide whether that is fatal); it always
+/// retains the origin. The `Random` selector probes nothing, so no
+/// failure detection is possible: it delegates to [`select_landmarks`]
+/// unchanged.
+///
+/// # Errors
+///
+/// Exactly as [`select_landmarks`].
+pub fn select_landmarks_resilient<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    selector: LandmarkSelector,
+    l: usize,
+    m: usize,
+    policy: &RetryPolicy,
+    rng: &mut R,
+) -> Result<ResilientLandmarkSelection, LandmarkError> {
+    select_landmarks_resilient_observed(prober, selector, l, m, policy, rng, None)
+}
+
+/// [`select_landmarks_resilient`] with optional observability: probe
+/// retry counters flow through the prober, and the selection records
+/// `landmarks.dead` / `landmarks.failovers`.
+///
+/// # Errors
+///
+/// Exactly as [`select_landmarks`].
+pub fn select_landmarks_resilient_observed<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    selector: LandmarkSelector,
+    l: usize,
+    m: usize,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    mut obs: Option<&mut Obs>,
+) -> Result<ResilientLandmarkSelection, LandmarkError> {
+    if selector == LandmarkSelector::Random {
+        let selection = select_landmarks(prober, selector, l, m, rng)?;
+        return Ok(ResilientLandmarkSelection {
+            selection,
+            dead_nodes: Vec::new(),
+            replaced: Vec::new(),
+        });
+    }
+    if l < 2 {
+        return Err(LandmarkError::TooFewLandmarks { requested: l });
+    }
+    if m < 1 {
+        return Err(LandmarkError::BadMultiplier);
+    }
+    let caches = prober.node_count() - 1;
+    if caches < l - 1 {
+        return Err(LandmarkError::TooFewCaches {
+            caches,
+            landmarks: l,
+        });
+    }
+
+    // Phase 1: same PLSet draw as the legacy path (same RNG stream).
+    let plset_size = (m * (l - 1)).min(caches);
+    let mut indices: Vec<usize> = (1..=caches).collect();
+    for i in 0..plset_size {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    let plset: Vec<usize> = indices[..plset_size].to_vec();
+
+    // Pairwise measurements, retried under `policy`. The outcome is
+    // kept per pair so failure detection can distinguish "far" from
+    // "gone"; distances fall back to the timeout sentinel, matching
+    // what the legacy path would have recorded.
+    let timeout = prober.config().timeout();
+    let mut measured: HashMap<(usize, usize), Measurement> = HashMap::new();
+    let mut nodes = vec![0usize];
+    nodes.extend_from_slice(&plset);
+    for (a_pos, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(a_pos + 1) {
+            let outcome = prober.measure_retry_observed(a, b, policy, rng, obs.as_deref_mut());
+            measured.insert((a.min(b), a.max(b)), outcome);
+        }
+    }
+    let dist = |a: usize, b: usize| -> f64 { measured[&(a.min(b), a.max(b))].value_or(timeout) };
+
+    // Failure detection: a PLSet member with zero successful pairs is
+    // dead. (The origin is never evicted — with the origin gone there
+    // is no server to form groups around.)
+    let mut dead_nodes: Vec<usize> = plset
+        .iter()
+        .copied()
+        .filter(|&n| {
+            nodes
+                .iter()
+                .filter(|&&o| o != n)
+                .all(|&o| !measured[&(n.min(o), n.max(o))].is_ok())
+        })
+        .collect();
+    dead_nodes.sort_unstable();
+
+    // Phase 2: legacy greedy over the full PLSet (dead nodes included,
+    // exactly as a non-resilient run would see them) ...
+    let maximize = selector == LandmarkSelector::GreedyMaxMin;
+    let mut lm_set = vec![0usize];
+    let mut remaining = plset.clone();
+    let fill = |lm_set: &mut Vec<usize>, remaining: &mut Vec<usize>, target: usize| {
+        while lm_set.len() < target && !remaining.is_empty() {
+            let (best_pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &cand)| {
+                    let to_set = lm_set
+                        .iter()
+                        .map(|&s| dist(s, cand))
+                        .fold(f64::INFINITY, f64::min);
+                    (pos, to_set)
+                })
+                .max_by(|a, b| {
+                    let ord = a.1.partial_cmp(&b.1).expect("distances are not NaN");
+                    if maximize { ord } else { ord.reverse() }.then_with(|| b.0.cmp(&a.0))
+                })
+                .expect("PLSet has candidates");
+            lm_set.push(remaining.swap_remove(best_pos));
+        }
+    };
+    fill(&mut lm_set, &mut remaining, l);
+
+    // ... then evict dead electees and re-run the same max–min step
+    // over the surviving candidates.
+    let mut replaced: Vec<usize> = lm_set
+        .iter()
+        .copied()
+        .filter(|n| dead_nodes.binary_search(n).is_ok())
+        .collect();
+    if !replaced.is_empty() {
+        lm_set.retain(|n| dead_nodes.binary_search(n).is_err());
+        remaining.retain(|n| dead_nodes.binary_search(n).is_err());
+        fill(&mut lm_set, &mut remaining, l);
+    }
+    replaced.sort_unstable();
+
+    let mut min_dist = f64::INFINITY;
+    for (a_pos, &a) in lm_set.iter().enumerate() {
+        for &b in lm_set.iter().skip(a_pos + 1) {
+            min_dist = min_dist.min(dist(a, b));
+        }
+    }
+    if let Some(o) = obs {
+        o.metrics.add("landmarks.dead", dead_nodes.len() as u64);
+        o.metrics.add("landmarks.failovers", replaced.len() as u64);
+    }
+    Ok(ResilientLandmarkSelection {
+        selection: LandmarkSelection {
+            landmarks: lm_set,
+            plset,
+            min_dist_ms: Some(min_dist),
+        },
+        dead_nodes,
+        replaced,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +556,87 @@ mod tests {
             })
         );
         assert!(LandmarkError::BadMultiplier.to_string().contains('M'));
+    }
+
+    #[test]
+    fn resilient_selection_matches_legacy_on_healthy_network() {
+        let m = paper_figure1();
+        let policy = RetryPolicy::default();
+        for selector in [
+            LandmarkSelector::GreedyMaxMin,
+            LandmarkSelector::MinDist,
+            LandmarkSelector::Random,
+        ] {
+            for seed in 0..20u64 {
+                let p = prober(&m);
+                let legacy =
+                    select_landmarks(&p, selector, 3, 2, &mut StdRng::seed_from_u64(seed)).unwrap();
+                let p = prober(&m);
+                let resilient = select_landmarks_resilient(
+                    &p,
+                    selector,
+                    3,
+                    2,
+                    &policy,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+                assert_eq!(resilient.selection, legacy, "{selector} seed {seed}");
+                assert!(resilient.dead_nodes.is_empty());
+                assert!(resilient.replaced.is_empty());
+                assert_eq!(resilient.failover_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_plset_member_fails_over() {
+        use ecg_coords::ProbeFaults;
+        let m = paper_figure1();
+        // Ec4 (node 5) crashes — one of the figure's natural picks.
+        let faults = ProbeFaults::new().node_down(5);
+        let p = Prober::with_faults(&m, ProbeConfig::noiseless(), faults);
+        let mut rng = StdRng::seed_from_u64(1);
+        // M(L-1) = 10 > 6 caches: the PLSet covers every cache, so the
+        // crashed node is guaranteed to be a candidate. Dead nodes look
+        // timeout-far, which greedy max–min would elect immediately.
+        let sel = select_landmarks_resilient(
+            &p,
+            LandmarkSelector::GreedyMaxMin,
+            3,
+            5,
+            &RetryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.dead_nodes, vec![5]);
+        assert_eq!(sel.replaced, vec![5]);
+        assert_eq!(sel.failover_count(), 1);
+        assert_eq!(sel.selection.landmarks.len(), 3);
+        assert_eq!(sel.selection.landmarks[0], 0);
+        assert!(!sel.selection.landmarks.contains(&5), "dead landmark kept");
+    }
+
+    #[test]
+    fn resilient_selection_survives_every_cache_down_but_one() {
+        use ecg_coords::ProbeFaults;
+        let m = paper_figure1();
+        let faults = (2..=6).fold(ProbeFaults::new(), ProbeFaults::node_down);
+        let p = Prober::with_faults(&m, ProbeConfig::noiseless(), faults);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = select_landmarks_resilient(
+            &p,
+            LandmarkSelector::GreedyMaxMin,
+            4,
+            5,
+            &RetryPolicy::none(),
+            &mut rng,
+        )
+        .unwrap();
+        // Only the origin and cache 1 survive: the set degrades to two
+        // members instead of panicking or electing the dead.
+        assert_eq!(sel.selection.landmarks, vec![0, 1]);
+        assert_eq!(sel.dead_nodes, vec![2, 3, 4, 5, 6]);
     }
 
     #[test]

@@ -41,12 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod landmarks;
 pub mod maintenance;
 pub mod scheme;
 
-pub use landmarks::{select_landmarks, LandmarkError, LandmarkSelection, LandmarkSelector};
-pub use maintenance::{GroupMaintainer, MaintenanceError};
+pub use health::{FormationHealth, ResilienceConfig};
+pub use landmarks::{
+    select_landmarks, select_landmarks_resilient, select_landmarks_resilient_observed,
+    LandmarkError, LandmarkSelection, LandmarkSelector, ResilientLandmarkSelection,
+};
+pub use maintenance::{GroupMaintainer, MaintenanceError, RetireOutcome};
 pub use scheme::{
     GfCoordinator, GroupInit, GroupingOutcome, Representation, SchemeConfig, SchemeError,
 };

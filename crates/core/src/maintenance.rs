@@ -65,6 +65,18 @@ impl fmt::Display for MaintenanceError {
 
 impl std::error::Error for MaintenanceError {}
 
+/// What [`GroupMaintainer::retire`] removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireOutcome {
+    /// The group the cache left.
+    pub group: usize,
+    /// `true` when the departed cache was one of the formation-time
+    /// landmarks. Admissions and readmissions keep probing the original
+    /// landmark set, so losing a member of it silently degrades every
+    /// future position estimate — treat this as a re-formation signal.
+    pub was_landmark: bool,
+}
+
 /// Maintains a formed grouping as caches join and leave.
 ///
 /// # Examples
@@ -331,18 +343,26 @@ impl GroupMaintainer {
     /// Retires `cache` from its group. Its id stays reserved (ids are
     /// stable), it simply stops belonging to any group.
     ///
+    /// The returned [`RetireOutcome`] flags whether the departed cache
+    /// was a formation-time *landmark*: every future admission and
+    /// readmission keeps probing it, so its silent loss degrades the
+    /// position estimates of newcomers. Callers should treat
+    /// [`RetireOutcome::was_landmark`] as a re-formation signal.
+    ///
     /// # Errors
     ///
     /// Returns an error if the cache is unknown/already retired, or if
     /// removing it would leave its group empty (re-form instead).
-    pub fn retire(&mut self, cache: CacheId) -> Result<(), MaintenanceError> {
+    pub fn retire(&mut self, cache: CacheId) -> Result<RetireOutcome, MaintenanceError> {
         self.retire_observed(cache, None)
     }
 
     /// Like [`GroupMaintainer::retire`], but records a
-    /// `maintenance.retirements` counter and a `maintenance`/`retire`
-    /// trace event when an observability bundle is supplied. With
-    /// `obs = None` this is exactly [`GroupMaintainer::retire`].
+    /// `maintenance.retirements` counter (plus
+    /// `maintenance.landmark_retirements` when the departed cache was a
+    /// landmark) and a `maintenance`/`retire` trace event when an
+    /// observability bundle is supplied. With `obs = None` this is
+    /// exactly [`GroupMaintainer::retire`].
     ///
     /// # Errors
     ///
@@ -351,13 +371,15 @@ impl GroupMaintainer {
         &mut self,
         cache: CacheId,
         obs: Option<&mut Obs>,
-    ) -> Result<(), MaintenanceError> {
+    ) -> Result<RetireOutcome, MaintenanceError> {
         let Some(group) = self.group_of(cache) else {
             return Err(MaintenanceError::UnknownCache(cache));
         };
         if self.groups[group].len() == 1 {
             return Err(MaintenanceError::WouldEmptyGroup { group });
         }
+        // Cache Ec_i is node i + 1 in the landmark index space.
+        let was_landmark = self.landmarks.contains(&(cache.index() + 1));
         self.groups[group].retain(|&c| c != cache);
         self.assignments[cache.index()] = None;
         self.retired.push(cache);
@@ -365,14 +387,24 @@ impl GroupMaintainer {
         self.ops += 1;
         if let Some(o) = obs {
             o.metrics.inc("maintenance.retirements");
+            if was_landmark {
+                o.metrics.inc("maintenance.landmark_retirements");
+            }
             o.trace.push(
                 op as f64,
                 "maintenance",
                 "retire",
-                vec![("cache", cache.index().into()), ("group", group.into())],
+                vec![
+                    ("cache", cache.index().into()),
+                    ("group", group.into()),
+                    ("was_landmark", u64::from(was_landmark).into()),
+                ],
             );
         }
-        Ok(())
+        Ok(RetireOutcome {
+            group,
+            was_landmark,
+        })
     }
 
     /// Current average group interaction cost under `cost`, over the
@@ -512,6 +544,41 @@ mod tests {
             m.retire(CacheId(0)),
             Err(MaintenanceError::UnknownCache(CacheId(0)))
         );
+    }
+
+    #[test]
+    fn retiring_a_landmark_is_flagged() {
+        // Regression: a departing landmark used to be indistinguishable
+        // from any other retirement, so callers kept probing a gone
+        // node for every future admission.
+        let (_, mut m, _) = formed();
+        let landmark_cache = m
+            .landmarks
+            .iter()
+            .copied()
+            .find(|&n| n > 0)
+            .map(|n| CacheId(n - 1))
+            .expect("formation always has a cache landmark");
+        let plain_cache = (0..m.cache_count())
+            .map(CacheId)
+            .find(|c| !m.landmarks.contains(&(c.index() + 1)))
+            .expect("some cache is not a landmark");
+
+        let mut obs = Obs::new();
+        let lm_outcome = m.retire_observed(landmark_cache, Some(&mut obs)).unwrap();
+        assert!(lm_outcome.was_landmark, "landmark retirement not flagged");
+        assert_eq!(obs.metrics.counter("maintenance.landmark_retirements"), 1);
+
+        let (_, mut m2, _) = formed();
+        let plain_outcome = m2.retire_observed(plain_cache, Some(&mut obs)).unwrap();
+        assert!(!plain_outcome.was_landmark, "ordinary retirement flagged");
+        assert_eq!(
+            plain_outcome.group,
+            m.group_of(plain_cache).expect("still active in m")
+        );
+        // Second retirement was not a landmark: counter unchanged.
+        assert_eq!(obs.metrics.counter("maintenance.landmark_retirements"), 1);
+        assert_eq!(obs.metrics.counter("maintenance.retirements"), 2);
     }
 
     #[test]

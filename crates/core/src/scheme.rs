@@ -10,14 +10,18 @@
 //!    centers uniformly, SDSL with probability
 //!    `Pr(Ec_j) ∝ 1 / Dist(Ec_j, Os)^θ`.
 
-use crate::landmarks::{select_landmarks, LandmarkError, LandmarkSelection, LandmarkSelector};
+use crate::health::{FormationHealth, ResilienceConfig};
+use crate::landmarks::{
+    select_landmarks, select_landmarks_resilient_observed, LandmarkError, LandmarkSelection,
+    LandmarkSelector,
+};
 use ecg_clustering::{
-    kmeans_capped, kmeans_observed, server_distance_weights, CapError, Initializer, KmeansConfig,
-    KmeansError,
+    kmeans_capped, kmeans_masked_observed, kmeans_observed, server_distance_weights, CapError,
+    Initializer, KmeansConfig, KmeansError,
 };
 use ecg_coords::{
-    build_feature_matrix, embed_network, run_vivaldi, FeatureMatrix, GnpConfig, ProbeConfig,
-    Prober, VivaldiConfig,
+    build_feature_matrix, build_feature_matrix_resilient_observed, embed_network, run_vivaldi,
+    FeatureMask, FeatureMatrix, GnpConfig, ProbeConfig, ProbeFaults, Prober, VivaldiConfig,
 };
 use ecg_obs::Obs;
 use ecg_topology::{CacheId, EdgeNetwork};
@@ -85,6 +89,7 @@ pub struct SchemeConfig {
     init: GroupInit,
     kmeans_max_iterations: usize,
     max_group_size: Option<usize>,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl SchemeConfig {
@@ -102,6 +107,7 @@ impl SchemeConfig {
             init: GroupInit::Uniform,
             kmeans_max_iterations: 100,
             max_group_size: None,
+            resilience: None,
         }
     }
 
@@ -181,6 +187,26 @@ impl SchemeConfig {
         assert!(max > 0, "group size cap must be positive");
         self.max_group_size = Some(max);
         self
+    }
+
+    /// Enables the resilient pipeline: probe retries under the
+    /// configured policy, landmark failover when a PLSet node is
+    /// detected dead, masked clustering over the observed feature
+    /// cells, and quarantine of caches below the observation floor.
+    /// The outcome then carries a [`FormationHealth`] report.
+    ///
+    /// On a fault-free network the resilient pipeline produces a
+    /// bit-identical grouping to the plain one (it draws from the RNG
+    /// in exactly the same sequence), so enabling resilience cannot
+    /// perturb healthy runs.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// The resilience configuration, if enabled.
+    pub fn resilience_config(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref()
     }
 
     /// Number of groups `K`.
@@ -272,6 +298,7 @@ pub struct GroupingOutcome {
     kmeans_iterations: usize,
     centers: FeatureMatrix,
     points: FeatureMatrix,
+    health: Option<FormationHealth>,
 }
 
 impl GroupingOutcome {
@@ -329,6 +356,12 @@ impl GroupingOutcome {
     /// row per cache, in cache order.
     pub fn points(&self) -> &FeatureMatrix {
         &self.points
+    }
+
+    /// The resilience layer's health report — `Some` exactly when the
+    /// run was configured with [`SchemeConfig::resilience`].
+    pub fn health(&self) -> Option<&FormationHealth> {
+        self.health.as_ref()
     }
 
     /// Average group interaction cost of the grouping under a pairwise
@@ -446,7 +479,57 @@ impl GfCoordinator {
         &self,
         network: &EdgeNetwork,
         rng: &mut R,
-        mut obs: Option<&mut Obs>,
+        obs: Option<&mut Obs>,
+    ) -> Result<GroupingOutcome, SchemeError> {
+        self.form_groups_faulted_observed(network, &ProbeFaults::default(), rng, obs)
+    }
+
+    /// Runs the pipeline against a network with injected probe faults
+    /// (crashed nodes, black-holed links — see
+    /// [`ecg_coords::ProbeFaults`]).
+    ///
+    /// Without a [`SchemeConfig::resilience`] configuration the
+    /// pipeline behaves exactly like a non-resilient deployment under
+    /// failure: dead links report the probe timeout as their RTT, so
+    /// crashed caches look maximally far and poison landmark selection
+    /// and feature vectors — the baseline the resilience ablation
+    /// measures against. With resilience enabled, probes are retried,
+    /// dead landmarks fail over, unobserved feature cells are masked
+    /// out of clustering, and the outcome carries a
+    /// [`FormationHealth`].
+    ///
+    /// An empty fault set leaves both paths bit-identical to
+    /// [`GfCoordinator::form_groups`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GfCoordinator::form_groups`]; additionally, if
+    /// quarantine leaves fewer participating caches than groups, a
+    /// [`SchemeError::TooManyGroups`] reports the post-quarantine
+    /// count.
+    pub fn form_groups_faulted<R: Rng + ?Sized>(
+        &self,
+        network: &EdgeNetwork,
+        faults: &ProbeFaults,
+        rng: &mut R,
+    ) -> Result<GroupingOutcome, SchemeError> {
+        self.form_groups_faulted_observed(network, faults, rng, None)
+    }
+
+    /// [`GfCoordinator::form_groups_faulted`] with optional
+    /// observability (see [`GfCoordinator::form_groups_observed`]; the
+    /// resilient path additionally records `probe.retries` /
+    /// `probe.gave_up` / `landmarks.failovers` / `scheme.quarantined`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GfCoordinator::form_groups_faulted`].
+    pub fn form_groups_faulted_observed<R: Rng + ?Sized>(
+        &self,
+        network: &EdgeNetwork,
+        faults: &ProbeFaults,
+        rng: &mut R,
+        obs: Option<&mut Obs>,
     ) -> Result<GroupingOutcome, SchemeError> {
         let cfg = &self.config;
         let n = network.cache_count();
@@ -456,13 +539,28 @@ impl GfCoordinator {
                 caches: n,
             });
         }
+        let prober = Prober::with_faults(network.rtt_matrix(), cfg.probe, faults.clone());
+        match cfg.resilience {
+            None => self.run_legacy(&prober, n, rng, obs),
+            Some(res) => self.run_resilient(&prober, &res, n, rng, obs),
+        }
+    }
 
-        let prober = Prober::new(network.rtt_matrix(), cfg.probe);
+    /// The original (non-resilient) pipeline over an already-built
+    /// prober.
+    fn run_legacy<R: Rng + ?Sized>(
+        &self,
+        prober: &Prober<'_>,
+        n: usize,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<GroupingOutcome, SchemeError> {
+        let cfg = &self.config;
 
         // Step 1: landmark selection.
         let probes_before = prober.probes_sent();
         let selection = select_landmarks(
-            &prober,
+            prober,
             cfg.selector,
             cfg.landmarks.min(n + 1),
             cfg.plset_multiplier,
@@ -478,7 +576,7 @@ impl GfCoordinator {
         let nodes: Vec<usize> = (1..=n).collect();
         let (points, server_distances_ms): (FeatureMatrix, Vec<f64>) = match cfg.representation {
             Representation::FeatureVectors => {
-                let fm = build_feature_matrix(&prober, &nodes, &selection.landmarks, rng);
+                let fm = build_feature_matrix(prober, &nodes, &selection.landmarks, rng);
                 // landmarks[0] is always the origin, so component 0
                 // of every feature vector *is* the measured server
                 // distance — SDSL reuses it for free.
@@ -486,7 +584,7 @@ impl GfCoordinator {
                 (fm, dists)
             }
             Representation::Gnp(gnp) => {
-                let coords = embed_network(gnp, &prober, &nodes, &selection.landmarks, rng);
+                let coords = embed_network(gnp, prober, &nodes, &selection.landmarks, rng);
                 let dists = nodes
                     .iter()
                     .map(|&node| prober.measure(node, 0, rng))
@@ -499,7 +597,7 @@ impl GfCoordinator {
                 (fm, dists)
             }
             Representation::Vivaldi(vivaldi) => {
-                let states = run_vivaldi(vivaldi, &prober, &nodes, rng);
+                let states = run_vivaldi(vivaldi, prober, &nodes, rng);
                 let dists = nodes
                     .iter()
                     .map(|&node| prober.measure(node, 0, rng))
@@ -587,6 +685,265 @@ impl GfCoordinator {
             kmeans_iterations: clustering.iterations(),
             centers: clustering.centers().clone(),
             points,
+            health: None,
+        })
+    }
+
+    /// The resilient pipeline: retried probing, landmark failover,
+    /// masked clustering, quarantine, and a [`FormationHealth`] report.
+    fn run_resilient<R: Rng + ?Sized>(
+        &self,
+        prober: &Prober<'_>,
+        res: &ResilienceConfig,
+        n: usize,
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<GroupingOutcome, SchemeError> {
+        let cfg = &self.config;
+        let policy = res.retry_policy();
+
+        // Step 1: landmark selection with failure detection and
+        // failover.
+        let probes_before = prober.probes_sent();
+        let rsel = select_landmarks_resilient_observed(
+            prober,
+            cfg.selector,
+            cfg.landmarks.min(n + 1),
+            cfg.plset_multiplier,
+            policy,
+            rng,
+            obs.as_deref_mut(),
+        )?;
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.landmarks");
+            span.add_work((prober.probes_sent() - probes_before) as f64);
+        }
+        let selection = rsel.selection;
+
+        // Step 2: position estimation. Masking applies to the paper's
+        // feature vectors; the embedding representations keep their
+        // legacy estimators (which substitute the timeout sentinel for
+        // failed measurements) under a fully-observed mask.
+        let probes_before = prober.probes_sent();
+        let nodes: Vec<usize> = (1..=n).collect();
+        let (points, mask, server_distances_ms): (FeatureMatrix, FeatureMask, Vec<f64>) =
+            match cfg.representation {
+                Representation::FeatureVectors => {
+                    let (fm, mask) = build_feature_matrix_resilient_observed(
+                        prober,
+                        &nodes,
+                        &selection.landmarks,
+                        policy,
+                        rng,
+                        obs.as_deref_mut(),
+                    );
+                    // Component 0 is the measured server distance where
+                    // observed; a cache that never reached the origin
+                    // falls back to the mean observed server distance
+                    // (the timeout if nobody reached it) so SDSL's
+                    // weights stay finite.
+                    let observed: Vec<f64> = (0..n)
+                        .filter(|&i| mask.is_observed(i, 0))
+                        .map(|i| fm.row(i)[0])
+                        .collect();
+                    let fallback = if observed.is_empty() {
+                        prober.config().timeout()
+                    } else {
+                        observed.iter().sum::<f64>() / observed.len() as f64
+                    };
+                    let dists = (0..n)
+                        .map(|i| {
+                            if mask.is_observed(i, 0) {
+                                fm.row(i)[0]
+                            } else {
+                                fallback
+                            }
+                        })
+                        .collect();
+                    (fm, mask, dists)
+                }
+                Representation::Gnp(gnp) => {
+                    let coords = embed_network(gnp, prober, &nodes, &selection.landmarks, rng);
+                    let dists = nodes
+                        .iter()
+                        .map(|&node| prober.measure(node, 0, rng))
+                        .collect();
+                    let dim = coords.first().map(|c| c.as_slice().len()).unwrap_or(0);
+                    let mut fm = FeatureMatrix::with_capacity(coords.len(), dim);
+                    for c in &coords {
+                        fm.push_row(c.as_slice());
+                    }
+                    let mask = FeatureMask::all_observed(fm.len(), dim);
+                    (fm, mask, dists)
+                }
+                Representation::Vivaldi(vivaldi) => {
+                    let states = run_vivaldi(vivaldi, prober, &nodes, rng);
+                    let dists = nodes
+                        .iter()
+                        .map(|&node| prober.measure(node, 0, rng))
+                        .collect();
+                    let dim = states
+                        .first()
+                        .map(|s| s.coords().as_slice().len())
+                        .unwrap_or(0);
+                    let mut fm = FeatureMatrix::with_capacity(states.len(), dim);
+                    for s in &states {
+                        fm.push_row(s.coords().as_slice());
+                    }
+                    let mask = FeatureMask::all_observed(fm.len(), dim);
+                    (fm, mask, dists)
+                }
+            };
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.positions");
+            span.add_work((prober.probes_sent() - probes_before) as f64);
+        }
+
+        // Step 3: quarantine. A cache below the observation floor
+        // carries too little positional signal to cluster; it is routed
+        // to its nearest observed landmark's group instead. The floor
+        // is clamped to the feature dimension so a fully-observed row
+        // is never quarantined.
+        let floor = res.min_observed().min(mask.dim()).max(1);
+        let mut quarantined: Vec<CacheId> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if mask.observed_count(i) < floor {
+                quarantined.push(CacheId(i));
+            } else {
+                kept.push(i);
+            }
+        }
+        if kept.len() < cfg.groups {
+            return Err(SchemeError::TooManyGroups {
+                groups: cfg.groups,
+                caches: kept.len(),
+            });
+        }
+        let (kept_points, kept_mask) = if quarantined.is_empty() {
+            (points.clone(), mask.clone())
+        } else {
+            let mut kp = FeatureMatrix::with_capacity(kept.len(), points.dim());
+            let mut km = FeatureMask::new(mask.dim());
+            for &i in &kept {
+                kp.push_row(points.row(i));
+                km.push_row(mask.row(i));
+            }
+            (kp, km)
+        };
+
+        // Step 4: masked clustering of the participating caches. SDSL
+        // weights come from the kept caches' server distances.
+        let initializer = match cfg.init {
+            GroupInit::Uniform => Initializer::RandomRepresentative,
+            GroupInit::ServerDistance { theta } => {
+                let kept_dists: Vec<f64> = kept.iter().map(|&i| server_distances_ms[i]).collect();
+                Initializer::Weighted(server_distance_weights(&kept_dists, theta))
+            }
+            GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
+        };
+        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let clustering = match cfg.max_group_size {
+            None => kmeans_masked_observed(
+                &kept_points,
+                &kept_mask,
+                kmeans_config,
+                &initializer,
+                rng,
+                obs.as_deref_mut(),
+            )?,
+            // The size-capped variant has no masked twin: the cap path
+            // clusters the raw rows, placeholders included.
+            Some(cap) => kmeans_capped(&kept_points, kmeans_config, &initializer, cap, rng)
+                .map_err(|e| match e {
+                    CapError::InsufficientCapacity {
+                        points: caches,
+                        k,
+                        max_size,
+                    } => SchemeError::CapTooTight {
+                        groups: k,
+                        max_group_size: max_size,
+                        caches,
+                    },
+                    CapError::Kmeans(inner) => SchemeError::Clustering(inner),
+                })?,
+        };
+        if let Some(o) = obs.as_deref_mut() {
+            let mut span = o.phases.span("scheme.clustering");
+            span.add_work(clustering.iterations() as f64);
+        }
+
+        // Map the kept-subset assignments back to cache order, then
+        // place each quarantined cache with its nearest observed
+        // landmark's cache (group 0 if it observed no landmark cache at
+        // all).
+        let mut assignments = vec![usize::MAX; n];
+        for (ki, &i) in kept.iter().enumerate() {
+            assignments[i] = clustering.assignments()[ki];
+        }
+        for &c in &quarantined {
+            let i = c.index();
+            let mut best: Option<(f64, usize)> = None;
+            for j in 1..mask.dim() {
+                if mask.is_observed(i, j) {
+                    let d = points.row(i)[j];
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, j));
+                    }
+                }
+            }
+            assignments[i] = best
+                .and_then(|(_, j)| {
+                    let lm_cache = selection.landmarks.get(j)?.checked_sub(1)?;
+                    let g = assignments[lm_cache];
+                    (g != usize::MAX).then_some(g)
+                })
+                .unwrap_or(0);
+        }
+        let mut groups: Vec<Vec<CacheId>> = vec![Vec::new(); cfg.groups];
+        for (i, &g) in assignments.iter().enumerate() {
+            groups[g].push(CacheId(i));
+        }
+
+        let health = FormationHealth {
+            probe_retries: prober.retries(),
+            probe_gave_up: prober.gave_up(),
+            backoff_ms: prober.backoff_ms(),
+            dead_landmarks: rsel.dead_nodes,
+            landmark_failovers: rsel.replaced.len(),
+            masked_cells: mask.masked_cells(),
+            quarantined: quarantined.clone(),
+        };
+        if let Some(o) = obs {
+            o.metrics.inc("scheme.runs");
+            o.metrics.add("scheme.probes_sent", prober.probes_sent());
+            o.metrics
+                .add("scheme.quarantined", quarantined.len() as u64);
+            o.metrics
+                .add("scheme.failovers", health.landmark_failovers as u64);
+            o.trace.push(
+                clustering.iterations() as f64,
+                "scheme",
+                "formed",
+                vec![
+                    ("groups", cfg.groups.into()),
+                    ("probes_sent", prober.probes_sent().into()),
+                    ("kmeans_iterations", clustering.iterations().into()),
+                    ("degraded", u64::from(health.is_degraded()).into()),
+                ],
+            );
+        }
+
+        Ok(GroupingOutcome {
+            groups,
+            assignments,
+            landmarks: selection,
+            server_distances_ms,
+            probes_sent: prober.probes_sent(),
+            kmeans_iterations: clustering.iterations(),
+            centers: clustering.centers().clone(),
+            points,
+            health: Some(health),
         })
     }
 }
@@ -901,6 +1258,107 @@ mod tests {
     #[should_panic(expected = "theta")]
     fn sdsl_rejects_bad_theta() {
         let _ = SchemeConfig::sdsl(3, f64::NAN);
+    }
+
+    #[test]
+    fn resilient_pipeline_is_bit_identical_on_healthy_network() {
+        use crate::health::ResilienceConfig;
+        let net = figure1_network();
+        let base = noiseless(SchemeConfig::sl(3).landmarks(3).plset_multiplier(2));
+        let plain = GfCoordinator::new(base.clone());
+        let resilient = GfCoordinator::new(base.resilience(ResilienceConfig::default()));
+        for seed in 0..25u64 {
+            let a = plain
+                .form_groups(&net, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let b = resilient
+                .form_groups(&net, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(a.groups(), b.groups(), "seed {seed}");
+            assert_eq!(a.assignments(), b.assignments());
+            assert_eq!(a.landmarks(), b.landmarks());
+            assert_eq!(a.probes_sent(), b.probes_sent());
+            assert_eq!(a.server_distances_ms(), b.server_distances_ms());
+            assert_eq!(a.points().as_flat(), b.points().as_flat());
+            assert!(a.health().is_none());
+            let health = b.health().expect("resilient run reports health");
+            assert!(health.is_healthy(), "seed {seed}: {health}");
+            assert_eq!(health.probe_retries, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_run_without_resilience_reports_no_health() {
+        // The baseline the resilience ablation measures against: faults
+        // poison the measurements, but the pipeline neither panics nor
+        // reports anything.
+        let net = figure1_network();
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(3).landmarks(3).plset_multiplier(2),
+        ));
+        let faults = ecg_coords::ProbeFaults::new().node_down(3);
+        let outcome = coord
+            .form_groups_faulted(&net, &faults, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        assert!(outcome.health().is_none());
+        assert_eq!(outcome.groups().len(), 3);
+    }
+
+    #[test]
+    fn resilient_pipeline_quarantines_a_crashed_cache() {
+        use crate::health::ResilienceConfig;
+        let net = figure1_network();
+        let coord = GfCoordinator::new(
+            noiseless(SchemeConfig::sl(3).landmarks(3).plset_multiplier(2))
+                .resilience(ResilienceConfig::default()),
+        );
+        // Node 3 = Ec2 crashes: every probe to it dies, so its feature
+        // row has zero observed cells and it must be quarantined (and,
+        // if it was drawn into the PLSet, failed over).
+        let faults = ecg_coords::ProbeFaults::new().node_down(3);
+        for seed in 0..10u64 {
+            let outcome = coord
+                .form_groups_faulted(&net, &faults, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let health = outcome.health().expect("health report");
+            assert!(health.is_degraded(), "seed {seed}");
+            assert_eq!(health.quarantined, vec![CacheId(2)], "seed {seed}");
+            assert!(health.masked_cells >= outcome.landmarks().landmarks.len());
+            assert!(!outcome.landmarks().landmarks.contains(&3), "dead landmark");
+            // Still a partition of all six caches into three groups.
+            let mut all: Vec<usize> = outcome
+                .groups()
+                .iter()
+                .flatten()
+                .map(|c| c.index())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn resilient_pipeline_retries_through_loss() {
+        use crate::health::ResilienceConfig;
+        use ecg_coords::RetryPolicy;
+        let net = figure1_network();
+        let coord = GfCoordinator::new(
+            SchemeConfig::sl(3)
+                .landmarks(3)
+                .plset_multiplier(2)
+                .probe(ProbeConfig::noiseless().loss_rate(0.45).timeout_ms(500.0))
+                .resilience(ResilienceConfig::default().retry(RetryPolicy::default().retries(4))),
+        );
+        let mut retried = 0u64;
+        for seed in 0..20u64 {
+            let outcome = coord
+                .form_groups(&net, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let health = outcome.health().expect("health report");
+            retried += health.probe_retries;
+            assert!(health.backoff_ms >= health.probe_retries * 50);
+        }
+        assert!(retried > 0, "45% loss never triggered a retry");
     }
 
     #[test]

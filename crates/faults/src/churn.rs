@@ -252,7 +252,7 @@ impl ChurnDriver {
             let applied = match event.kind {
                 FaultKind::CacheDown { cache } | FaultKind::CacheRetire { cache } => {
                     match self.maintainer.retire_observed(cache, obs.as_deref_mut()) {
-                        Ok(()) => true,
+                        Ok(_) => true,
                         Err(MaintenanceError::WouldEmptyGroup { .. }) => {
                             self.skipped_retirements += 1;
                             if let Some(o) = obs.as_deref_mut() {

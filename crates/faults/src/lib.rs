@@ -17,6 +17,10 @@
 //! * [`report_to_json`] — a deterministic (byte-stable) JSON emitter for
 //!   [`ecg_sim::SimReport`], used by the churn ablation to write result
 //!   files without a serde dependency.
+//! * [`FormationFaults`] — cache-level faults (crashes, link blackholes,
+//!   correlated stub-domain outages) injected into *group formation
+//!   itself*, compiled to [`ecg_coords::ProbeFaults`] for the resilient
+//!   SL/SDSL pipeline.
 //!
 //! # Examples
 //!
@@ -52,9 +56,11 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod formation;
 pub mod json;
 pub mod plan;
 
 pub use churn::{ChurnConfig, ChurnDriver, DriftSample};
+pub use formation::FormationFaults;
 pub use json::report_to_json;
 pub use plan::FaultPlan;

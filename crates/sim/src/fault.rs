@@ -226,6 +226,52 @@ impl FaultSchedule {
         self.events.is_empty()
     }
 
+    /// The caches that are unavailable at simulation time `time_ms`,
+    /// ascending: crashed and not yet recovered, or retired. Replays
+    /// the events up to and including `time_ms` in time order (ties in
+    /// push order), with the simulator's semantics — a `CacheUp` after
+    /// `CacheRetire` is ignored.
+    ///
+    /// This is the bridge from a simulation fault script to
+    /// formation-time probe faults: the `ecg-faults` crate uses it to
+    /// derive the crashed-node set a (re-)formation run at `time_ms`
+    /// would face.
+    pub fn down_caches_at(&self, time_ms: f64) -> Vec<CacheId> {
+        let mut ordered: Vec<&FaultEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.time_ms <= time_ms)
+            .collect();
+        ordered.sort_by(|a, b| {
+            a.time_ms
+                .partial_cmp(&b.time_ms)
+                .expect("times are not NaN")
+        });
+        let mut down: Vec<CacheId> = Vec::new();
+        let mut retired: Vec<CacheId> = Vec::new();
+        for e in ordered {
+            match e.kind {
+                FaultKind::CacheDown { cache } | FaultKind::CacheRetire { cache } => {
+                    if !down.contains(&cache) {
+                        down.push(cache);
+                    }
+                    if matches!(e.kind, FaultKind::CacheRetire { .. }) && !retired.contains(&cache)
+                    {
+                        retired.push(cache);
+                    }
+                }
+                FaultKind::CacheUp { cache } => {
+                    if !retired.contains(&cache) {
+                        down.retain(|&c| c != cache);
+                    }
+                }
+                FaultKind::BrownoutStart { .. } | FaultKind::BrownoutEnd => {}
+            }
+        }
+        down.sort_unstable_by_key(|c| c.index());
+        down
+    }
+
     /// Checks the schedule against a network of `cache_count` caches:
     /// cache ids in range, times and knobs finite, brownout windows
     /// properly nested and non-overlapping.
@@ -355,6 +401,20 @@ mod tests {
         s.push(9.0, FaultKind::BrownoutEnd);
         s.push(1.0, FaultKind::BrownoutStart { factor: 2.0 });
         assert!(s.validate(1).is_ok());
+    }
+
+    #[test]
+    fn down_caches_replay_crash_recover_retire() {
+        let mut s = FaultSchedule::new();
+        s.push(1_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+        s.push(5_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+        s.push(2_000.0, FaultKind::CacheRetire { cache: CacheId(0) });
+        s.push(6_000.0, FaultKind::CacheUp { cache: CacheId(0) }); // ignored: retired
+        assert_eq!(s.down_caches_at(0.0), vec![]);
+        assert_eq!(s.down_caches_at(1_000.0), vec![CacheId(2)]);
+        assert_eq!(s.down_caches_at(2_500.0), vec![CacheId(0), CacheId(2)]);
+        assert_eq!(s.down_caches_at(5_000.0), vec![CacheId(0)]);
+        assert_eq!(s.down_caches_at(10_000.0), vec![CacheId(0)]);
     }
 
     #[test]

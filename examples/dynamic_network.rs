@@ -81,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let victim = candidates[rng.gen_range(0..candidates.len())];
         match maintainer.retire(victim) {
-            Ok(()) => println!("retired {victim}"),
+            Ok(outcome) if outcome.was_landmark => {
+                println!("retired {victim} (was a landmark -- consider re-forming)")
+            }
+            Ok(_) => println!("retired {victim}"),
             Err(e) => println!("could not retire {victim}: {e}"),
         }
     }
