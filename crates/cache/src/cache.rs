@@ -143,6 +143,14 @@ impl DocumentCache {
             .is_some_and(|e| e.version >= current_version)
     }
 
+    /// Pure presence probe: does this cache hold *any* copy of `doc`,
+    /// fresh or stale? No statistics or recency are touched — this is
+    /// what the simulator's holder index tracks, so placement policies
+    /// see identical replica counts under both peer-lookup strategies.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.entries.contains_key(&doc)
+    }
+
     /// Serves a lookup under a TTL lease: a cached copy is valid for
     /// `ttl_ms` after insertion *regardless of origin version* (the
     /// lease model — clients may be served stale data within the

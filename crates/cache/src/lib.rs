@@ -21,6 +21,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must attach context to failures (`expect`/`Result`), not
+// panic opaquely; tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod cache;
 pub mod entry;

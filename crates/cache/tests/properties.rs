@@ -1,8 +1,9 @@
 //! Property-based tests for the document cache.
 
-use ecg_cache::{DocumentCache, LookupOutcome, PolicyKind};
+use ecg_cache::{DocumentCache, Entry, LookupOutcome, PolicyKind};
 use ecg_workload::DocId;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// A random cache operation for sequence testing.
 #[derive(Debug, Clone)]
@@ -22,6 +23,97 @@ fn arb_op() -> impl Strategy<Value = Op> {
         }),
         (0usize..20).prop_map(|doc| Op::Remove { doc }),
     ]
+}
+
+/// An operation against a cache whose documents have a versioned origin.
+#[derive(Debug, Clone)]
+enum OriginOp {
+    /// Insert the document at the origin's *current* version.
+    Insert { doc: usize, size: u64 },
+    /// The origin publishes a new version of the document.
+    Bump { doc: usize },
+    /// A client asks for the document at the origin's current version.
+    Lookup { doc: usize },
+}
+
+fn arb_origin_op() -> impl Strategy<Value = OriginOp> {
+    prop_oneof![
+        (0usize..20, 1u64..600).prop_map(|(doc, size)| OriginOp::Insert { doc, size }),
+        (0usize..20).prop_map(|doc| OriginOp::Bump { doc }),
+        (0usize..20).prop_map(|doc| OriginOp::Lookup { doc }),
+    ]
+}
+
+/// The documented eviction key of `entry` under `policy` (smallest score
+/// is evicted first), reimplemented from the policy docs so the test is
+/// independent of the crate's internal scoring code.
+fn documented_score(policy: PolicyKind, entry: &Entry, now_ms: f64, watermark: f64) -> f64 {
+    match policy {
+        // LRU: least-recently used.
+        PolicyKind::Lru => entry.last_access_ms,
+        // LFU: least-frequently used, ties broken by recency (a bounded
+        // sub-unit recency term folded into the score).
+        PolicyKind::Lfu => {
+            entry.access_count as f64 + 0.5 / (1.0 + (now_ms - entry.last_access_ms).max(0.0))
+        }
+        // Cache Clouds utility: (access_rate × fetch_cost) /
+        // (size × (1 + update_rate)), with a 1 s floor on the rate window.
+        PolicyKind::Utility => {
+            let window_sec = ((now_ms - entry.inserted_ms) / 1_000.0).max(1.0);
+            let rate = entry.access_count as f64 / window_sec;
+            rate * entry.fetch_cost_ms
+                / (entry.size_bytes.max(1) as f64 * (1.0 + entry.update_rate_per_sec))
+        }
+        // GDSF: H = L + frequency × fetch_cost / size, with the
+        // watermark L inflated to the victim's H on each eviction.
+        PolicyKind::Gdsf => {
+            watermark
+                + entry.access_count as f64 * entry.fetch_cost_ms / entry.size_bytes.max(1) as f64
+        }
+    }
+}
+
+/// Predicts the exact victim sequence of inserting `doc` at `size`
+/// bytes, from the documented keys alone. Returns the victims in
+/// eviction order plus the GDSF watermark after the insert.
+fn predict_victims(
+    cache: &DocumentCache,
+    policy: PolicyKind,
+    doc: DocId,
+    size: u64,
+    now_ms: f64,
+    mut watermark: f64,
+) -> (Vec<DocId>, f64) {
+    if size > cache.capacity_bytes() {
+        return (Vec::new(), watermark); // oversized: insert is a no-op
+    }
+    // Replacing an existing copy frees its bytes before any eviction.
+    let mut entries: Vec<(DocId, Entry)> = cache
+        .iter()
+        .filter(|(d, _)| *d != doc)
+        .map(|(d, e)| (d, *e))
+        .collect();
+    let mut used: u64 = entries.iter().map(|(_, e)| e.size_bytes).sum();
+    let mut victims = Vec::new();
+    while used + size > cache.capacity_bytes() && !entries.is_empty() {
+        let mut best = 0;
+        let mut best_score = f64::INFINITY;
+        for (i, (d, e)) in entries.iter().enumerate() {
+            let score = documented_score(policy, e, now_ms, watermark);
+            // Deterministic tie-break on the smaller document id.
+            if score < best_score || (score == best_score && *d < entries[best].0) {
+                best = i;
+                best_score = score;
+            }
+        }
+        if policy == PolicyKind::Gdsf {
+            watermark = best_score;
+        }
+        let (victim, entry) = entries.remove(best);
+        used -= entry.size_bytes;
+        victims.push(victim);
+    }
+    (victims, watermark)
 }
 
 fn arb_policy() -> impl Strategy<Value = PolicyKind> {
@@ -100,6 +192,79 @@ proptest! {
             cache.lookup(DocId(doc), version + 1, 2.0),
             LookupOutcome::Stale
         );
+    }
+
+    #[test]
+    fn stale_versions_are_never_served(
+        ops in proptest::collection::vec(arb_origin_op(), 1..200),
+        policy in arb_policy(),
+    ) {
+        // Model an origin whose per-document version only moves forward;
+        // inserts always carry the version current at insert time. A
+        // copy inserted before a bump is stale and must never be
+        // reported fresh (or served as a hit) at the new version.
+        let mut cache = DocumentCache::new(1_500, policy);
+        let mut origin: [u64; 20] = [1; 20];
+        let mut inserted: HashMap<usize, u64> = HashMap::new();
+        for (t, op) in ops.iter().enumerate() {
+            let now = t as f64;
+            match *op {
+                OriginOp::Insert { doc, size } => {
+                    cache.insert(DocId(doc), origin[doc], size, 10.0, 0.1, now);
+                    if size <= cache.capacity_bytes() {
+                        inserted.insert(doc, origin[doc]);
+                    }
+                }
+                OriginOp::Bump { doc } => origin[doc] += 1,
+                OriginOp::Lookup { doc } => {
+                    let outcome = cache.lookup(DocId(doc), origin[doc], now);
+                    if outcome == LookupOutcome::Hit {
+                        prop_assert_eq!(inserted.get(&doc), Some(&origin[doc]));
+                    }
+                }
+            }
+            for (doc, &v) in origin.iter().enumerate() {
+                if cache.holds_fresh(DocId(doc), v) {
+                    // Fresh implies the copy is the origin's current
+                    // version — never an older one.
+                    prop_assert_eq!(inserted.get(&doc), Some(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_order_matches_documented_keys(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        policy in arb_policy(),
+    ) {
+        // Replays the op sequence, predicting every insert's eviction
+        // victims from the policies' *documented* scoring keys computed
+        // independently of the implementation (including a shadow GDSF
+        // watermark, which the cache keeps private).
+        let mut cache = DocumentCache::new(1_000, policy);
+        let mut watermark = 0.0_f64;
+        let mut evicted = Vec::new();
+        for (t, op) in ops.iter().enumerate() {
+            let now = t as f64;
+            match *op {
+                Op::Lookup { doc, version } => {
+                    let _ = cache.lookup(DocId(doc), version, now);
+                }
+                Op::Insert { doc, version, size } => {
+                    let (expected, next_watermark) =
+                        predict_victims(&cache, policy, DocId(doc), size, now, watermark);
+                    cache.insert_with_evicted(
+                        DocId(doc), version, size, 10.0, 0.1, now, &mut evicted,
+                    );
+                    prop_assert_eq!(&evicted, &expected);
+                    watermark = next_watermark;
+                }
+                Op::Remove { doc } => {
+                    let _ = cache.remove(DocId(doc));
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must attach context to failures (`expect`/`Result`), not
+// panic opaquely; tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod event;
 pub mod fault;
@@ -61,6 +64,9 @@ pub use metrics::{
     WindowAggregate,
 };
 pub use origin::OriginServer;
+// Re-exported so simulation configs can pick a placement policy without
+// a direct `ecg-place` dependency.
+pub use ecg_place::{AdaptiveConfig, DChoicesConfig, PlacementKind};
 pub use sim::{
     simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed,
     FreshnessProtocol, PeerLookup, SimConfig, SimError, SimReport,

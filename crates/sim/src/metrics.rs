@@ -304,6 +304,16 @@ pub struct MetricsRecorder {
     /// Requests served with a version older than the origin's current
     /// one (TTL lease protocol): the client-visible staleness cost.
     pub stale_served: u64,
+    /// Peer-hit replicas the placement policy let the requester keep.
+    /// Zero under the single-holder baseline (which replicates
+    /// unconditionally but is short-circuited before the counter).
+    pub replicas_created: u64,
+    /// Peer-hit replicas the placement policy suppressed (the body was
+    /// served remotely and dropped).
+    pub replicas_suppressed: u64,
+    /// Origin-fetched copies the placement policy diverted to a member
+    /// other than the requester.
+    pub remote_placements: u64,
     /// Fault-impact split of the same requests (healthy vs. degraded
     /// windows, failover counts). All-zero in a fault-free run.
     pub degradation: DegradationMetrics,
@@ -320,8 +330,17 @@ impl MetricsRecorder {
             control_messages: 0,
             invalidations_sent: 0,
             stale_served: 0,
+            replicas_created: 0,
+            replicas_suppressed: 0,
+            remote_placements: 0,
             degradation: DegradationMetrics::default(),
         }
+    }
+
+    /// Returns `true` if an active (non-single-holder) placement policy
+    /// took any decision during the run.
+    pub fn saw_placement(&self) -> bool {
+        self.replicas_created + self.replicas_suppressed + self.remote_placements > 0
     }
 
     /// Records one served request.

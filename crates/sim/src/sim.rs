@@ -35,6 +35,7 @@ use crate::origin::OriginServer;
 use crate::time::SimTime;
 use ecg_cache::{CacheStats, DocumentCache, LookupOutcome, PolicyKind};
 use ecg_obs::Obs;
+use ecg_place::{Candidate, PeerHitAction, PlacementKind, PlacementPolicy};
 use ecg_topology::{CacheId, EdgeNetwork};
 use ecg_workload::{DocId, DocumentCatalog, TraceEvent};
 use std::fmt;
@@ -87,6 +88,7 @@ pub struct SimConfig {
     warmup_ms: f64,
     freshness: FreshnessProtocol,
     peer_lookup: PeerLookup,
+    placement: PlacementKind,
 }
 
 impl Default for SimConfig {
@@ -100,6 +102,7 @@ impl Default for SimConfig {
             warmup_ms: 0.0,
             freshness: FreshnessProtocol::InvalidateOnAccess,
             peer_lookup: PeerLookup::HolderIndex,
+            placement: PlacementKind::SingleHolder,
         }
     }
 }
@@ -163,6 +166,20 @@ impl SimConfig {
     pub fn peer_lookup(mut self, lookup: PeerLookup) -> Self {
         self.peer_lookup = lookup;
         self
+    }
+
+    /// Sets the in-group placement/replication policy (see
+    /// [`ecg_place`]). The default [`PlacementKind::SingleHolder`] is
+    /// short-circuited entirely, so baseline runs are bit-identical to
+    /// builds that predate placement support.
+    pub fn placement(mut self, placement: PlacementKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The configured placement policy.
+    pub fn placement_kind(&self) -> PlacementKind {
+        self.placement
     }
 
     /// The configured latency model.
@@ -273,6 +290,14 @@ impl fmt::Display for SimReport {
         writeln!(f, "stale served      {}", self.metrics.stale_served)?;
         writeln!(f, "peer bytes        {}", self.metrics.peer_bytes)?;
         write!(f, "control messages  {}", self.metrics.control_messages)?;
+        if self.metrics.saw_placement() {
+            write!(
+                f,
+                "\nreplicas          {} created, {} suppressed",
+                self.metrics.replicas_created, self.metrics.replicas_suppressed
+            )?;
+            write!(f, "\nremote placements {}", self.metrics.remote_placements)?;
+        }
         let deg = &self.metrics.degradation;
         if deg.saw_faults() {
             write!(
@@ -505,6 +530,17 @@ pub fn simulate_with_faults_observed(
     // Eviction scratch reused across every insert in the event loop.
     let mut evicted_scratch: Vec<DocId> = Vec::new();
 
+    // Placement policy. `None` for the single-holder baseline: the
+    // historical copy flow (replicate on peer hit, cache at the
+    // requester on origin fetch) is hard-coded below, so the baseline
+    // pays no candidate assembly and stays bit-identical to builds that
+    // predate placement support.
+    let mut placement: Option<Box<dyn PlacementPolicy>> =
+        (!config.placement.is_single_holder()).then(|| config.placement.build(n, catalog.len()));
+    // Candidate scratch reused across every placement decision.
+    let mut candidates_scratch: Vec<Candidate> = Vec::new();
+    let mut place_decisions = 0u64;
+
     // Observability tallies. Plain integer bumps are cheap enough to
     // keep unconditional; they are flushed into `obs` (when present)
     // after the loop. The queue only drains, so its high-water mark is
@@ -666,6 +702,13 @@ pub fn simulate_with_faults_observed(
                     }
                 };
 
+                if local_hit.is_some() {
+                    if let Some(policy) = placement.as_deref_mut() {
+                        // Pure popularity signal for the rate estimator.
+                        policy.on_local_hit(doc, now_ms);
+                    }
+                }
+
                 let (latency, served_by, served_version) = match local_hit {
                     Some(v) => (model.local_hit(), ServedBy::Local, v),
                     None => {
@@ -737,18 +780,55 @@ pub fn simulate_with_faults_observed(
                                 // Hit reply piggybacks the body: fan-out
                                 // plus one RTT plus serialization.
                                 let latency = fanout + model.transfer(rtt, size);
-                                insert_tracked(
-                                    &mut caches[cache.index()],
-                                    index.as_mut().map(|(idx, _)| idx),
-                                    &mut evicted_scratch,
-                                    cache,
-                                    doc,
-                                    v,
-                                    size,
-                                    latency,
-                                    update_rate,
-                                    now_ms,
-                                );
+                                // Single-holder keeps the historical
+                                // demand replication unconditionally;
+                                // an active policy decides whether the
+                                // requester keeps the copy.
+                                let mut keep_replica = true;
+                                if let Some(policy) = placement.as_deref_mut() {
+                                    build_candidates(
+                                        &mut candidates_scratch,
+                                        network,
+                                        &caches,
+                                        index.as_ref().map(|(idx, _)| idx),
+                                        &down,
+                                        cache,
+                                        peers,
+                                        doc,
+                                    );
+                                    place_decisions += 1;
+                                    if let Some(o) = obs.as_deref_mut() {
+                                        o.metrics.observe(
+                                            "place.replica_count",
+                                            candidates_scratch.iter().filter(|c| c.holds).count()
+                                                as f64,
+                                        );
+                                    }
+                                    match policy.on_peer_hit(doc, now_ms, &candidates_scratch, peer)
+                                    {
+                                        PeerHitAction::Replicate => {
+                                            metrics.replicas_created += 1;
+                                        }
+                                        PeerHitAction::ServeRemote => {
+                                            keep_replica = false;
+                                            metrics.replicas_suppressed += 1;
+                                        }
+                                    }
+                                }
+                                if keep_replica {
+                                    insert_tracked(
+                                        &mut caches[cache.index()],
+                                        index.as_mut().map(|(idx, _)| idx),
+                                        &mut evicted_scratch,
+                                        cache,
+                                        doc,
+                                        v,
+                                        size,
+                                        latency,
+                                        update_rate,
+                                        now_ms,
+                                    );
+                                }
                                 (latency, ServedBy::Peer, v)
                             }
                             None => {
@@ -758,11 +838,49 @@ pub fn simulate_with_faults_observed(
                                 let latency = fanout
                                     + slowest_reply
                                     + model.origin_fetch(rtt_origin, size) * brownout;
+                                // Single-holder caches at the requester;
+                                // an active policy may divert the new
+                                // copy to a better-placed member (the
+                                // requester still serves the client).
+                                let mut target = cache;
+                                if let Some(policy) = placement.as_deref_mut() {
+                                    build_candidates(
+                                        &mut candidates_scratch,
+                                        network,
+                                        &caches,
+                                        index.as_ref().map(|(idx, _)| idx),
+                                        &down,
+                                        cache,
+                                        peers,
+                                        doc,
+                                    );
+                                    place_decisions += 1;
+                                    if let Some(o) = obs.as_deref_mut() {
+                                        o.metrics.observe(
+                                            "place.replica_count",
+                                            candidates_scratch.iter().filter(|c| c.holds).count()
+                                                as f64,
+                                        );
+                                    }
+                                    target =
+                                        policy.on_origin_fetch(doc, now_ms, &candidates_scratch);
+                                    if target != cache {
+                                        // Off-path push of the body to
+                                        // the chosen member: cooperation
+                                        // traffic plus one transfer
+                                        // message (no reply awaited, so
+                                        // the client latency is
+                                        // unchanged).
+                                        metrics.remote_placements += 1;
+                                        metrics.peer_bytes += size;
+                                        metrics.control_messages += 1;
+                                    }
+                                }
                                 insert_tracked(
-                                    &mut caches[cache.index()],
+                                    &mut caches[target.index()],
                                     index.as_mut().map(|(idx, _)| idx),
                                     &mut evicted_scratch,
-                                    cache,
+                                    target,
                                     doc,
                                     fetched_version,
                                     size,
@@ -844,8 +962,21 @@ pub fn simulate_with_faults_observed(
             .max_gauge("sim.queue.max_depth", queue_max_depth as f64);
         o.metrics
             .merge_histogram("sim.latency_ms", metrics.latency_histogram());
+        if placement.is_some() {
+            o.metrics.add("place.decisions", place_decisions);
+            o.metrics
+                .add("place.replicas_created", metrics.replicas_created);
+            o.metrics
+                .add("place.replicas_suppressed", metrics.replicas_suppressed);
+            o.metrics
+                .add("place.remote_placements", metrics.remote_placements);
+        }
         let mut span = o.phases.span("sim");
         span.add_work(last_event_ms);
+        if placement.is_some() {
+            let mut place_span = span.child("place");
+            place_span.add_work(place_decisions as f64);
+        }
     }
 
     let cache_stats = caches
@@ -858,6 +989,47 @@ pub fn simulate_with_faults_observed(
         origin_updates: origin.updates_applied(),
         origin_fetches: origin.fetches_served(),
     })
+}
+
+/// Assembles the candidate list a placement decision sees: the
+/// requester first (RTT 0), then its *alive* group peers in group
+/// order. `holds` is presence (fresh or stale) — read from the holder
+/// index when one is maintained, and from the cache maps under
+/// [`PeerLookup::ScanAll`]; the index mirrors cache membership exactly,
+/// so both lookup strategies feed policies identical candidate lists.
+#[allow(clippy::too_many_arguments)]
+fn build_candidates(
+    out: &mut Vec<Candidate>,
+    network: &EdgeNetwork,
+    caches: &[DocumentCache],
+    index: Option<&HolderIndex>,
+    down: &[bool],
+    cache: CacheId,
+    peers: &[CacheId],
+    doc: DocId,
+) {
+    out.clear();
+    let holds = |c: CacheId| match index {
+        Some(idx) => idx.holds(doc, c),
+        None => caches[c.index()].contains(doc),
+    };
+    out.push(Candidate {
+        cache,
+        rtt_ms: 0.0,
+        used_bytes: caches[cache.index()].used_bytes(),
+        holds: holds(cache),
+    });
+    for &p in peers {
+        if down[p.index()] {
+            continue;
+        }
+        out.push(Candidate {
+            cache: p,
+            rtt_ms: network.cache_to_cache(cache, p),
+            used_bytes: caches[p.index()].used_bytes(),
+            holds: holds(p),
+        });
+    }
 }
 
 /// Inserts a fetched copy into `cache_store`, keeping the holder index
@@ -1709,6 +1881,173 @@ mod tests {
         let kinds: Vec<&str> = obs.trace.events().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["cache_down", "cache_up"]);
         assert_eq!(obs.phases.roots()[0].name(), "sim");
+    }
+
+    #[test]
+    fn explicit_single_holder_matches_default_exactly() {
+        let net = network();
+        let (cat, trace) = churny_trace(31, 120_000.0);
+        let groups = pair_groups();
+        let base = simulate(&net, &groups, &cat, &trace, SimConfig::default()).unwrap();
+        let explicit = simulate(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            SimConfig::default().placement(PlacementKind::SingleHolder),
+        )
+        .unwrap();
+        assert_eq!(base, explicit);
+        assert!(!base.metrics.saw_placement());
+        assert_eq!(base.metrics.replicas_created, 0);
+    }
+
+    #[test]
+    fn adaptive_replication_promotes_hot_documents() {
+        let net = network();
+        let (cat, trace) = churny_trace(33, 240_000.0);
+        let groups = GroupMap::one_group(6);
+        let report = simulate(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            SimConfig::default()
+                .cache_capacity_bytes(256 << 10)
+                .placement(PlacementKind::adaptive()),
+        )
+        .unwrap();
+        // The Zipf head crosses the promote threshold (replicas kept)
+        // while the tail stays single-copy (replicas suppressed).
+        assert!(report.metrics.replicas_created > 0, "{report}");
+        assert!(report.metrics.replicas_suppressed > 0, "{report}");
+        assert!(report.to_string().contains("replicas"), "{report}");
+    }
+
+    #[test]
+    fn dchoices_diverts_placements_and_replays_identically() {
+        let net = network();
+        let (cat, trace) = churny_trace(35, 240_000.0);
+        let groups = GroupMap::one_group(6);
+        let config = SimConfig::default()
+            .cache_capacity_bytes(256 << 10)
+            .placement(PlacementKind::d_choices());
+        let a = simulate(&net, &groups, &cat, &trace, config).unwrap();
+        let b = simulate(&net, &groups, &cat, &trace, config).unwrap();
+        assert_eq!(a, b);
+        assert!(a.metrics.remote_placements > 0, "{a}");
+        // d-choices never replicates on peer hits.
+        assert_eq!(a.metrics.replicas_created, 0);
+        assert!(a.metrics.replicas_suppressed > 0);
+    }
+
+    #[test]
+    fn placement_sees_identical_candidates_under_both_lookups() {
+        let net = network();
+        let (cat, trace) = churny_trace(37, 120_000.0);
+        for placement in [PlacementKind::adaptive(), PlacementKind::d_choices()] {
+            for groups in [GroupMap::one_group(6), pair_groups()] {
+                let base = SimConfig::default()
+                    .cache_capacity_bytes(64 << 10)
+                    .placement(placement);
+                let scanned = simulate(
+                    &net,
+                    &groups,
+                    &cat,
+                    &trace,
+                    base.peer_lookup(PeerLookup::ScanAll),
+                )
+                .unwrap();
+                let indexed = simulate(
+                    &net,
+                    &groups,
+                    &cat,
+                    &trace,
+                    base.peer_lookup(PeerLookup::HolderIndex),
+                )
+                .unwrap();
+                assert_eq!(scanned, indexed, "diverged under {placement:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_respects_down_members_and_invalidation() {
+        let net = network();
+        let (cat, trace) = churny_trace(39, 120_000.0);
+        let mut schedule = FaultSchedule::new();
+        schedule.push(10_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+        schedule.push(60_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+        for placement in [PlacementKind::adaptive(), PlacementKind::d_choices()] {
+            for freshness in [
+                FreshnessProtocol::InvalidateOnAccess,
+                FreshnessProtocol::OriginMulticast,
+            ] {
+                let report = simulate_with_faults(
+                    &net,
+                    &GroupMap::one_group(6),
+                    &cat,
+                    &trace,
+                    SimConfig::default()
+                        .cache_capacity_bytes(128 << 10)
+                        .placement(placement)
+                        .freshness(freshness),
+                    &schedule,
+                )
+                .unwrap();
+                // Version-aware lookups keep every replica consistent:
+                // nothing stale is ever served under either protocol,
+                // replicas or not.
+                assert_eq!(report.metrics.stale_served, 0, "{placement:?}");
+                assert!(report.metrics.saw_placement());
+            }
+        }
+    }
+
+    #[test]
+    fn placement_obs_counters_cover_decisions() {
+        let net = network();
+        let (cat, trace) = churny_trace(41, 60_000.0);
+        let groups = GroupMap::one_group(6);
+        let config = SimConfig::default()
+            .cache_capacity_bytes(128 << 10)
+            .placement(PlacementKind::adaptive());
+        let mut obs = Obs::new();
+        let report =
+            simulate_observed(&net, &groups, &cat, &trace, config, Some(&mut obs)).unwrap();
+        let m = &obs.metrics;
+        assert!(m.counter("place.decisions") > 0);
+        assert_eq!(
+            m.counter("place.replicas_created"),
+            report.metrics.replicas_created
+        );
+        assert_eq!(
+            m.counter("place.replicas_suppressed"),
+            report.metrics.replicas_suppressed
+        );
+        assert_eq!(
+            m.counter("place.remote_placements"),
+            report.metrics.remote_placements
+        );
+        let hist = m.histogram("place.replica_count").expect("replica hist");
+        assert_eq!(hist.count(), m.counter("place.decisions"));
+        let sim_span = &obs.phases.roots()[0];
+        assert_eq!(sim_span.name(), "sim");
+        assert_eq!(sim_span.children()[0].name(), "place");
+        // A baseline observed run emits no placement telemetry at all.
+        let mut base_obs = Obs::new();
+        let _ = simulate_observed(
+            &net,
+            &groups,
+            &cat,
+            &trace,
+            SimConfig::default(),
+            Some(&mut base_obs),
+        )
+        .unwrap();
+        assert_eq!(base_obs.metrics.counter("place.decisions"), 0);
+        assert!(base_obs.metrics.histogram("place.replica_count").is_none());
+        assert!(base_obs.phases.roots()[0].children().is_empty());
     }
 
     #[test]

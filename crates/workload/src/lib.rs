@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod documents;
+pub mod flashcrowd;
 pub mod news;
 pub mod requests;
 pub mod sporting;
@@ -53,6 +54,7 @@ pub mod updates;
 pub mod zipf;
 
 pub use documents::{CatalogConfig, DocId, Document, DocumentCatalog};
+pub use flashcrowd::{RegionalFlashCrowdConfig, RegionalFlashCrowdWorkload};
 pub use news::{NewsSiteConfig, NewsSiteWorkload};
 pub use requests::{RateModulation, Request, RequestConfig};
 pub use sporting::{SportingEventConfig, SportingEventWorkload};

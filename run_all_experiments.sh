@@ -25,7 +25,7 @@ ablations=(
   ablation_theta ablation_noise ablation_m ablation_init ablation_policy
   ablation_origin ablation_representation ablation_freshness
   ablation_probing ablation_workload ablation_maintenance ablation_churn
-  ablation_resilience
+  ablation_resilience ablation_placement
 )
 
 cargo build --release -p ecg-bench --bins
@@ -38,12 +38,15 @@ mkdir -p "$out" "$out/results"
 
 for bin in "${figures[@]}" "${ablations[@]}"; do
   echo "=== $bin"
-  # ablation_maintenance doubles as the observability golden: its
-  # metrics JSON is committed under results/ and re-checked for drift.
+  # ablation_maintenance and ablation_placement double as observability
+  # goldens: their metrics JSON is committed under results/ and
+  # re-checked for drift.
   extra=()
-  if [[ "$bin" == "ablation_maintenance" ]]; then
-    extra=(--metrics-out "metrics_$bin.json")
-  fi
+  case "$bin" in
+    ablation_maintenance|ablation_placement)
+      extra=(--metrics-out "metrics_$bin.json")
+      ;;
+  esac
   if [[ $check -eq 1 ]]; then
     (cd "$out" && "$root/target/release/$bin" "${extra[@]}" > "$bin.txt")
   else

@@ -48,11 +48,12 @@ usage:
                   [--landmarks L] [--plset-multiplier M] [--max-group-size S]
                   [--seed S] [--out FILE]
   ecg gen-trace   [--caches N] [--docs D] [--duration-secs T] [--rate R]
-                  [--preset sporting|news] [--seed S] --out FILE
+                  [--preset sporting|news|flashcrowd] [--seed S] --out FILE
   ecg stats       --trace FILE
   ecg simulate    --network FILE --groups FILE [--trace FILE] [--docs D]
                   [--duration-secs T] [--rate R] [--capacity-kib C]
-                  [--policy utility|lru|lfu|gdsf] [--seed S]
+                  [--policy utility|lru|lfu|gdsf]
+                  [--placement single-holder|adaptive|dchoices] [--seed S]
 
 simulate regenerates the workload from its flags unless --trace is given;
 with --trace, --docs must match the catalog the trace was generated for
@@ -234,7 +235,18 @@ fn build_workload(
                 .generate(&mut rng);
             Ok((w.catalog.clone(), w.merged_trace()))
         }
-        other => Err(format!("--preset must be sporting or news, got {other:?}")),
+        "flashcrowd" => {
+            let w = edge_cache_groups::workload::RegionalFlashCrowdConfig::default()
+                .caches(caches)
+                .documents(docs)
+                .duration_ms(duration_ms)
+                .rate_per_sec_per_cache(rate)
+                .generate(&mut rng);
+            Ok((w.catalog.clone(), w.merged_trace()))
+        }
+        other => Err(format!(
+            "--preset must be sporting, news, or flashcrowd, got {other:?}"
+        )),
     }
 }
 
@@ -287,6 +299,16 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         "gdsf" => PolicyKind::Gdsf,
         other => return Err(format!("unknown --policy {other:?}")),
     };
+    let placement = match flags
+        .get("placement")
+        .map(String::as_str)
+        .unwrap_or("single-holder")
+    {
+        "single-holder" => PlacementKind::SingleHolder,
+        "adaptive" => PlacementKind::adaptive(),
+        "dchoices" => PlacementKind::d_choices(),
+        other => return Err(format!("unknown --placement {other:?}")),
+    };
 
     let duration_ms = duration_secs * 1_000.0;
     // Workload: regenerate from flags, or replay a persisted trace
@@ -311,6 +333,7 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         SimConfig::default()
             .cache_capacity_bytes(capacity_kib * 1024)
             .policy(policy)
+            .placement(placement)
             .warmup_ms(duration_ms / 6.0),
     )
     .map_err(|e| e.to_string())?;
@@ -485,6 +508,69 @@ mod tests {
         std::fs::remove_file(&net).ok();
         std::fs::remove_file(&grp).ok();
         std::fs::remove_file(&trc).ok();
+    }
+
+    #[test]
+    fn placement_flag_and_flashcrowd_preset() {
+        let dir = std::env::temp_dir();
+        let net = dir.join("ecg_cli_place.rtt");
+        let grp = dir.join("ecg_cli_place.groups");
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+
+        run(&to_args(&[
+            "gen-network",
+            "--caches",
+            "12",
+            "--seed",
+            "5",
+            "--out",
+            net.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "form",
+            "--network",
+            net.to_str().unwrap(),
+            "--groups",
+            "3",
+            "--landmarks",
+            "5",
+            "--out",
+            grp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for placement in ["single-holder", "adaptive", "dchoices"] {
+            run(&to_args(&[
+                "simulate",
+                "--network",
+                net.to_str().unwrap(),
+                "--groups",
+                grp.to_str().unwrap(),
+                "--preset",
+                "flashcrowd",
+                "--docs",
+                "150",
+                "--duration-secs",
+                "8",
+                "--placement",
+                placement,
+            ]))
+            .unwrap();
+        }
+        assert!(run(&to_args(&[
+            "simulate",
+            "--network",
+            net.to_str().unwrap(),
+            "--groups",
+            grp.to_str().unwrap(),
+            "--placement",
+            "bogus",
+        ]))
+        .is_err());
+
+        std::fs::remove_file(&net).ok();
+        std::fs::remove_file(&grp).ok();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`clustering`] | `ecg-clustering` | K-means, initializers, quality metrics |
 //! | [`workload`] | `ecg-workload` | Zipf catalogs, request/update streams, traces |
 //! | [`cache`] | `ecg-cache` | utility/LRU/LFU/GDSF document caches |
+//! | [`place`] | `ecg-place` | in-group replica placement policies |
 //! | [`sim`] | `ecg-sim` | the discrete-event network simulator |
 //! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
 //! | [`faults`] | `ecg-faults` | fault plans, churn generation, degradation reporting |
@@ -69,6 +70,7 @@ pub use ecg_coords as coords;
 pub use ecg_core as core;
 pub use ecg_faults as faults;
 pub use ecg_obs as obs;
+pub use ecg_place as place;
 pub use ecg_sim as sim;
 pub use ecg_topology as topology;
 pub use ecg_workload as workload;
@@ -83,6 +85,7 @@ pub mod prelude {
     };
     pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
     pub use ecg_obs::Obs;
+    pub use ecg_place::{AdaptiveConfig, DChoicesConfig, PlacementKind};
     pub use ecg_sim::{
         simulate, simulate_with_faults, simulate_with_faults_observed, GroupMap, LatencyModel,
         SimConfig, SimReport,
