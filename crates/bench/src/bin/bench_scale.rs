@@ -1,10 +1,13 @@
 //! Large-N scaling sweep for full SL / SDSL group formation.
 //!
-//! Runs the formation pipeline — landmark selection, parallel feature
-//! matrix construction, K-means clustering, and the group interaction
-//! cost metric — over an implicit [`SyntheticRtt`] oracle (O(n) state,
-//! so N = 50 000 fits where a dense RTT matrix would need ~20 GB),
-//! sweeping N × thread counts through [`ecg_par::set_max_threads`].
+//! Drives the unified scaled pipeline
+//! ([`ecg_core::GfCoordinator::form_groups_scaled`]) — parallel landmark
+//! selection, parallel feature matrix construction, blocked-kernel
+//! K-means (full-batch Lloyd or deterministic mini-batch), and the
+//! group interaction cost metric — over an implicit [`SyntheticRtt`]
+//! oracle (O(n) state, so N = 100 000 fits where a dense RTT matrix
+//! would need ~80 GB), sweeping N × variant × thread counts through
+//! [`ecg_par::set_max_threads`].
 //!
 //! Every configuration is also a determinism check: the run at each
 //! thread count must reproduce the threads = 1 assignments and the
@@ -12,21 +15,29 @@
 //! time, never results.
 //!
 //! ```text
-//! cargo run --release -p ecg-bench --bin bench_scale            # full, writes BENCH_scale.json
-//! cargo run --release -p ecg-bench --bin bench_scale -- --quick # CI smoke sizes
+//! cargo run --release -p ecg-bench --bin bench_scale             # full, writes BENCH_scale.json
+//! cargo run --release -p ecg-bench --bin bench_scale -- --quick  # CI smoke sizes
+//! cargo run --release -p ecg-bench --bin bench_scale -- --variant minibatch
+//! cargo run --release -p ecg-bench --bin bench_scale -- --mb-batch 4096 --mb-iters 60
 //! cargo run --release -p ecg-bench --bin bench_scale -- --out /tmp/s.json
 //! ```
+//!
+//! `--variant lloyd|minibatch|both` picks the K-means engine(s); the
+//! mini-batch sweep goes one size class higher (to N = 100 000) because
+//! its per-iteration cost is batch-sized, not N-sized. `--mb-batch` and
+//! `--mb-iters` tune the mini-batch schedule.
+//!
+//! The synthetic oracle is generated once per N, outside the timing
+//! loop, so per-kernel timings measure formation kernels only — never
+//! topology setup.
 //!
 //! The emitted JSON records the host context (logical CPUs, the
 //! `ECG_THREADS` environment override, quick/full mode) alongside
 //! per-kernel timings, because wall-clock scaling is only meaningful
 //! relative to the cores the run actually had.
 
-use ecg_clustering::{
-    average_group_interaction_cost, kmeans, server_distance_weights, Initializer, KmeansConfig,
-};
-use ecg_coords::{build_feature_matrix_par, ProbeConfig, Prober};
-use ecg_core::{select_landmarks, LandmarkSelector};
+use ecg_clustering::{KmeansVariant, MiniBatchConfig};
+use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_topology::{RttSource, SyntheticRtt, SyntheticRttConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,8 +60,25 @@ impl Scheme {
     }
 }
 
+/// Which K-means engine the run clusters with.
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Lloyd,
+    MiniBatch,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Lloyd => "lloyd",
+            Variant::MiniBatch => "minibatch",
+        }
+    }
+}
+
 struct RunResult {
     scheme: &'static str,
+    variant: &'static str,
     n: usize,
     threads: usize,
     k: usize,
@@ -68,163 +96,196 @@ fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1_000.0
 }
 
-/// Runs one full formation at a forced thread count and times each
-/// kernel. All RNG seeds are fixed per (scheme, n), so two runs that
-/// differ only in `threads` must produce identical results.
-fn run_formation(scheme: Scheme, net: &SyntheticRtt, n: usize, threads: usize) -> RunResult {
+/// Runs one full formation at a forced thread count through the scaled
+/// pipeline and records its per-kernel timings. All RNG seeds are fixed
+/// per (scheme, n), so two runs that differ only in `threads` must
+/// produce identical results.
+fn run_formation(
+    scheme: Scheme,
+    variant: Variant,
+    mb: MiniBatchConfig,
+    net: &SyntheticRtt,
+    n: usize,
+    threads: usize,
+) -> RunResult {
     const LANDMARKS: usize = 8;
     const PLSET_MULTIPLIER: usize = 4;
     const KMEANS_ITERS: usize = 15;
     let k = (n / 100).max(2);
 
     ecg_par::set_max_threads(Some(threads));
-    let prober = Prober::new(net, ProbeConfig::default());
+    let mut config = match scheme {
+        Scheme::Sl => SchemeConfig::sl(k),
+        Scheme::Sdsl(theta) => SchemeConfig::sdsl(k, theta),
+    }
+    .landmarks(LANDMARKS)
+    .plset_multiplier(PLSET_MULTIPLIER)
+    .kmeans_max_iterations(KMEANS_ITERS);
+    if variant == Variant::MiniBatch {
+        config = config.kmeans_variant(KmeansVariant::MiniBatch(mb));
+    }
+
     let mut rng = StdRng::seed_from_u64(1_000 + n as u64);
-    let whole = Instant::now();
+    let formed = GfCoordinator::new(config)
+        .form_groups_scaled(net, &mut rng)
+        .expect("scaled formation");
 
+    // Caches are nodes 1..=n of the oracle (node 0 is the origin).
     let t = Instant::now();
-    let selection = select_landmarks(
-        &prober,
-        LandmarkSelector::GreedyMaxMin,
-        LANDMARKS,
-        PLSET_MULTIPLIER,
-        &mut rng,
-    )
-    .expect("landmark selection");
-    let landmarks_ms = ms(t);
-
-    let nodes: Vec<usize> = (1..=n).collect();
-    let t = Instant::now();
-    let features = build_feature_matrix_par(&prober, &nodes, &selection.landmarks, &mut rng);
-    let features_ms = ms(t);
-
-    // Landmark 0 is always the origin, so component 0 of each feature
-    // row is the cache's measured server distance.
-    let init = match scheme {
-        Scheme::Sl => Initializer::RandomRepresentative,
-        Scheme::Sdsl(theta) => {
-            let dists: Vec<f64> = (0..features.len()).map(|i| features.row(i)[0]).collect();
-            Initializer::Weighted(server_distance_weights(&dists, theta))
-        }
-    };
-
-    let t = Instant::now();
-    let clustering = kmeans(
-        &features,
-        KmeansConfig::new(k).max_iterations(KMEANS_ITERS),
-        &init,
-        &mut rng,
-    )
-    .expect("clustering");
-    let kmeans_ms = ms(t);
-
-    let groups = clustering.clusters();
-    let t = Instant::now();
-    let gic_value = average_group_interaction_cost(&groups, |a, b| net.rtt_ms(nodes[a], nodes[b]));
+    let gic_value = formed
+        .outcome
+        .average_interaction_cost(|a, b| net.rtt_ms(a.index() + 1, b.index() + 1));
     let gic_ms = ms(t);
-
-    let total_ms = ms(whole);
     ecg_par::set_max_threads(None);
 
+    let timings = formed.timings;
     RunResult {
         scheme: scheme.name(),
+        variant: variant.name(),
         n,
         threads,
         k,
-        landmarks: selection.landmarks.len(),
-        landmarks_ms,
-        features_ms,
-        kmeans_ms,
+        landmarks: formed.outcome.landmarks().landmarks.len(),
+        landmarks_ms: timings.landmarks_ms,
+        features_ms: timings.features_ms,
+        kmeans_ms: timings.clustering_ms,
         gic_ms,
-        total_ms,
+        total_ms: timings.total_ms + gic_ms,
         gic_value,
-        assignments: clustering.assignments().to_vec(),
+        assignments: formed.outcome.assignments().to_vec(),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let variants: Vec<Variant> = match flag_value("--variant").as_deref() {
+        None | Some("both") => vec![Variant::Lloyd, Variant::MiniBatch],
+        Some("lloyd") => vec![Variant::Lloyd],
+        Some("minibatch") => vec![Variant::MiniBatch],
+        Some(other) => panic!("--variant must be lloyd, minibatch, or both, got {other:?}"),
+    };
+    let mb_batch: usize =
+        flag_value("--mb-batch").map_or(2_048, |v| v.parse().expect("--mb-batch takes an integer"));
+    let mb_iters: usize =
+        flag_value("--mb-iters").map_or(40, |v| v.parse().expect("--mb-iters takes an integer"));
+    let mb = MiniBatchConfig::default()
+        .batch_size(mb_batch)
+        .iterations(mb_iters);
 
-    let sizes: &[usize] = if quick {
+    // Mini-batch exists to go past Lloyd's ceiling, so its sweep sits
+    // one size class higher.
+    let lloyd_sizes: &[usize] = if quick {
         &[500, 2_000]
     } else {
         &[5_000, 20_000, 50_000]
     };
+    let minibatch_sizes: &[usize] = if quick {
+        &[20_000]
+    } else {
+        &[20_000, 50_000, 100_000]
+    };
+    let sizes_for = |variant: Variant| match variant {
+        Variant::Lloyd => lloyd_sizes,
+        Variant::MiniBatch => minibatch_sizes,
+    };
     let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let schemes = [Scheme::Sl, Scheme::Sdsl(1.0)];
+
+    let mut all_sizes: Vec<usize> = variants
+        .iter()
+        .flat_map(|&v| sizes_for(v).iter().copied())
+        .collect();
+    all_sizes.sort_unstable();
+    all_sizes.dedup();
 
     let logical_cpus = std::thread::available_parallelism().map_or(0, usize::from);
     let ecg_threads_env = std::env::var("ECG_THREADS").ok();
 
     let mut runs: Vec<RunResult> = Vec::new();
-    for &n in sizes {
-        // Node 0 is the origin; n edge caches follow.
+    for &n in &all_sizes {
+        // Node 0 is the origin; n edge caches follow. Generated once
+        // per N, outside the timing loop — kernel timings never include
+        // topology setup.
         let net = SyntheticRttConfig::default().generate(n + 1, 9_000 + n as u64);
-        for scheme in schemes {
-            let mut baseline: Option<(Vec<usize>, f64)> = None;
-            for &threads in thread_counts {
-                let run = run_formation(scheme, &net, n, threads);
-                eprintln!(
-                    "{} n={} threads={}: total {:.0} ms (landmarks {:.0}, features {:.0}, kmeans {:.0}, gic {:.0})",
-                    run.scheme,
-                    run.n,
-                    run.threads,
-                    run.total_ms,
-                    run.landmarks_ms,
-                    run.features_ms,
-                    run.kmeans_ms,
-                    run.gic_ms
-                );
-                match &baseline {
-                    None => baseline = Some((run.assignments.clone(), run.gic_value)),
-                    Some((assignments, gic)) => {
-                        assert_eq!(
-                            assignments, &run.assignments,
-                            "{} n={n}: assignments diverged at {threads} threads",
-                            run.scheme
-                        );
-                        assert_eq!(
-                            gic.to_bits(),
-                            run.gic_value.to_bits(),
-                            "{} n={n}: GIC diverged at {threads} threads",
-                            run.scheme
-                        );
+        for &variant in variants.iter().filter(|&&v| sizes_for(v).contains(&n)) {
+            for scheme in schemes {
+                let mut baseline: Option<(Vec<usize>, f64)> = None;
+                for &threads in thread_counts {
+                    let run = run_formation(scheme, variant, mb, &net, n, threads);
+                    eprintln!(
+                        "{}/{} n={} threads={}: total {:.0} ms (landmarks {:.0}, features {:.0}, kmeans {:.0}, gic {:.0})",
+                        run.scheme,
+                        run.variant,
+                        run.n,
+                        run.threads,
+                        run.total_ms,
+                        run.landmarks_ms,
+                        run.features_ms,
+                        run.kmeans_ms,
+                        run.gic_ms
+                    );
+                    match &baseline {
+                        None => baseline = Some((run.assignments.clone(), run.gic_value)),
+                        Some((assignments, gic)) => {
+                            assert_eq!(
+                                assignments, &run.assignments,
+                                "{}/{} n={n}: assignments diverged at {threads} threads",
+                                run.scheme, run.variant
+                            );
+                            assert_eq!(
+                                gic.to_bits(),
+                                run.gic_value.to_bits(),
+                                "{}/{} n={n}: GIC diverged at {threads} threads",
+                                run.scheme,
+                                run.variant
+                            );
+                        }
                     }
+                    runs.push(run);
                 }
-                runs.push(run);
             }
         }
     }
 
-    // End-to-end speedups of the widest run vs threads = 1, per (scheme, n).
+    // End-to-end speedups of the widest run vs threads = 1, per
+    // (scheme, variant, n).
     let max_threads = *thread_counts.last().expect("non-empty thread list");
     let mut speedups = String::new();
-    for &n in sizes {
-        for scheme in schemes {
-            let time_at = |threads: usize| {
-                runs.iter()
-                    .find(|r| r.scheme == scheme.name() && r.n == n && r.threads == threads)
-                    .expect("run present")
-                    .total_ms
-            };
-            let s = time_at(1) / time_at(max_threads);
-            if !speedups.is_empty() {
-                speedups.push_str(", ");
+    for &variant in &variants {
+        for &n in sizes_for(variant) {
+            for scheme in schemes {
+                let time_at = |threads: usize| {
+                    runs.iter()
+                        .find(|r| {
+                            r.scheme == scheme.name()
+                                && r.variant == variant.name()
+                                && r.n == n
+                                && r.threads == threads
+                        })
+                        .expect("run present")
+                        .total_ms
+                };
+                let s = time_at(1) / time_at(max_threads);
+                if !speedups.is_empty() {
+                    speedups.push_str(", ");
+                }
+                speedups.push_str(&format!(
+                    "\"{}_{}_n{}_t{}\": {:.3}",
+                    scheme.name(),
+                    variant.name(),
+                    n,
+                    max_threads,
+                    s
+                ));
             }
-            speedups.push_str(&format!(
-                "\"{}_n{}_t{}\": {:.3}",
-                scheme.name(),
-                n,
-                max_threads,
-                s
-            ));
         }
     }
 
@@ -244,11 +305,12 @@ fn main() {
             doc.push_str(",\n");
         }
         doc.push_str(&format!(
-            "    {{\"scheme\": \"{}\", \"n\": {}, \"threads\": {}, \"k\": {}, \"landmarks\": {}, \
-             \"total_ms\": {:.3}, \"kernels\": {{\"landmarks_ms\": {:.3}, \"features_ms\": {:.3}, \
-             \"kmeans_ms\": {:.3}, \"gic_ms\": {:.3}}}, \"gic_value\": {:.6}, \
-             \"determinism_ok\": true}}",
+            "    {{\"scheme\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"threads\": {}, \"k\": {}, \
+             \"landmarks\": {}, \"total_ms\": {:.3}, \"kernels\": {{\"landmarks_ms\": {:.3}, \
+             \"features_ms\": {:.3}, \"kmeans_ms\": {:.3}, \"gic_ms\": {:.3}}}, \
+             \"gic_value\": {:.6}, \"determinism_ok\": true}}",
             r.scheme,
+            r.variant,
             r.n,
             r.threads,
             r.k,

@@ -6,8 +6,11 @@
 //! to server distance for SDSL — so the initializer is a first-class
 //! parameter here (see [`Initializer`]).
 //!
-//! Points live in a contiguous row-major [`FeatureMatrix`], so the
-//! distance kernels run over flat `&[f64]` slices. The Lloyd loop uses
+//! Points live in a contiguous row-major [`FeatureMatrix`]; full k-way
+//! scans run through the cache-blocked kernel in [`crate::blocked`]
+//! (lane-transposed center tiles, bit-identical to a scalar scan) so
+//! center rows stay in L1/L2 and the inner loop auto-vectorizes across
+//! centers. The Lloyd loop uses
 //! Hamerly-style upper/lower distance bounds ("Making k-means even
 //! faster", SDM 2010) to skip the k-way scan for points whose assignment
 //! provably cannot change; every surviving candidate is settled with
@@ -25,6 +28,7 @@
 //! empty-cluster repair — deliberately stay sequential in point-index
 //! order to preserve exact equality with [`kmeans_reference`].
 
+use crate::blocked::BlockedCenters;
 use crate::init::Initializer;
 use ecg_coords::FeatureMatrix;
 use ecg_obs::Obs;
@@ -116,7 +120,8 @@ pub struct Clustering {
 
 impl Clustering {
     /// Assembles a clustering from raw parts (used by the size-capped
-    /// variant in [`crate::balanced`]).
+    /// variant in [`crate::balanced`] and the mini-batch variant in
+    /// [`crate::minibatch`]).
     pub(crate) fn from_parts(
         assignments: Vec<usize>,
         centers: FeatureMatrix,
@@ -298,6 +303,11 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         centers.push_row(points.row(i));
     }
 
+    // Centers staged in the lane-transposed tile layout; every full
+    // k-way scan below goes through the blocked kernel (bit-identical to
+    // the scalar scan — see [`crate::blocked`]).
+    let mut blocked = BlockedCenters::new(&centers);
+
     let mut assignments = vec![0usize; n];
     // Hamerly bounds, in the metric (sqrt) domain where the triangle
     // inequality holds: `upper[i] >= d(i, center[assignments[i]])` and
@@ -309,7 +319,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         |(start, a_chunk, u_chunk, l_chunk)| {
             let cells = a_chunk.iter_mut().zip(u_chunk.iter_mut().zip(l_chunk));
             for (off, (a, (u, l))) in cells.enumerate() {
-                let (best, best_d2, second_d2) = scan_point(points.row(start + off), &centers);
+                let (best, best_d2, second_d2) = blocked.scan(points.row(start + off));
                 *a = best;
                 *u = best_d2.sqrt();
                 *l = second_d2.sqrt();
@@ -329,6 +339,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         previous_centers.clone_from(&centers);
         update.update_centers(points, &assignments, &mut centers);
         repair_empty_clusters(points, &mut assignments, &mut centers, &mut stolen);
+        blocked.refill(&centers);
 
         // How far each center travelled this iteration (including any
         // repair re-seeding); by the triangle inequality a point's
@@ -394,7 +405,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
                         continue;
                     }
                     counts.exact_scans += 1;
-                    let (best, best_d2, second_d2) = scan_point(p, &centers);
+                    let (best, best_d2, second_d2) = blocked.scan(p);
                     *u = best_d2.sqrt();
                     *l = second_d2.sqrt();
                     if best != *a {
@@ -570,26 +581,6 @@ fn scan_chunks<'s>(
         .collect()
 }
 
-/// Full scan of `p` against every center: `(best index, best squared
-/// distance, second-best squared distance)`. Ties break to the lower
-/// index, exactly like the reference scan.
-fn scan_point(p: &[f64], centers: &FeatureMatrix) -> (usize, f64, f64) {
-    let mut best = 0usize;
-    let mut best_d = f64::INFINITY;
-    let mut second_d = f64::INFINITY;
-    for (c, center) in centers.iter_rows().enumerate() {
-        let d = sq_l2(p, center);
-        if d < best_d {
-            second_d = best_d;
-            best_d = d;
-            best = c;
-        } else if d < second_d {
-            second_d = d;
-        }
-    }
-    (best, best_d, second_d)
-}
-
 /// Reusable buffers for the center update so the Lloyd loop allocates
 /// nothing per iteration.
 struct CenterUpdateScratch {
@@ -644,8 +635,10 @@ impl CenterUpdateScratch {
 /// Re-seeds every empty cluster on the point farthest from its current
 /// center, stealing it from its (necessarily non-empty) donor cluster.
 /// The indices of stolen points are collected into `stolen` (cleared
-/// first) so the caller can invalidate their distance bounds.
-fn repair_empty_clusters(
+/// first) so the caller can invalidate their distance bounds. Shared
+/// with the mini-batch variant ([`crate::minibatch`]), which has the
+/// same no-empty-groups obligation.
+pub(crate) fn repair_empty_clusters(
     points: &FeatureMatrix,
     assignments: &mut [usize],
     centers: &mut FeatureMatrix,

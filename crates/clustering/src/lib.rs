@@ -41,17 +41,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must attach context to failures (`expect`/`Result`), not
+// panic opaquely; tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod balanced;
+pub mod blocked;
 pub mod hierarchical;
 pub mod init;
 pub mod kmeans;
 pub mod masked;
 pub mod medoids;
+pub mod minibatch;
 pub mod model_selection;
 pub mod quality;
 
 pub use balanced::{kmeans_capped, CapError};
+pub use blocked::BlockedCenters;
 pub use ecg_coords::FeatureMatrix;
 pub use init::{server_distance_weights, Initializer};
 pub use kmeans::{
@@ -59,6 +65,7 @@ pub use kmeans::{
 };
 pub use masked::{kmeans_masked, kmeans_masked_observed, masked_sq_l2};
 pub use medoids::{pam, pam_euclidean, Medoids};
+pub use minibatch::{kmeans_minibatch, kmeans_variant, KmeansVariant, MiniBatchConfig};
 pub use model_selection::{suggest_k, KSelection};
 pub use quality::{
     average_group_interaction_cost, euclidean_cost, group_interaction_cost, group_size_stats,

@@ -3,7 +3,8 @@
 use ecg_clustering::hierarchical::{agglomerative, Linkage};
 use ecg_clustering::{
     average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped, kmeans_masked,
-    kmeans_reference, server_distance_weights, FeatureMatrix, Initializer, KmeansConfig,
+    kmeans_minibatch, kmeans_reference, server_distance_weights, BlockedCenters, FeatureMatrix,
+    Initializer, KmeansConfig, MiniBatchConfig,
 };
 use ecg_coords::FeatureMask;
 use proptest::prelude::*;
@@ -310,6 +311,71 @@ proptest! {
     }
 
     #[test]
+    fn blocked_scan_matches_naive_nearest_center(
+        points in arb_points(),
+        centers in arb_points(),
+    ) {
+        // The tiled kernel must be invisible: same winner, same squared
+        // distance bit for bit as the obvious row-major scan with the
+        // same left-to-right accumulation order.
+        let blocked = BlockedCenters::new(&centers);
+        for p in points.iter_rows() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, row) in centers.iter_rows().enumerate() {
+                let d: f64 = p.iter().zip(row).map(|(x, y)| (x - y) * (x - y)).sum();
+                if d < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            let (bc, bd, _) = blocked.scan(p);
+            prop_assert_eq!(bc, best);
+            prop_assert_eq!(bd.to_bits(), best_d.to_bits());
+        }
+    }
+
+    #[test]
+    fn minibatch_kmeans_is_thread_count_invariant(
+        points in arb_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // The derived-seed batch streams and chunked blocked assignment
+        // must make mini-batch results a pure function of the seed:
+        // forced 1, 2, and 8 workers all bit-identical. Invariance holds
+        // by construction, so flipping the global override here cannot
+        // perturb concurrently running tests.
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let mb = MiniBatchConfig::default().batch_size(16).iterations(8);
+        let run_at = |threads: usize| {
+            ecg_par::set_max_threads(Some(threads));
+            let r = kmeans_minibatch(
+                &points,
+                KmeansConfig::new(k),
+                mb,
+                &Initializer::RandomRepresentative,
+                &mut StdRng::seed_from_u64(seed),
+            ).unwrap();
+            ecg_par::set_max_threads(None);
+            r
+        };
+        let t1 = run_at(1);
+        for wide in [run_at(2), run_at(8)] {
+            prop_assert_eq!(wide.assignments(), t1.assignments());
+            for (a, b) in wide.centers().as_flat().iter().zip(t1.centers().as_flat()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(wide.iterations(), t1.iterations());
+        }
+        // And it is still a partition into k non-empty clusters.
+        let sizes = t1.cluster_sizes();
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert_eq!(sizes.iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
     fn capped_kmeans_with_loose_cap_is_a_valid_partition(
         points in arb_points(),
         seed in any::<u64>(),
@@ -379,6 +445,38 @@ fn multi_chunk_parallel_kmeans_matches_reference_bit_for_bit() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
     assert_eq!(par.iterations(), reference.iterations());
+}
+
+#[test]
+fn multi_chunk_minibatch_kmeans_is_thread_count_invariant() {
+    // A batch larger than `ecg_par::DEFAULT_CHUNK` so the per-iteration
+    // assignment genuinely splits across work items, and n large enough
+    // that the final full assignment does too.
+    let points = big_points(900, 41);
+    let mb = MiniBatchConfig::default().batch_size(512).iterations(12);
+    let run_at = |threads: usize| {
+        ecg_par::set_max_threads(Some(threads));
+        let r = kmeans_minibatch(
+            &points,
+            KmeansConfig::new(30),
+            mb,
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(17),
+        )
+        .unwrap();
+        ecg_par::set_max_threads(None);
+        r
+    };
+    let t1 = run_at(1);
+    for wide in [run_at(2), run_at(8)] {
+        assert_eq!(wide.assignments(), t1.assignments());
+        for (a, b) in wide.centers().as_flat().iter().zip(t1.centers().as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    let sizes = t1.cluster_sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), 900);
+    assert!(sizes.iter().all(|&s| s > 0));
 }
 
 #[test]

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod probe;
 pub mod resilience;
 pub mod simplex;
+pub mod tiles;
 pub mod vivaldi;
 
 pub use feature::{
@@ -58,4 +59,5 @@ pub use matrix::FeatureMatrix;
 pub use metrics::{feature_vector_distance_error, proximity_order_preservation, ErrorStats};
 pub use probe::{ProbeConfig, Prober};
 pub use resilience::{FeatureMask, Measurement, ProbeFaults, RetryPolicy};
+pub use tiles::{CenterTiles, LANE_WIDTH};
 pub use vivaldi::{mean_relative_error, run_vivaldi, VivaldiConfig, VivaldiNode};

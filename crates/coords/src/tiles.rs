@@ -1,0 +1,194 @@
+//! Lane-transposed tiles of a [`FeatureMatrix`] for blocked distance
+//! kernels.
+//!
+//! The K-means assignment scan is a point × center distance kernel. With
+//! row-major centers the inner loop walks one center row at a time and
+//! the compiler cannot vectorize across centers without reassociating
+//! the per-pair f64 sum (which would change results bit for bit).
+//! [`CenterTiles`] stores the *transpose* in fixed-width lanes instead:
+//! tile `t` holds centers `t·W .. t·W + W` (`W` = [`LANE_WIDTH`]) as
+//! `dim` consecutive rows of `W` values, one row per coordinate. A scan
+//! then keeps `W` independent per-center accumulators and walks the
+//! coordinate dimension in order:
+//!
+//! ```text
+//! for d in 0..dim:            // outer: coordinate, in order
+//!     for lane in 0..W:       // inner: contiguous, vectorizes
+//!         acc[lane] += (p[d] - tile[d*W + lane])²
+//! ```
+//!
+//! Each accumulator receives exactly the additions the scalar
+//! `Σ (x−y)²` would, in the same order, so per-pair distances are
+//! **bit-identical** to the naive kernel — the vectorization happens
+//! *across centers*, never across the summation chain. The whole tile
+//! block (`k × dim` doubles) is contiguous and small enough to stay in
+//! L1/L2 while thousands of points stream over it.
+//!
+//! Padding lanes in the final tile are zero-filled; consumers bound
+//! their lane loop with [`CenterTiles::lanes_in_tile`] so padding never
+//! participates in a comparison.
+
+use crate::matrix::FeatureMatrix;
+
+/// Number of centers per tile. Eight f64 lanes span two AVX2 or one
+/// AVX-512 vector — wide enough to saturate the FP units, small enough
+/// that the accumulator block stays in registers.
+pub const LANE_WIDTH: usize = 8;
+
+/// A lane-transposed, tile-major copy of a center matrix (see the
+/// module docs for the layout and the bit-exactness argument).
+///
+/// # Examples
+///
+/// ```
+/// use ecg_coords::{CenterTiles, FeatureMatrix, LANE_WIDTH};
+///
+/// let centers = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let tiles = CenterTiles::new(&centers);
+/// assert_eq!(tiles.centers(), 2);
+/// assert_eq!(tiles.tile_count(), 1);
+/// assert_eq!(tiles.lanes_in_tile(0), 2);
+/// // Coordinate 0 of both centers sits in the first lane row.
+/// assert_eq!(&tiles.tile(0)[..2], &[1.0, 3.0]);
+/// // Coordinate 1 follows in the next lane row.
+/// assert_eq!(&tiles.tile(0)[LANE_WIDTH..LANE_WIDTH + 2], &[2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CenterTiles {
+    data: Vec<f64>,
+    centers: usize,
+    dim: usize,
+}
+
+impl CenterTiles {
+    /// Builds tiles from `centers`.
+    pub fn new(centers: &FeatureMatrix) -> Self {
+        let mut tiles = CenterTiles {
+            data: Vec::new(),
+            centers: 0,
+            dim: centers.dim(),
+        };
+        tiles.refill(centers);
+        tiles
+    }
+
+    /// Rebuilds the tiles from a (possibly moved) center matrix, reusing
+    /// the allocation — the Lloyd loop calls this once per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension changed since construction.
+    pub fn refill(&mut self, centers: &FeatureMatrix) {
+        assert_eq!(
+            centers.dim(),
+            self.dim,
+            "center dimension changed between refills"
+        );
+        self.centers = centers.len();
+        let tile_len = self.dim * LANE_WIDTH;
+        self.data.clear();
+        self.data.resize(self.tile_count() * tile_len, 0.0);
+        for (c, row) in centers.iter_rows().enumerate() {
+            let tile = c / LANE_WIDTH;
+            let lane = c % LANE_WIDTH;
+            let base = tile * tile_len + lane;
+            for (d, &v) in row.iter().enumerate() {
+                self.data[base + d * LANE_WIDTH] = v;
+            }
+        }
+    }
+
+    /// Number of centers represented.
+    #[inline]
+    pub fn centers(&self) -> usize {
+        self.centers
+    }
+
+    /// Coordinate dimension of every center.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of tiles ([`LANE_WIDTH`] centers each, last may be
+    /// partial).
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.centers.div_ceil(LANE_WIDTH)
+    }
+
+    /// Real (non-padding) lanes in tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn lanes_in_tile(&self, t: usize) -> usize {
+        assert!(t < self.tile_count(), "tile index out of range");
+        LANE_WIDTH.min(self.centers - t * LANE_WIDTH)
+    }
+
+    /// Tile `t` as a flat slice of `dim * LANE_WIDTH` values: coordinate
+    /// `d` of lane `l` is at `d * LANE_WIDTH + l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn tile(&self, t: usize) -> &[f64] {
+        let tile_len = self.dim * LANE_WIDTH;
+        &self.data[t * tile_len..(t + 1) * tile_len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut m = FeatureMatrix::new(3);
+        for c in 0..LANE_WIDTH + 3 {
+            m.push_row(&[c as f64, c as f64 + 0.5, -(c as f64)]);
+        }
+        let tiles = CenterTiles::new(&m);
+        assert_eq!(tiles.centers(), LANE_WIDTH + 3);
+        assert_eq!(tiles.tile_count(), 2);
+        assert_eq!(tiles.lanes_in_tile(0), LANE_WIDTH);
+        assert_eq!(tiles.lanes_in_tile(1), 3);
+        for c in 0..tiles.centers() {
+            let tile = tiles.tile(c / LANE_WIDTH);
+            let lane = c % LANE_WIDTH;
+            for d in 0..3 {
+                assert_eq!(tile[d * LANE_WIDTH + lane], m.row(c)[d], "c={c} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_tracks_center_movement_and_count() {
+        let mut m = FeatureMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let mut tiles = CenterTiles::new(&m);
+        m.row_mut(1)[0] = 9.0;
+        m.push_row(&[4.0]);
+        tiles.refill(&m);
+        assert_eq!(tiles.centers(), 3);
+        assert_eq!(&tiles.tile(0)[..3], &[1.0, 9.0, 4.0]);
+        // Padding lanes are zeroed, not stale.
+        assert_eq!(&tiles.tile(0)[3..], &[0.0; LANE_WIDTH - 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn dim_change_rejected() {
+        let mut tiles = CenterTiles::new(&FeatureMatrix::from_rows(&[vec![1.0, 2.0]]));
+        tiles.refill(&FeatureMatrix::from_rows(&[vec![1.0]]));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let tiles = CenterTiles::new(&FeatureMatrix::new(4));
+        assert_eq!(tiles.centers(), 0);
+        assert_eq!(tiles.tile_count(), 0);
+    }
+}

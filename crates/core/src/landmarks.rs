@@ -18,9 +18,16 @@
 
 use ecg_coords::{Measurement, Prober, RetryPolicy};
 use ecg_obs::Obs;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Candidate count above which the greedy arg-max fans out across
+/// [`ecg_par`] workers. Paper-scale PLSets (tens of candidates) stay on
+/// the sequential branch; the parallel branch only engages at bench
+/// scale, and is bit-identical anyway (see [`max_min_fill`]).
+const PAR_THRESHOLD: usize = 512;
 
 /// Strategy for choosing the landmark set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -178,44 +185,184 @@ pub fn select_landmarks<R: Rng + ?Sized>(
     let maximize = selector == LandmarkSelector::GreedyMaxMin;
     let mut lm_set = vec![0usize];
     let mut remaining = plset.clone();
-    while lm_set.len() < l {
-        let (best_pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(pos, &cand)| {
-                // MinDist(LmSet ∪ {cand}) is limited by the candidate's
-                // distance to the current set (the set's own MinDist is
-                // fixed), so comparing candidates by their min distance
-                // to the set is equivalent.
-                let to_set = lm_set
-                    .iter()
-                    .map(|&s| dist(s, cand))
-                    .fold(f64::INFINITY, f64::min);
-                (pos, to_set)
-            })
-            .max_by(|a, b| {
-                let ord = a.1.partial_cmp(&b.1).expect("distances are not NaN");
-                if maximize { ord } else { ord.reverse() }
-                    // Stable preference for the earliest PLSet entry on ties
-                    // comes from max_by keeping the *last* max; reverse the
-                    // index to prefer the first.
-                    .then_with(|| b.0.cmp(&a.0))
-            })
-            .expect("PLSet has candidates");
-        lm_set.push(remaining.swap_remove(best_pos));
+    max_min_fill(&mut lm_set, &mut remaining, l, maximize, &dist);
+
+    let min_dist = pairwise_min_dist(&lm_set, &dist);
+    Ok(LandmarkSelection {
+        landmarks: lm_set,
+        plset,
+        min_dist_ms: Some(min_dist),
+    })
+}
+
+/// Like [`select_landmarks`], but the `O((M·L)²)` PLSet measurement
+/// phase fans out across [`ecg_par`] workers: pair `p` (in the same
+/// `(a, b)` enumeration order as the sequential pass) draws its probe
+/// noise from an independent `StdRng` stream seeded with
+/// [`ecg_par::derive_seed`]`(master, p)`, where `master` is one `u64`
+/// drawn from `rng`. Results therefore depend only on the seed, **never
+/// on the thread count** — but, like
+/// [`ecg_coords::build_feature_matrix_par`], the per-pair streams are
+/// *not* draw-for-draw compatible with the sequential prober loop, so
+/// with a noisy [`ecg_coords::ProbeConfig`] the measured values (and
+/// possibly the selection) differ from [`select_landmarks`]. Under a
+/// noiseless config a measurement draws nothing, so the selection is
+/// **identical** to the sequential pass (pinned by the equivalence
+/// tests).
+///
+/// The greedy phase itself goes through the same [`max_min_fill`] as
+/// the sequential selector (chunk-parallel arg-max above
+/// [`PAR_THRESHOLD`] candidates, bit-identical by construction), and
+/// the `Random` selector measures nothing and delegates outright.
+///
+/// # Errors
+///
+/// Exactly as [`select_landmarks`].
+pub fn select_landmarks_par<R: Rng + ?Sized>(
+    prober: &Prober<'_>,
+    selector: LandmarkSelector,
+    l: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<LandmarkSelection, LandmarkError> {
+    if selector == LandmarkSelector::Random {
+        return select_landmarks(prober, selector, l, m, rng);
+    }
+    if l < 2 {
+        return Err(LandmarkError::TooFewLandmarks { requested: l });
+    }
+    if m < 1 {
+        return Err(LandmarkError::BadMultiplier);
+    }
+    let caches = prober.node_count() - 1;
+    if caches < l - 1 {
+        return Err(LandmarkError::TooFewCaches {
+            caches,
+            landmarks: l,
+        });
     }
 
+    // Phase 1: the same PLSet draw as the sequential path (same RNG
+    // stream), then one master seed for the measurement streams.
+    let plset_size = (m * (l - 1)).min(caches);
+    let mut indices: Vec<usize> = (1..=caches).collect();
+    for i in 0..plset_size {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    let plset: Vec<usize> = indices[..plset_size].to_vec();
+    let master: u64 = rng.gen();
+
+    // Pairs in the sequential enumeration order; pair p gets its own
+    // derived stream, measured in parallel over fixed chunks and
+    // reassembled in order.
+    let mut nodes = vec![0usize];
+    nodes.extend_from_slice(&plset);
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(nodes.len() * (nodes.len() - 1) / 2);
+    for (a_pos, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(a_pos + 1) {
+            pairs.push((a, b));
+        }
+    }
+    let values: Vec<f64> = ecg_par::par_chunk_map(pairs.len(), |range| {
+        range
+            .map(|p| {
+                let (a, b) = pairs[p];
+                let mut pair_rng = StdRng::seed_from_u64(ecg_par::derive_seed(master, p as u64));
+                prober.measure(a, b, &mut pair_rng)
+            })
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut measured: HashMap<(usize, usize), f64> = HashMap::new();
+    for (&(a, b), &d) in pairs.iter().zip(&values) {
+        measured.insert((a.min(b), a.max(b)), d);
+    }
+    let dist = |a: usize, b: usize| -> f64 { measured[&(a.min(b), a.max(b))] };
+
+    let maximize = selector == LandmarkSelector::GreedyMaxMin;
+    let mut lm_set = vec![0usize];
+    let mut remaining = plset.clone();
+    max_min_fill(&mut lm_set, &mut remaining, l, maximize, &dist);
+
+    let min_dist = pairwise_min_dist(&lm_set, &dist);
+    Ok(LandmarkSelection {
+        landmarks: lm_set,
+        plset,
+        min_dist_ms: Some(min_dist),
+    })
+}
+
+/// The greedy dispersal fill shared by every non-random selector: grow
+/// `lm_set` from `remaining` until it has `target` members (or the
+/// candidates run out), each step electing the candidate whose minimum
+/// distance to the current set is largest (`maximize`) or smallest.
+///
+/// Candidates are scored by their min distance to the set — equivalent
+/// to scoring `MinDist(LmSet ∪ {cand})`, because the set's own MinDist
+/// is fixed within a step. Exact-tie scores elect the earliest
+/// remaining-position candidate (the comparator reverses the index, and
+/// `max_by` keeps the last maximum).
+///
+/// Above [`PAR_THRESHOLD`] candidates the arg-max fans out over fixed
+/// [`ecg_par::chunk_ranges`] chunks with an in-order reduction of the
+/// per-chunk winners. The comparator is a *total* order on
+/// `(position, score)` pairs (distinct positions never compare equal),
+/// so the maximum is unique and the chunked reduction returns exactly
+/// the sequential winner — bit-identical at any thread count, which the
+/// parallel==sequential equivalence tests pin.
+fn max_min_fill(
+    lm_set: &mut Vec<usize>,
+    remaining: &mut Vec<usize>,
+    target: usize,
+    maximize: bool,
+    dist: &(impl Fn(usize, usize) -> f64 + Sync),
+) {
+    let better = |a: &(usize, f64), b: &(usize, f64)| {
+        let ord = a.1.partial_cmp(&b.1).expect("distances are not NaN");
+        if maximize { ord } else { ord.reverse() }
+            // Stable preference for the earliest candidate on ties comes
+            // from max_by keeping the *last* max; reverse the index to
+            // prefer the first.
+            .then_with(|| b.0.cmp(&a.0))
+    };
+    while lm_set.len() < target && !remaining.is_empty() {
+        let score = |pos: usize| {
+            let cand = remaining[pos];
+            let to_set = lm_set
+                .iter()
+                .map(|&s| dist(s, cand))
+                .fold(f64::INFINITY, f64::min);
+            (pos, to_set)
+        };
+        let (best_pos, _) = if remaining.len() >= PAR_THRESHOLD {
+            ecg_par::par_chunk_map(remaining.len(), |range| {
+                range.map(score).max_by(better).expect("chunk is non-empty")
+            })
+            .into_iter()
+            .max_by(better)
+            .expect("PLSet has candidates")
+        } else {
+            (0..remaining.len())
+                .map(score)
+                .max_by(better)
+                .expect("PLSet has candidates")
+        };
+        lm_set.push(remaining.swap_remove(best_pos));
+    }
+}
+
+/// `MinDist(LmSet)` — the minimum pairwise measured distance.
+fn pairwise_min_dist(lm_set: &[usize], dist: &impl Fn(usize, usize) -> f64) -> f64 {
     let mut min_dist = f64::INFINITY;
     for (a_pos, &a) in lm_set.iter().enumerate() {
         for &b in lm_set.iter().skip(a_pos + 1) {
             min_dist = min_dist.min(dist(a, b));
         }
     }
-    Ok(LandmarkSelection {
-        landmarks: lm_set,
-        plset,
-        min_dist_ms: Some(min_dist),
-    })
+    min_dist
 }
 
 /// Result of [`select_landmarks_resilient`]: the selection plus what
@@ -359,27 +506,7 @@ pub fn select_landmarks_resilient_observed<R: Rng + ?Sized>(
     let maximize = selector == LandmarkSelector::GreedyMaxMin;
     let mut lm_set = vec![0usize];
     let mut remaining = plset.clone();
-    let fill = |lm_set: &mut Vec<usize>, remaining: &mut Vec<usize>, target: usize| {
-        while lm_set.len() < target && !remaining.is_empty() {
-            let (best_pos, _) = remaining
-                .iter()
-                .enumerate()
-                .map(|(pos, &cand)| {
-                    let to_set = lm_set
-                        .iter()
-                        .map(|&s| dist(s, cand))
-                        .fold(f64::INFINITY, f64::min);
-                    (pos, to_set)
-                })
-                .max_by(|a, b| {
-                    let ord = a.1.partial_cmp(&b.1).expect("distances are not NaN");
-                    if maximize { ord } else { ord.reverse() }.then_with(|| b.0.cmp(&a.0))
-                })
-                .expect("PLSet has candidates");
-            lm_set.push(remaining.swap_remove(best_pos));
-        }
-    };
-    fill(&mut lm_set, &mut remaining, l);
+    max_min_fill(&mut lm_set, &mut remaining, l, maximize, &dist);
 
     // ... then evict dead electees and re-run the same max–min step
     // over the surviving candidates.
@@ -391,16 +518,11 @@ pub fn select_landmarks_resilient_observed<R: Rng + ?Sized>(
     if !replaced.is_empty() {
         lm_set.retain(|n| dead_nodes.binary_search(n).is_err());
         remaining.retain(|n| dead_nodes.binary_search(n).is_err());
-        fill(&mut lm_set, &mut remaining, l);
+        max_min_fill(&mut lm_set, &mut remaining, l, maximize, &dist);
     }
     replaced.sort_unstable();
 
-    let mut min_dist = f64::INFINITY;
-    for (a_pos, &a) in lm_set.iter().enumerate() {
-        for &b in lm_set.iter().skip(a_pos + 1) {
-            min_dist = min_dist.min(dist(a, b));
-        }
-    }
+    let min_dist = pairwise_min_dist(&lm_set, &dist);
     if let Some(o) = obs {
         o.metrics.add("landmarks.dead", dead_nodes.len() as u64);
         o.metrics.add("landmarks.failovers", replaced.len() as u64);
@@ -427,6 +549,11 @@ mod tests {
     /// A prober over the Figure 1 matrix with exact measurements.
     fn prober(m: &ecg_topology::RttMatrix) -> Prober<'_> {
         Prober::new(m, ProbeConfig::noiseless())
+    }
+
+    /// A prober with the default noisy measurement model.
+    fn prober_noisy(m: &ecg_topology::RttMatrix) -> Prober<'_> {
+        Prober::new(m, ProbeConfig::default())
     }
 
     /// Reproduces the paper's worked example with a forced PLSet. Since
@@ -637,6 +764,103 @@ mod tests {
         // members instead of panicking or electing the dead.
         assert_eq!(sel.selection.landmarks, vec![0, 1]);
         assert_eq!(sel.dead_nodes, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_noiseless_over_many_seeds() {
+        // A noiseless measurement draws nothing from its RNG, so the
+        // derived per-pair streams cannot diverge from the sequential
+        // prober loop: the parallel selector must return the *identical*
+        // selection for every seed and selector.
+        let m = paper_figure1();
+        for selector in [
+            LandmarkSelector::GreedyMaxMin,
+            LandmarkSelector::MinDist,
+            LandmarkSelector::Random,
+        ] {
+            for seed in 0..30u64 {
+                let p = prober(&m);
+                let seq =
+                    select_landmarks(&p, selector, 3, 2, &mut StdRng::seed_from_u64(seed)).unwrap();
+                let p = prober(&m);
+                let par =
+                    select_landmarks_par(&p, selector, 3, 2, &mut StdRng::seed_from_u64(seed))
+                        .unwrap();
+                assert_eq!(par, seq, "{selector} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_selection_is_thread_count_invariant_with_noise() {
+        // With a noisy probe config the parallel values come from
+        // derived per-pair streams — legitimately different from the
+        // sequential prober loop, but a pure function of the seed. The
+        // selection must not move when the worker count does. (Results
+        // are thread-invariant by construction, so flipping the global
+        // override cannot perturb concurrently running tests.)
+        let m = paper_figure1();
+        let run_at = |threads: usize, seed: u64| {
+            ecg_par::set_max_threads(Some(threads));
+            let p = prober_noisy(&m);
+            let sel = select_landmarks_par(
+                &p,
+                LandmarkSelector::GreedyMaxMin,
+                3,
+                2,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+            ecg_par::set_max_threads(None);
+            sel
+        };
+        for seed in 0..5u64 {
+            let at1 = run_at(1, seed);
+            let at2 = run_at(2, seed);
+            let at8 = run_at(8, seed);
+            assert_eq!(at1, at2, "seed {seed}");
+            assert_eq!(at1, at8, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_argmax_branch_matches_sequential_at_bench_scale() {
+        // l=4, m=200 over a 700-cache synthetic network: the PLSet has
+        // 600 candidates, past PAR_THRESHOLD, so the greedy fill takes
+        // the chunk-parallel arg-max branch — which must elect exactly
+        // the sequential winners (total order on (position, score)).
+        use ecg_topology::SyntheticRttConfig;
+        let net = SyntheticRttConfig::default().generate(701, 42);
+        let run = |threads: Option<usize>| {
+            ecg_par::set_max_threads(threads);
+            let p = Prober::new(&net, ProbeConfig::noiseless());
+            let sel = select_landmarks_par(
+                &p,
+                LandmarkSelector::GreedyMaxMin,
+                4,
+                200,
+                &mut StdRng::seed_from_u64(7),
+            )
+            .unwrap();
+            ecg_par::set_max_threads(None);
+            sel
+        };
+        let at1 = run(Some(1));
+        let at4 = run(Some(4));
+        assert_eq!(at1, at4);
+        assert_eq!(at1.plset.len(), 600);
+        assert_eq!(at1.landmarks.len(), 4);
+        // Sequential oracle over the same seed (noiseless: same values).
+        let p = Prober::new(&net, ProbeConfig::noiseless());
+        let seq = select_landmarks(
+            &p,
+            LandmarkSelector::GreedyMaxMin,
+            4,
+            200,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(at1, seq);
     }
 
     #[test]

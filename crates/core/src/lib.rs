@@ -48,10 +48,12 @@ pub mod scheme;
 
 pub use health::{FormationHealth, ResilienceConfig};
 pub use landmarks::{
-    select_landmarks, select_landmarks_resilient, select_landmarks_resilient_observed,
-    LandmarkError, LandmarkSelection, LandmarkSelector, ResilientLandmarkSelection,
+    select_landmarks, select_landmarks_par, select_landmarks_resilient,
+    select_landmarks_resilient_observed, LandmarkError, LandmarkSelection, LandmarkSelector,
+    ResilientLandmarkSelection,
 };
 pub use maintenance::{GroupMaintainer, MaintenanceError, RetireOutcome};
 pub use scheme::{
-    GfCoordinator, GroupInit, GroupingOutcome, Representation, SchemeConfig, SchemeError,
+    FormationTimings, GfCoordinator, GroupInit, GroupingOutcome, Representation, ScaledFormation,
+    SchemeConfig, SchemeError,
 };

@@ -12,21 +12,23 @@
 
 use crate::health::{FormationHealth, ResilienceConfig};
 use crate::landmarks::{
-    select_landmarks, select_landmarks_resilient_observed, LandmarkError, LandmarkSelection,
-    LandmarkSelector,
+    select_landmarks, select_landmarks_par, select_landmarks_resilient_observed, LandmarkError,
+    LandmarkSelection, LandmarkSelector,
 };
 use ecg_clustering::{
     kmeans_capped, kmeans_masked_observed, kmeans_observed, server_distance_weights, CapError,
-    Initializer, KmeansConfig, KmeansError,
+    Initializer, KmeansConfig, KmeansError, KmeansVariant,
 };
 use ecg_coords::{
-    build_feature_matrix, build_feature_matrix_resilient_observed, embed_network, run_vivaldi,
-    FeatureMask, FeatureMatrix, GnpConfig, ProbeConfig, ProbeFaults, Prober, VivaldiConfig,
+    build_feature_matrix, build_feature_matrix_par, build_feature_matrix_resilient_observed,
+    embed_network, run_vivaldi, FeatureMask, FeatureMatrix, GnpConfig, ProbeConfig, ProbeFaults,
+    Prober, VivaldiConfig,
 };
 use ecg_obs::Obs;
-use ecg_topology::{CacheId, EdgeNetwork};
+use ecg_topology::{CacheId, EdgeNetwork, RttSource};
 use rand::Rng;
 use std::fmt;
+use std::time::Instant;
 
 /// How node positions are represented for clustering (§3.2 vs §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -88,6 +90,7 @@ pub struct SchemeConfig {
     representation: Representation,
     init: GroupInit,
     kmeans_max_iterations: usize,
+    kmeans_variant: KmeansVariant,
     max_group_size: Option<usize>,
     resilience: Option<ResilienceConfig>,
 }
@@ -106,6 +109,7 @@ impl SchemeConfig {
             representation: Representation::FeatureVectors,
             init: GroupInit::Uniform,
             kmeans_max_iterations: 100,
+            kmeans_variant: KmeansVariant::Lloyd,
             max_group_size: None,
             resilience: None,
         }
@@ -174,6 +178,23 @@ impl SchemeConfig {
     pub fn kmeans_max_iterations(mut self, iters: usize) -> Self {
         self.kmeans_max_iterations = iters;
         self
+    }
+
+    /// Selects the K-means engine for the *scaled* pipeline
+    /// ([`GfCoordinator::form_groups_scaled`]): full-batch Lloyd (the
+    /// default, byte-exact with the paper path) or the deterministic
+    /// mini-batch variant for large `N`. The paper-exact entry points
+    /// ([`GfCoordinator::form_groups`] and friends) always run
+    /// full-batch Lloyd regardless of this setting, so historical
+    /// experiment outputs cannot move.
+    pub fn kmeans_variant(mut self, variant: KmeansVariant) -> Self {
+        self.kmeans_variant = variant;
+        self
+    }
+
+    /// The K-means engine the scaled pipeline uses.
+    pub fn kmeans_variant_config(&self) -> &KmeansVariant {
+        &self.kmeans_variant
     }
 
     /// Caps every group at `max` members (an extension beyond the
@@ -946,6 +967,139 @@ impl GfCoordinator {
             health: Some(health),
         })
     }
+
+    /// The large-N pipeline over any [`RttSource`] oracle: parallel
+    /// landmark probing ([`select_landmarks_par`]), parallel feature
+    /// construction ([`build_feature_matrix_par`]), and the configured
+    /// [`KmeansVariant`] (full-batch Lloyd by default, mini-batch via
+    /// [`SchemeConfig::kmeans_variant`]).
+    ///
+    /// This is the same three-step pipeline as
+    /// [`GfCoordinator::form_groups`], but over an O(n)-state oracle
+    /// (e.g. [`ecg_topology::SyntheticRtt`]) instead of a dense
+    /// `EdgeNetwork`, with every probing stage on derived-seed parallel
+    /// kernels — so the result depends only on the seed, never the
+    /// thread count, and the per-stage wall-clock is reported in
+    /// [`FormationTimings`]. Timings are measurement-only: no RNG draw
+    /// or control-flow decision reads the clock.
+    ///
+    /// Two deliberate scope limits versus the paper path: positions are
+    /// always landmark feature vectors (no GNP/Vivaldi embedding — both
+    /// are quadratic-ish and exist for small-scale comparisons), and
+    /// [`SchemeConfig::max_group_size`] is ignored (the balanced
+    /// assignment pass is sequential and paper-scale only). Resilience
+    /// is likewise a paper-path feature. The outcome carries no
+    /// [`FormationHealth`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError`] if the network is too small for the
+    /// requested landmarks or groups, or clustering fails.
+    pub fn form_groups_scaled<R: Rng + ?Sized>(
+        &self,
+        source: &dyn RttSource,
+        rng: &mut R,
+    ) -> Result<ScaledFormation, SchemeError> {
+        let cfg = &self.config;
+        let n = source.node_count() - 1;
+        if cfg.groups > n {
+            return Err(SchemeError::TooManyGroups {
+                groups: cfg.groups,
+                caches: n,
+            });
+        }
+        let prober = Prober::new(source, cfg.probe);
+        let started = Instant::now();
+
+        // Step 1: landmark selection, parallel measurement phase.
+        let selection = select_landmarks_par(
+            &prober,
+            cfg.selector,
+            cfg.landmarks.min(n + 1),
+            cfg.plset_multiplier,
+            rng,
+        )?;
+        let landmarks_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Step 2: feature vectors, parallel row construction. Component
+        // 0 of every row is the measured server distance (landmarks[0]
+        // is always the origin).
+        let features_started = Instant::now();
+        let nodes: Vec<usize> = (1..=n).collect();
+        let points = build_feature_matrix_par(&prober, &nodes, &selection.landmarks, rng);
+        let server_distances_ms: Vec<f64> = points.iter_rows().map(|row| row[0]).collect();
+        let features_ms = features_started.elapsed().as_secs_f64() * 1e3;
+
+        // Step 3: clustering through the configured engine.
+        let clustering_started = Instant::now();
+        let initializer = match cfg.init {
+            GroupInit::Uniform => Initializer::RandomRepresentative,
+            GroupInit::ServerDistance { theta } => {
+                Initializer::Weighted(server_distance_weights(&server_distances_ms, theta))
+            }
+            GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
+        };
+        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let clustering = ecg_clustering::kmeans_variant(
+            &points,
+            kmeans_config,
+            &cfg.kmeans_variant,
+            &initializer,
+            rng,
+        )?;
+        let clustering_ms = clustering_started.elapsed().as_secs_f64() * 1e3;
+
+        let groups: Vec<Vec<CacheId>> = clustering
+            .clusters()
+            .into_iter()
+            .map(|members| members.into_iter().map(CacheId).collect())
+            .collect();
+        let outcome = GroupingOutcome {
+            groups,
+            assignments: clustering.assignments().to_vec(),
+            landmarks: selection,
+            server_distances_ms,
+            probes_sent: prober.probes_sent(),
+            kmeans_iterations: clustering.iterations(),
+            centers: clustering.centers().clone(),
+            points,
+            health: None,
+        };
+        Ok(ScaledFormation {
+            outcome,
+            timings: FormationTimings {
+                landmarks_ms,
+                features_ms,
+                clustering_ms,
+                total_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+        })
+    }
+}
+
+/// Per-stage wall-clock of a [`GfCoordinator::form_groups_scaled`] run,
+/// in milliseconds. Purely observational — the pipeline never branches
+/// on the clock, so timings cannot perturb results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormationTimings {
+    /// Landmark selection (PLSet probing + greedy fill).
+    pub landmarks_ms: f64,
+    /// Feature-matrix construction (cache-to-landmark probing).
+    pub features_ms: f64,
+    /// K-means clustering (whichever [`KmeansVariant`] ran).
+    pub clustering_ms: f64,
+    /// End-to-end formation time.
+    pub total_ms: f64,
+}
+
+/// A grouping from the scaled pipeline plus its per-stage timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledFormation {
+    /// The grouping, identical in shape to the paper path's outcome
+    /// (health is always `None` — resilience is a paper-path feature).
+    pub outcome: GroupingOutcome,
+    /// Per-stage wall-clock of this run.
+    pub timings: FormationTimings,
 }
 
 #[cfg(test)]
@@ -1359,6 +1513,96 @@ mod tests {
             assert!(health.backoff_ms >= health.probe_retries * 50);
         }
         assert!(retried > 0, "45% loss never triggered a retry");
+    }
+
+    #[test]
+    fn scaled_pipeline_forms_valid_groups_with_timings() {
+        use ecg_topology::SyntheticRttConfig;
+        let net = SyntheticRttConfig::default().generate(301, 9);
+        let coord = GfCoordinator::new(noiseless(
+            SchemeConfig::sl(10).landmarks(8).plset_multiplier(4),
+        ));
+        let formed = coord
+            .form_groups_scaled(&net, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let outcome = &formed.outcome;
+        assert_eq!(outcome.groups().len(), 10);
+        let mut all: Vec<usize> = outcome
+            .groups()
+            .iter()
+            .flatten()
+            .map(|c| c.index())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<_>>());
+        assert!(outcome.groups().iter().all(|g| !g.is_empty()));
+        assert!(outcome.health().is_none());
+        // Feature dim == landmark count; component 0 is the measured
+        // (noiseless: exact) server distance.
+        assert_eq!(outcome.points().dim(), 8);
+        for (i, &d) in outcome.server_distances_ms().iter().enumerate() {
+            assert_eq!(d, net.rtt_ms(i + 1, 0));
+        }
+        let t = formed.timings;
+        assert!(t.landmarks_ms >= 0.0 && t.features_ms >= 0.0 && t.clustering_ms >= 0.0);
+        assert!(t.total_ms >= t.clustering_ms);
+    }
+
+    #[test]
+    fn scaled_pipeline_is_thread_count_invariant_for_both_variants() {
+        use ecg_clustering::{KmeansVariant, MiniBatchConfig};
+        use ecg_topology::SyntheticRttConfig;
+        let net = SyntheticRttConfig::default().generate(401, 77);
+        for variant in [
+            KmeansVariant::Lloyd,
+            KmeansVariant::MiniBatch(MiniBatchConfig::default().batch_size(128).iterations(15)),
+        ] {
+            let coord = GfCoordinator::new(
+                SchemeConfig::sdsl(8, 1.0)
+                    .landmarks(6)
+                    .plset_multiplier(4)
+                    .kmeans_variant(variant),
+            );
+            let run_at = |threads: usize| {
+                ecg_par::set_max_threads(Some(threads));
+                let formed = coord
+                    .form_groups_scaled(&net, &mut StdRng::seed_from_u64(21))
+                    .unwrap();
+                ecg_par::set_max_threads(None);
+                formed.outcome
+            };
+            let at1 = run_at(1);
+            let at4 = run_at(4);
+            assert_eq!(at1.assignments(), at4.assignments(), "{variant:?}");
+            assert_eq!(
+                at1.centers().as_flat(),
+                at4.centers().as_flat(),
+                "{variant:?}"
+            );
+            assert_eq!(at1.landmarks(), at4.landmarks(), "{variant:?}");
+            assert_eq!(
+                at1.points().as_flat(),
+                at4.points().as_flat(),
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_pipeline_rejects_too_many_groups() {
+        use ecg_topology::SyntheticRttConfig;
+        let net = SyntheticRttConfig::default().generate(11, 1);
+        let coord = GfCoordinator::new(SchemeConfig::sl(50).landmarks(4));
+        let err = coord
+            .form_groups_scaled(&net, &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemeError::TooManyGroups {
+                groups: 50,
+                caches: 10
+            }
+        );
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //!    consumes no shared generator and is scheduling-invariant.
 //!
 //! The worker pool itself is self-scheduling (an atomic next-index over
-//! `std::thread::scope` workers), which is safe *because* nothing
-//! order-sensitive happens at scheduling granularity.
+//! a process-wide pool of persistent workers — see the `pool` module),
+//! which is
+//! safe *because* nothing order-sensitive happens at scheduling
+//! granularity. Workers park between calls instead of being respawned
+//! per call, so a parallel call costs a condvar wake, not a thread
+//! spawn.
 //!
 //! Thread count resolution, in precedence order: the programmatic
 //! [`set_max_threads`] override (used by benchmark sweeps), the
@@ -26,6 +30,10 @@
 //! [`std::thread::available_parallelism`]. When one thread is resolved,
 //! every entry point degrades to a plain sequential loop with no thread
 //! spawns and no synchronization.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod pool;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -139,23 +147,23 @@ where
     let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot lock")
-                    .take()
-                    .expect("each slot is taken once");
-                let result = f(item);
-                *out[i].lock().expect("out slot lock") = Some(result);
-            });
+    // The submitting thread plus `threads - 1` persistent pool workers
+    // all run the same self-scheduling loop; `pool::run` returns once
+    // every participant has drained out.
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let item = work[i]
+            .lock()
+            .expect("work slot lock")
+            .take()
+            .expect("each slot is taken once");
+        let result = f(item);
+        *out[i].lock().expect("out slot lock") = Some(result);
+    };
+    pool::run(threads - 1, &worker);
 
     out.into_iter()
         .map(|slot| {

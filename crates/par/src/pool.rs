@@ -1,0 +1,275 @@
+//! Persistent worker pool behind [`crate::par_map_with`].
+//!
+//! The first generation of this crate spawned fresh `std::thread::scope`
+//! workers on every parallel call. That is correct but pays thread
+//! creation and teardown on every K-means iteration, every feature-matrix
+//! build, every GIC evaluation — tens of microseconds per call that
+//! dominate once the kernels themselves are fast. This module replaces
+//! the per-call spawns with one process-wide pool of persistent workers
+//! that park on a condvar between jobs.
+//!
+//! Nothing about the determinism contract changes: the pool only affects
+//! *scheduling*, and every kernel in this crate is already
+//! scheduling-invariant (fixed chunk boundaries, input-order reduction,
+//! self-scheduled atomic next-index). Workers have stable identities
+//! (`ecg-par-0`, `ecg-par-1`, …) pinned for the process lifetime; they
+//! are spawned lazily on first demand and grow monotonically up to
+//! [`MAX_POOL_WORKERS`].
+//!
+//! # Design
+//!
+//! A job is a lifetime-erased `&(dyn Fn() + Sync)` plus a claim budget
+//! (`slots`). Publishing a job wakes the pool; each worker that claims a
+//! slot runs the *same* closure (the closure itself loops over a shared
+//! atomic index, exactly as before). The submitting thread always
+//! participates too, which makes the pool deadlock-free under nesting: an
+//! inner parallel call issued from a pool worker makes progress even when
+//! every other worker is busy, because unclaimed slots are never waited
+//! on — only workers that actually claimed a slot are.
+//!
+//! # Safety
+//!
+//! The job closure borrows the caller's stack (work slots, output slots,
+//! the atomic index), so handing it to `'static` workers erases its
+//! lifetime. This is sound because [`run`] does not return until every
+//! worker that claimed a slot has finished running the closure and no
+//! further claims are possible (`slots` is zeroed under the state lock
+//! before waiting): the borrow strictly outlives every use. Worker
+//! panics are caught and re-raised on the submitting thread, and a panic
+//! in the submitter's own participation still closes the job before
+//! unwinding, so the erased borrow can never dangle.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard cap on persistent workers — far above any sane `ECG_THREADS`,
+/// purely a runaway backstop.
+const MAX_POOL_WORKERS: usize = 256;
+
+/// A lifetime-erased pointer to a job closure. Sent to workers through
+/// the pool state; validity is guaranteed by [`run`]'s completion wait.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and `run` keeps the referent alive until all claimed workers
+// are done, so moving the pointer across threads is sound.
+unsafe impl Send for TaskPtr {}
+
+/// One published parallel call.
+struct Job {
+    id: u64,
+    task: TaskPtr,
+    /// Worker claims still available. Zeroed when the submitter closes
+    /// the job, after which no worker may join.
+    slots: usize,
+    /// Workers currently inside the closure.
+    active: usize,
+    /// First worker panic, re-raised on the submitting thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: Vec<Job>,
+    next_id: u64,
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    job_done: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State::default()),
+        work_ready: Condvar::new(),
+        job_done: Condvar::new(),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let (id, task) = {
+            let mut st = pool.state.lock().expect("pool state lock");
+            loop {
+                if let Some(job) = st.jobs.iter_mut().find(|j| j.slots > 0) {
+                    job.slots -= 1;
+                    job.active += 1;
+                    break (job.id, job.task);
+                }
+                st = pool.work_ready.wait(st).expect("pool state lock");
+            }
+        };
+        // SAFETY: `run` holds the closure alive until this worker's
+        // `active` decrement below is observed; the claim above happened
+        // before the job could close.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)() }));
+        let mut st = pool.state.lock().expect("pool state lock");
+        if let Some(job) = st.jobs.iter_mut().find(|j| j.id == id) {
+            job.active -= 1;
+            if let Err(payload) = outcome {
+                if job.panic.is_none() {
+                    job.panic = Some(payload);
+                }
+            }
+            if job.active == 0 {
+                pool.job_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `task` on the submitting thread plus up to `extra_workers` pool
+/// workers, returning when every participant has finished. Panics from
+/// any participant are re-raised here.
+pub(crate) fn run(extra_workers: usize, task: &(dyn Fn() + Sync)) {
+    if extra_workers == 0 {
+        task();
+        return;
+    }
+    let pool = pool();
+    // SAFETY: lifetime erasure only — see the module-level Safety notes.
+    // The completion wait below keeps the borrow alive past every use.
+    let erased: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task) };
+    let id = {
+        let mut st = pool.state.lock().expect("pool state lock");
+        let want = extra_workers.min(MAX_POOL_WORKERS);
+        while st.workers < want {
+            let index = st.workers;
+            std::thread::Builder::new()
+                .name(format!("ecg-par-{index}"))
+                .spawn(|| worker_loop(self::pool()))
+                .expect("spawn pool worker");
+            st.workers += 1;
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.push(Job {
+            id,
+            task: TaskPtr(erased as *const (dyn Fn() + Sync)),
+            slots: extra_workers,
+            active: 0,
+            panic: None,
+        });
+        pool.work_ready.notify_all();
+        id
+    };
+
+    // The submitter always participates — this is what makes nested
+    // parallel calls deadlock-free when every pool worker is busy.
+    let own = catch_unwind(AssertUnwindSafe(task));
+
+    // Close the job (no new claims) and wait out the claimed workers.
+    // Only then may the erased borrow end.
+    let worker_panic = {
+        let mut st = pool.state.lock().expect("pool state lock");
+        loop {
+            let pos = st
+                .jobs
+                .iter()
+                .position(|j| j.id == id)
+                .expect("job outlives its run call");
+            st.jobs[pos].slots = 0;
+            if st.jobs[pos].active == 0 {
+                break st.jobs.swap_remove(pos).panic;
+            }
+            st = pool.job_done.wait(st).expect("pool state lock");
+        }
+    };
+
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::par_map_with;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn pool_workers_are_persistent_and_named() {
+        let names = Mutex::new(HashSet::new());
+        for _ in 0..3 {
+            let out = par_map_with((0..512).collect::<Vec<usize>>(), 4, |i| {
+                if let Some(name) = std::thread::current().name() {
+                    names.lock().unwrap().insert(name.to_string());
+                }
+                i * 2
+            });
+            assert_eq!(out, (0..512).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        // Any worker that joined carries a stable ecg-par-N identity;
+        // three calls at 4 threads can never have minted more than the 3
+        // indices the widest single call wanted (workers persist instead
+        // of respawning per call). Other tests share the process-wide
+        // pool, so tolerate indices they may have spawned concurrently,
+        // but the name shape itself must hold for every participant.
+        let names = names.lock().unwrap();
+        for name in names.iter() {
+            if let Some(index) = name.strip_prefix("ecg-par-") {
+                let index: usize = index.parse().expect("pool worker index");
+                assert!(index < 256, "worker index {index} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        let out = par_map_with((0..8).collect::<Vec<usize>>(), 4, |outer| {
+            let inner = par_map_with((0..100).collect::<Vec<usize>>(), 4, move |i| i + outer);
+            inner.into_iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8)
+            .map(|outer| (0..100).map(|i| i + outer).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "intentional kernel panic")]
+    fn worker_panic_propagates_to_the_caller() {
+        let _ = par_map_with((0..64).collect::<Vec<usize>>(), 4, |i| {
+            if i == 33 {
+                panic!("intentional kernel panic");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        let poisoned = std::panic::catch_unwind(|| {
+            par_map_with((0..64).collect::<Vec<usize>>(), 4, |i| {
+                assert!(i != 10, "poison");
+                i
+            })
+        });
+        assert!(poisoned.is_err());
+        // The pool must still serve jobs afterwards.
+        let out = par_map_with((0..300).collect::<Vec<usize>>(), 4, |i| i + 1);
+        assert_eq!(out, (1..=300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_jobs_from_many_threads_complete() {
+        std::thread::scope(|scope| {
+            for t in 0..6usize {
+                scope.spawn(move || {
+                    let out = par_map_with((0..400).collect::<Vec<usize>>(), 3, move |i| i * t);
+                    assert_eq!(out, (0..400).map(|i| i * t).collect::<Vec<_>>());
+                });
+            }
+        });
+    }
+}

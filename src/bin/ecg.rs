@@ -3,6 +3,7 @@
 //! ```text
 //! ecg gen-network --caches 100 --seed 1 --out net.rtt
 //! ecg form       --network net.rtt --scheme sdsl --groups 10 --theta 1.0 --out groups.txt
+//! ecg scale      --caches 50000 --scheme sdsl --minibatch true
 //! ecg gen-trace  --caches 100 --duration-secs 120 --out run.trace
 //! ecg stats      --trace run.trace
 //! ecg simulate   --network net.rtt --groups groups.txt --trace run.trace
@@ -13,6 +14,9 @@
 //!   the `rtt` text format.
 //! * `form` reads such a matrix, runs SL or SDSL, and writes/prints the
 //!   groups (one line of cache ids per group).
+//! * `scale` runs the large-N pipeline ([`GfCoordinator::form_groups_scaled`])
+//!   over an implicit synthetic RTT oracle — no matrix file, O(n) state —
+//!   and prints per-stage timings plus group-size statistics.
 //! * `simulate` replays a synthetic sporting-event workload over the
 //!   groups and prints the latency/hit-rate report.
 //!
@@ -47,6 +51,9 @@ usage:
   ecg form        --network FILE [--scheme sl|sdsl] [--groups K] [--theta T]
                   [--landmarks L] [--plset-multiplier M] [--max-group-size S]
                   [--seed S] [--out FILE]
+  ecg scale       [--caches N] [--groups K] [--scheme sl|sdsl] [--theta T]
+                  [--landmarks L] [--plset-multiplier M] [--seed S]
+                  [--minibatch true|false] [--batch-size B] [--iters I]
   ecg gen-trace   [--caches N] [--docs D] [--duration-secs T] [--rate R]
                   [--preset sporting|news|flashcrowd] [--seed S] --out FILE
   ecg stats       --trace FILE
@@ -67,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "gen-network" => gen_network(&flags),
         "form" => form(&flags),
+        "scale" => scale_cmd(&flags),
         "gen-trace" => gen_trace(&flags),
         "stats" => stats_cmd(&flags),
         "simulate" => simulate_cmd(&flags),
@@ -190,6 +198,74 @@ fn form(flags: &HashMap<String, String>) -> Result<(), String> {
         outcome.groups().iter().map(Vec::len).collect::<Vec<_>>(),
         gic,
         outcome.probes_sent(),
+    );
+    Ok(())
+}
+
+/// The large-N pipeline over an implicit synthetic RTT oracle: no
+/// matrix file, O(n) state, derived-seed parallel kernels throughout.
+fn scale_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let caches: usize = get_parsed(flags, "caches", 10_000)?;
+    let k: usize = get_parsed(flags, "groups", (caches / 100).max(2))?;
+    let theta: f64 = get_parsed(flags, "theta", 1.0)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let landmarks: usize = get_parsed(flags, "landmarks", 8)?;
+    let plset: usize = get_parsed(flags, "plset-multiplier", 4)?;
+    let minibatch: bool = get_parsed(flags, "minibatch", false)?;
+    let batch_size: usize = get_parsed(flags, "batch-size", 2_048)?;
+    let iters: usize = get_parsed(flags, "iters", 40)?;
+    if batch_size == 0 {
+        return Err("--batch-size must be positive".into());
+    }
+
+    let mut scheme = match flags.get("scheme").map(String::as_str).unwrap_or("sdsl") {
+        "sl" => SchemeConfig::sl(k.max(1)),
+        "sdsl" => SchemeConfig::sdsl(k.max(1), theta),
+        other => return Err(format!("--scheme must be sl or sdsl, got {other:?}")),
+    }
+    .landmarks(landmarks)
+    .plset_multiplier(plset);
+    if minibatch {
+        scheme = scheme.kmeans_variant(KmeansVariant::MiniBatch(
+            MiniBatchConfig::default()
+                .batch_size(batch_size)
+                .iterations(iters),
+        ));
+    }
+
+    // Node 0 is the origin; the caches are nodes 1..=caches.
+    let net = SyntheticRttConfig::default().generate(caches + 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let formed = GfCoordinator::new(scheme)
+        .form_groups_scaled(&net, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let outcome = &formed.outcome;
+    let sizes: Vec<usize> = outcome.groups().iter().map(Vec::len).collect();
+    let gic = outcome.average_interaction_cost(|a, b| net.rtt_ms(a.index() + 1, b.index() + 1));
+    println!(
+        "{} caches -> {} groups ({}), sizes min/mean/max {}/{:.1}/{}",
+        caches,
+        outcome.groups().len(),
+        if minibatch {
+            format!("mini-batch {batch_size}x{iters}")
+        } else {
+            "full-batch Lloyd".to_string()
+        },
+        sizes.iter().min().copied().unwrap_or(0),
+        caches as f64 / sizes.len().max(1) as f64,
+        sizes.iter().max().copied().unwrap_or(0),
+    );
+    println!(
+        "avg interaction cost {:.2} ms, {} probes, {} k-means iterations",
+        gic,
+        outcome.probes_sent(),
+        outcome.kmeans_iterations(),
+    );
+    let t = formed.timings;
+    println!(
+        "timings: landmarks {:.0} ms, features {:.0} ms, clustering {:.0} ms, total {:.0} ms",
+        t.landmarks_ms, t.features_ms, t.clustering_ms, t.total_ms,
     );
     Ok(())
 }
@@ -571,6 +647,51 @@ mod tests {
 
         std::fs::remove_file(&net).ok();
         std::fs::remove_file(&grp).ok();
+    }
+
+    #[test]
+    fn scale_subcommand_runs_both_variants() {
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+        run(&to_args(&[
+            "scale",
+            "--caches",
+            "300",
+            "--groups",
+            "6",
+            "--landmarks",
+            "6",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "scale",
+            "--caches",
+            "300",
+            "--scheme",
+            "sl",
+            "--groups",
+            "5",
+            "--landmarks",
+            "6",
+            "--minibatch",
+            "true",
+            "--batch-size",
+            "64",
+            "--iters",
+            "10",
+        ]))
+        .unwrap();
+        assert!(run(&to_args(&[
+            "scale",
+            "--minibatch",
+            "true",
+            "--batch-size",
+            "0"
+        ]))
+        .is_err());
+        assert!(run(&to_args(&["scale", "--scheme", "bogus"])).is_err());
     }
 
     #[test]

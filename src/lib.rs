@@ -27,6 +27,7 @@
 //! | [`sim`] | `ecg-sim` | the discrete-event network simulator |
 //! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
 //! | [`faults`] | `ecg-faults` | fault plans, churn generation, degradation reporting |
+//! | [`par`] | `ecg-par` | deterministic fixed-chunk parallel kernels and the worker pool |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use ecg_coords as coords;
 pub use ecg_core as core;
 pub use ecg_faults as faults;
 pub use ecg_obs as obs;
+pub use ecg_par as par;
 pub use ecg_place as place;
 pub use ecg_sim as sim;
 pub use ecg_topology as topology;
@@ -78,10 +80,11 @@ pub use ecg_workload as workload;
 /// One-import convenience: the types a typical user touches.
 pub mod prelude {
     pub use ecg_cache::{DocumentCache, PolicyKind};
+    pub use ecg_clustering::{KmeansVariant, MiniBatchConfig};
     pub use ecg_coords::{ProbeConfig, Prober};
     pub use ecg_core::{
-        GfCoordinator, GroupInit, GroupMaintainer, GroupingOutcome, LandmarkSelector,
-        Representation, SchemeConfig,
+        FormationTimings, GfCoordinator, GroupInit, GroupMaintainer, GroupingOutcome,
+        LandmarkSelector, Representation, ScaledFormation, SchemeConfig,
     };
     pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
     pub use ecg_obs::Obs;
@@ -90,6 +93,9 @@ pub mod prelude {
         simulate, simulate_with_faults, simulate_with_faults_observed, GroupMap, LatencyModel,
         SimConfig, SimReport,
     };
-    pub use ecg_topology::{CacheId, EdgeNetwork, OriginPlacement, RttMatrix, TransitStubConfig};
+    pub use ecg_topology::{
+        CacheId, EdgeNetwork, OriginPlacement, RttMatrix, RttSource, SyntheticRtt,
+        SyntheticRttConfig, TransitStubConfig,
+    };
     pub use ecg_workload::{CatalogConfig, DocId, RequestConfig, SportingEventConfig, ZipfSampler};
 }

@@ -1,0 +1,86 @@
+//! Integration coverage for the unified large-N pipeline
+//! ([`GfCoordinator::form_groups_scaled`]) through the facade crate:
+//! the scaled path must agree with itself across thread counts and
+//! K-means variants, and its outcome must interoperate with the same
+//! downstream machinery (GIC, `GroupMap`) as the paper path.
+
+use edge_cache_groups::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn form(
+    n: usize,
+    variant: KmeansVariant,
+    threads: usize,
+    seed: u64,
+) -> (ScaledFormation, SyntheticRtt) {
+    let net = SyntheticRttConfig::default().generate(n + 1, seed);
+    let scheme = SchemeConfig::sdsl((n / 50).max(2), 1.0)
+        .landmarks(6)
+        .plset_multiplier(4)
+        .kmeans_max_iterations(15)
+        .kmeans_variant(variant)
+        .probe(ProbeConfig::noiseless());
+    edge_cache_groups::par::set_max_threads(Some(threads));
+    let formed = GfCoordinator::new(scheme)
+        .form_groups_scaled(&net, &mut StdRng::seed_from_u64(seed))
+        .expect("scaled formation");
+    edge_cache_groups::par::set_max_threads(None);
+    (formed, net)
+}
+
+#[test]
+fn scaled_formation_is_thread_count_invariant_per_variant() {
+    for variant in [
+        KmeansVariant::Lloyd,
+        KmeansVariant::MiniBatch(MiniBatchConfig::default().batch_size(128).iterations(10)),
+    ] {
+        let (base, net) = form(600, variant, 1, 77);
+        let gic_base = base
+            .outcome
+            .average_interaction_cost(|a, b| net.rtt_ms(a.index() + 1, b.index() + 1));
+        for threads in [2, 4] {
+            let (wide, _) = form(600, variant, threads, 77);
+            assert_eq!(
+                wide.outcome.assignments(),
+                base.outcome.assignments(),
+                "assignments diverged at {threads} threads"
+            );
+            let gic = wide
+                .outcome
+                .average_interaction_cost(|a, b| net.rtt_ms(a.index() + 1, b.index() + 1));
+            assert_eq!(gic.to_bits(), gic_base.to_bits());
+        }
+    }
+}
+
+#[test]
+fn scaled_outcome_feeds_downstream_group_machinery() {
+    let (formed, net) = form(400, KmeansVariant::Lloyd, 2, 5);
+    let outcome = &formed.outcome;
+
+    // A real partition: every cache in exactly one group.
+    let mut seen: Vec<usize> = outcome
+        .groups()
+        .iter()
+        .flatten()
+        .map(|c| c.index())
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..400).collect::<Vec<_>>());
+
+    // Server distances are the oracle's cache-to-origin RTTs.
+    for (i, &d) in outcome.server_distances_ms().iter().enumerate() {
+        assert_eq!(d.to_bits(), net.rtt_ms(i + 1, 0).to_bits());
+    }
+
+    // The grouping drops into the simulator's GroupMap like any paper-
+    // path outcome.
+    let map = GroupMap::new(400, outcome.groups().to_vec()).expect("valid group map");
+    assert_eq!(map.group_count(), outcome.groups().len());
+
+    // Timings are populated and internally consistent.
+    let t = formed.timings;
+    assert!(t.landmarks_ms >= 0.0 && t.features_ms >= 0.0 && t.clustering_ms >= 0.0);
+    assert!(t.total_ms >= t.clustering_ms);
+}
