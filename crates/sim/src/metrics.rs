@@ -142,6 +142,18 @@ impl WindowAggregate {
             self.stale_served += 1;
         }
     }
+
+    /// Folds `other` into `self`. Counters add exactly; the latency sum
+    /// is one f64 addition per call, so folding per-group aggregates in
+    /// group order yields bit-identical results no matter where each
+    /// group's aggregate was computed.
+    pub fn merge_from(&mut self, other: &WindowAggregate) {
+        self.requests += other.requests;
+        self.latency_sum_ms += other.latency_sum_ms;
+        self.latency_max_ms = self.latency_max_ms.max(other.latency_max_ms);
+        self.group_hits += other.group_hits;
+        self.stale_served += other.stale_served;
+    }
 }
 
 /// One bucket of the degradation time series: the healthy and degraded
@@ -285,6 +297,44 @@ impl DegradationMetrics {
         self.crashes + self.recoveries + self.retirements > 0
             || self.failovers > 0
             || self.degraded.requests > 0
+    }
+
+    /// Folds `other` into `self`, bucket-aligned.
+    ///
+    /// This is the degradation half of the sharded-replay merge
+    /// contract: the simulator accumulates one `DegradationMetrics` per
+    /// group and folds them in group order, and a sharded replay folds
+    /// its per-shard recorders through the same call sequence — so both
+    /// paths perform the identical chain of f64 additions and produce
+    /// bit-identical sums. Missing trailing buckets are created empty
+    /// before the bucket-wise fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two recorders use different bucket widths.
+    pub fn merge_from(&mut self, other: &DegradationMetrics) {
+        assert_eq!(
+            self.bucket_width_ms, other.bucket_width_ms,
+            "cannot merge degradation timelines with different bucket widths"
+        );
+        self.healthy.merge_from(&other.healthy);
+        self.degraded.merge_from(&other.degraded);
+        self.failovers += other.failovers;
+        self.peer_queries_skipped += other.peer_queries_skipped;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.retirements += other.retirements;
+        while self.timeline.len() < other.timeline.len() {
+            let start_ms = self.timeline.len() as f64 * self.bucket_width_ms;
+            self.timeline.push(TimelineBucket {
+                start_ms,
+                ..Default::default()
+            });
+        }
+        for (mine, theirs) in self.timeline.iter_mut().zip(&other.timeline) {
+            mine.healthy.merge_from(&theirs.healthy);
+            mine.degraded.merge_from(&theirs.degraded);
+        }
     }
 }
 
@@ -448,6 +498,54 @@ impl MetricsRecorder {
             out[g].group_hits += agg.local_hits + agg.peer_hits;
         }
         out
+    }
+
+    /// Folds a per-shard recorder into this one, scattering the shard's
+    /// local cache rows back to the global ids in `members`.
+    ///
+    /// `members` lists the shard's caches in shard-local order:
+    /// shard-local cache `i` is global cache `members[i]`. Every global
+    /// cache belongs to exactly one shard, so the scatter lands each
+    /// per-cache aggregate (whose f64 sums already accumulated in that
+    /// cache's own event order) on a zeroed row — `0.0 + x == x` makes
+    /// the copy exact. Histogram bins and the `u64` traffic counters add
+    /// exactly; the degradation split folds through
+    /// [`DegradationMetrics::merge_from`], which is the order-sensitive
+    /// part — callers must merge shards in group order to reproduce the
+    /// monolithic simulator bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` does not match the shard's cache count, a
+    /// member id is out of range, or the degradation bucket widths
+    /// differ.
+    pub fn merge_shard(&mut self, members: &[CacheId], shard: &MetricsRecorder) {
+        assert_eq!(
+            members.len(),
+            shard.per_cache.len(),
+            "shard recorder covers {} caches but {} members were given",
+            shard.per_cache.len(),
+            members.len()
+        );
+        for (local, &global) in shard.per_cache.iter().zip(members) {
+            let agg = &mut self.per_cache[global.index()];
+            agg.requests += local.requests;
+            agg.latency_sum_ms += local.latency_sum_ms;
+            agg.latency_max_ms = agg.latency_max_ms.max(local.latency_max_ms);
+            agg.local_hits += local.local_hits;
+            agg.peer_hits += local.peer_hits;
+            agg.origin_fetches += local.origin_fetches;
+        }
+        self.histogram.merge(&shard.histogram);
+        self.peer_bytes += shard.peer_bytes;
+        self.origin_bytes += shard.origin_bytes;
+        self.control_messages += shard.control_messages;
+        self.invalidations_sent += shard.invalidations_sent;
+        self.stale_served += shard.stale_served;
+        self.replicas_created += shard.replicas_created;
+        self.replicas_suppressed += shard.replicas_suppressed;
+        self.remote_placements += shard.remote_placements;
+        self.degradation.merge_from(&shard.degradation);
     }
 
     /// Network-wide group hit rate (local + peer), or `None` with no
@@ -625,6 +723,75 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_bucket_width_panics() {
         let _ = DegradationMetrics::new(0.0);
+    }
+
+    #[test]
+    fn degradation_merge_folds_overall_and_timeline() {
+        let mut a = DegradationMetrics::new(100.0);
+        a.record(10.0, 5.0, true, false, false);
+        a.failovers += 1;
+        let mut b = DegradationMetrics::new(100.0);
+        b.record(250.0, 40.0, false, true, true);
+        b.crashes += 1;
+        let mut merged = DegradationMetrics::new(100.0);
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.healthy.requests, 1);
+        assert_eq!(merged.degraded.requests, 1);
+        assert_eq!(merged.failovers, 1);
+        assert_eq!(merged.crashes, 1);
+        assert_eq!(merged.degraded.stale_served, 1);
+        let tl = merged.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].healthy.requests, 1);
+        assert_eq!(tl[1].start_ms, 100.0);
+        assert_eq!(tl[2].degraded.requests, 1);
+        // Fold order equals record order here, so the sums are exact.
+        assert_eq!(merged.healthy.latency_sum_ms.to_bits(), 5.0f64.to_bits());
+        assert_eq!(merged.degraded.latency_sum_ms.to_bits(), 40.0f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths")]
+    fn degradation_merge_rejects_mismatched_buckets() {
+        let mut a = DegradationMetrics::new(100.0);
+        a.merge_from(&DegradationMetrics::new(200.0));
+    }
+
+    #[test]
+    fn merge_shard_scatters_local_rows_to_members() {
+        // Shard over global caches {3, 1}: local 0 -> 3, local 1 -> 1.
+        let mut shard = MetricsRecorder::new(2);
+        shard.record(CacheId(0), 10.0, ServedBy::Local);
+        shard.record(CacheId(1), 30.0, ServedBy::Peer);
+        shard.peer_bytes = 7;
+        shard.control_messages = 4;
+        shard.degradation.record(5.0, 10.0, true, false, false);
+
+        let mut merged = MetricsRecorder::new(4);
+        merged.merge_shard(&[CacheId(3), CacheId(1)], &shard);
+        assert_eq!(merged.per_cache()[3].requests, 1);
+        assert_eq!(merged.per_cache()[3].local_hits, 1);
+        assert_eq!(merged.per_cache()[1].peer_hits, 1);
+        assert_eq!(merged.per_cache()[0].requests, 0);
+        assert_eq!(merged.peer_bytes, 7);
+        assert_eq!(merged.control_messages, 4);
+        assert_eq!(merged.total_requests(), 2);
+        assert_eq!(merged.latency_histogram().count(), 2);
+        assert_eq!(merged.degradation.healthy.requests, 1);
+        // The scatter is exact: 0.0 + x == x.
+        assert_eq!(
+            merged.per_cache()[1].latency_sum_ms.to_bits(),
+            30.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "members were given")]
+    fn merge_shard_rejects_wrong_member_count() {
+        let shard = MetricsRecorder::new(2);
+        let mut merged = MetricsRecorder::new(4);
+        merged.merge_shard(&[CacheId(0)], &shard);
     }
 
     #[test]

@@ -505,6 +505,14 @@ pub fn simulate_with_faults_observed(
     let mut origin = OriginServer::new(catalog);
     let mut metrics = MetricsRecorder::new(n);
     metrics.degradation = crate::metrics::DegradationMetrics::new(schedule.timeline_bucket());
+    // Degradation accumulates per group and is folded in group order
+    // after the loop. Groups are independent between re-formation
+    // events, so this makes every f64 sum reconstructible by a sharded
+    // replay (ecg-replay) that runs one group per shard and merges the
+    // shard recorders through the same fold.
+    let mut deg_groups: Vec<crate::metrics::DegradationMetrics> = (0..groups.group_count())
+        .map(|_| crate::metrics::DegradationMetrics::new(schedule.timeline_bucket()))
+        .collect();
     let model = config.latency;
     let warmup = SimTime::from_ms(config.warmup_ms);
 
@@ -530,13 +538,26 @@ pub fn simulate_with_faults_observed(
     // Eviction scratch reused across every insert in the event loop.
     let mut evicted_scratch: Vec<DocId> = Vec::new();
 
-    // Placement policy. `None` for the single-holder baseline: the
-    // historical copy flow (replicate on peer hit, cache at the
-    // requester on origin fetch) is hard-coded below, so the baseline
-    // pays no candidate assembly and stays bit-identical to builds that
-    // predate placement support.
-    let mut placement: Option<Box<dyn PlacementPolicy>> =
-        (!config.placement.is_single_holder()).then(|| config.placement.build(n, catalog.len()));
+    // Placement policies, one instance per group. `None` for the
+    // single-holder baseline: the historical copy flow (replicate on
+    // peer hit, cache at the requester on origin fetch) is hard-coded
+    // below, so the baseline pays no candidate assembly and stays
+    // bit-identical to builds that predate placement support. Placement
+    // is an in-group mechanism — candidates only ever span one group —
+    // so per-group state (rate estimators, RNG decision counters) keeps
+    // one group's traffic from steering another's replicas and makes
+    // each group's decision stream a pure function of that group's
+    // events (the property sharded replay relies on).
+    let mut placements: Option<Vec<Box<dyn PlacementPolicy>>> =
+        (!config.placement.is_single_holder()).then(|| {
+            (0..groups.group_count())
+                .map(|g| {
+                    config
+                        .placement
+                        .build(groups.groups()[g].len(), catalog.len())
+                })
+                .collect()
+        });
     // Candidate scratch reused across every placement decision.
     let mut candidates_scratch: Vec<Candidate> = Vec::new();
     let mut place_decisions = 0u64;
@@ -577,13 +598,12 @@ pub fn simulate_with_faults_observed(
                     o.metrics.inc("sim.fault_events");
                     o.trace.push(now.as_ms(), "sim", kind, vec![field]);
                 }
-                let deg = &mut metrics.degradation;
                 match schedule.events()[idx].kind {
                     FaultKind::CacheDown { cache } => {
                         let c = cache.index();
                         if !down[c] {
                             down[c] = true;
-                            deg.crashes += 1;
+                            deg_groups[groups.group_of(cache)].crashes += 1;
                             let old = std::mem::replace(
                                 &mut caches[c],
                                 DocumentCache::new(config.cache_capacity_bytes, config.policy),
@@ -600,14 +620,14 @@ pub fn simulate_with_faults_observed(
                             // Cold restart: contents were purged at the
                             // crash, so the cache rejoins empty.
                             down[c] = false;
-                            deg.recoveries += 1;
+                            deg_groups[groups.group_of(cache)].recoveries += 1;
                         }
                     }
                     FaultKind::CacheRetire { cache } => {
                         let c = cache.index();
                         if !retired[c] {
                             retired[c] = true;
-                            deg.retirements += 1;
+                            deg_groups[groups.group_of(cache)].retirements += 1;
                             if !down[c] {
                                 down[c] = true;
                                 let old = std::mem::replace(
@@ -665,10 +685,9 @@ pub fn simulate_with_faults_observed(
                     obs_failovers += 1;
                     if now >= warmup {
                         metrics.record(cache, latency, ServedBy::Origin);
-                        metrics.degradation.failovers += 1;
-                        metrics
-                            .degradation
-                            .record(now_ms, latency, false, false, true);
+                        let deg = &mut deg_groups[groups.group_of(cache)];
+                        deg.failovers += 1;
+                        deg.record(now_ms, latency, false, false, true);
                     }
                     continue;
                 }
@@ -703,9 +722,9 @@ pub fn simulate_with_faults_observed(
                 };
 
                 if local_hit.is_some() {
-                    if let Some(policy) = placement.as_deref_mut() {
+                    if let Some(policies) = placements.as_mut() {
                         // Pure popularity signal for the rate estimator.
-                        policy.on_local_hit(doc, now_ms);
+                        policies[groups.group_of(cache)].on_local_hit(doc, now_ms);
                     }
                 }
 
@@ -718,7 +737,8 @@ pub fn simulate_with_faults_observed(
                         // membership view, so the group degrades to the
                         // survivors.
                         let alive = peers.iter().filter(|p| !down[p.index()]).count();
-                        metrics.degradation.peer_queries_skipped += (peers.len() - alive) as u64;
+                        deg_groups[groups.group_of(cache)].peer_queries_skipped +=
+                            (peers.len() - alive) as u64;
                         // One query out and one reply back per peer; the
                         // fan-out itself costs per-member processing time.
                         metrics.control_messages += 2 * alive as u64;
@@ -785,7 +805,8 @@ pub fn simulate_with_faults_observed(
                                 // an active policy decides whether the
                                 // requester keeps the copy.
                                 let mut keep_replica = true;
-                                if let Some(policy) = placement.as_deref_mut() {
+                                if let Some(policies) = placements.as_mut() {
+                                    let policy = &mut policies[groups.group_of(cache)];
                                     build_candidates(
                                         &mut candidates_scratch,
                                         network,
@@ -843,7 +864,8 @@ pub fn simulate_with_faults_observed(
                                 // copy to a better-placed member (the
                                 // requester still serves the client).
                                 let mut target = cache;
-                                if let Some(policy) = placement.as_deref_mut() {
+                                if let Some(policies) = placements.as_mut() {
+                                    let policy = &mut policies[groups.group_of(cache)];
                                     build_candidates(
                                         &mut candidates_scratch,
                                         network,
@@ -905,7 +927,7 @@ pub fn simulate_with_faults_observed(
                     if stale {
                         metrics.stale_served += 1;
                     }
-                    metrics.degradation.record(
+                    deg_groups[groups.group_of(cache)].record(
                         now_ms,
                         latency,
                         served_by != ServedBy::Origin,
@@ -915,6 +937,12 @@ pub fn simulate_with_faults_observed(
                 }
             }
         }
+    }
+
+    // Fold the per-group degradation recorders in group order. The same
+    // fold over per-shard recorders reproduces these sums bit for bit.
+    for deg in &deg_groups {
+        metrics.degradation.merge_from(deg);
     }
 
     if cfg!(debug_assertions) {
@@ -962,7 +990,7 @@ pub fn simulate_with_faults_observed(
             .max_gauge("sim.queue.max_depth", queue_max_depth as f64);
         o.metrics
             .merge_histogram("sim.latency_ms", metrics.latency_histogram());
-        if placement.is_some() {
+        if placements.is_some() {
             o.metrics.add("place.decisions", place_decisions);
             o.metrics
                 .add("place.replicas_created", metrics.replicas_created);
@@ -973,7 +1001,7 @@ pub fn simulate_with_faults_observed(
         }
         let mut span = o.phases.span("sim");
         span.add_work(last_event_ms);
-        if placement.is_some() {
+        if placements.is_some() {
             let mut place_span = span.child("place");
             place_span.add_work(place_decisions as f64);
         }

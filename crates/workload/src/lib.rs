@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod documents;
 pub mod flashcrowd;
@@ -56,7 +57,7 @@ pub mod zipf;
 pub use documents::{CatalogConfig, DocId, Document, DocumentCatalog};
 pub use flashcrowd::{RegionalFlashCrowdConfig, RegionalFlashCrowdWorkload};
 pub use news::{NewsSiteConfig, NewsSiteWorkload};
-pub use requests::{RateModulation, Request, RequestConfig};
+pub use requests::{RateModulation, Request, RequestConfig, RequestStream};
 pub use sporting::{SportingEventConfig, SportingEventWorkload};
 pub use stats::TraceStats;
 pub use trace::{merge_streams, read_trace, write_trace, TraceError, TraceEvent};

@@ -157,6 +157,13 @@ impl RequestConfig {
         self.similarity
     }
 
+    /// The configured Zipf popularity exponent. Consumers that share one
+    /// [`ZipfSampler`] across shards (see
+    /// [`RequestConfig::stream_cache`]) build it with this value.
+    pub fn zipf_exponent_value(&self) -> f64 {
+        self.zipf_exponent
+    }
+
     /// Expected number of requests over `caches` caches and
     /// `duration_ms` milliseconds (ignoring modulation).
     pub fn expected_requests(&self, caches: usize, duration_ms: f64) -> f64 {
@@ -230,23 +237,23 @@ impl RequestConfig {
     /// Parallel, thread-count-invariant variant of
     /// [`RequestConfig::generate`] for the large-N scaling path.
     ///
-    /// Draws one master seed from `rng`, derives an independent RNG
-    /// stream per cache ([`ecg_par::derive_seed`]), and generates each
-    /// cache's stream on an [`ecg_par`] worker: the cache's rotation
-    /// offset first, then its thinned Poisson arrivals — so every
-    /// cache's realization depends only on `(rng state, cache index,
-    /// config, catalog)`. Streams are concatenated in cache order and
-    /// stably sorted by time, making the output identical at any
-    /// `ECG_THREADS` setting.
+    /// Draws one master seed from `rng` and delegates to
+    /// [`RequestConfig::generate_with_master`].
     ///
-    /// Not stream-compatible with [`RequestConfig::generate`] (which
-    /// threads one shared RNG through all caches and stays the default
-    /// so historical experiment outputs are unchanged); the two draw the
-    /// same workload *distribution*.
+    /// Deprecated for large N: it materializes the whole request vector.
+    /// Stream per-cache arrivals with [`RequestConfig::stream_cache`]
+    /// (what `ecg-replay`'s sharded replay does) instead, or call
+    /// `generate_with_master` where an eager trace is genuinely wanted.
     ///
     /// # Panics
     ///
     /// Panics if the catalog is empty or `caches == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "materializes the whole trace; stream per-cache arrivals with \
+                RequestConfig::stream_cache (or ecg-replay's replay_streamed) for large N, \
+                or use generate_with_master where an eager trace is wanted"
+    )]
     pub fn generate_par<R: Rng + ?Sized>(
         &self,
         catalog: &DocumentCatalog,
@@ -254,44 +261,37 @@ impl RequestConfig {
         duration_ms: f64,
         rng: &mut R,
     ) -> Vec<Request> {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        assert!(!catalog.is_empty(), "catalog must contain documents");
+        assert!(caches > 0, "need at least one cache");
+        let master: u64 = rng.gen();
+        self.generate_with_master(catalog, caches, duration_ms, master)
+    }
 
+    /// Eager, thread-count-invariant request generation from an explicit
+    /// master seed: every cache's stream is realized by
+    /// [`RequestConfig::stream_cache`] on an [`ecg_par`] worker, then
+    /// the streams are concatenated in cache order and stably sorted by
+    /// time (so simultaneous arrivals order by ascending cache id —
+    /// exactly the order `ecg-replay`'s streaming shard merge
+    /// reproduces without ever materializing this vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or `caches == 0`.
+    pub fn generate_with_master(
+        &self,
+        catalog: &DocumentCatalog,
+        caches: usize,
+        duration_ms: f64,
+        master: u64,
+    ) -> Vec<Request> {
         assert!(!catalog.is_empty(), "catalog must contain documents");
         assert!(caches > 0, "need at least one cache");
         let zipf = ZipfSampler::new(catalog.len(), self.zipf_exponent);
-        let n_docs = catalog.len();
-        let master: u64 = rng.gen();
-        let max_rate_per_ms = self.rate_per_sec_per_cache * self.modulation.max_factor() / 1_000.0;
 
         let per_cache: Vec<Vec<Request>> = ecg_par::par_map((0..caches).collect(), |cache| {
-            let mut rng = StdRng::seed_from_u64(ecg_par::derive_seed(master, cache as u64));
-            let offset = rng.gen_range(0..n_docs);
-            let mut stream = Vec::new();
-            let mut t = 0.0f64;
-            loop {
-                let u: f64 = 1.0 - rng.gen::<f64>();
-                t += -u.ln() / max_rate_per_ms;
-                if t >= duration_ms {
-                    break;
-                }
-                let accept = self.modulation.factor(t) / self.modulation.max_factor();
-                if rng.gen::<f64>() >= accept {
-                    continue;
-                }
-                let rank = zipf.sample(&mut rng);
-                let doc = if rng.gen::<f64>() < self.similarity {
-                    rank
-                } else {
-                    (rank + offset) % n_docs
-                };
-                stream.push(Request {
-                    time_ms: t,
-                    cache,
-                    doc: DocId(doc),
-                });
-            }
-            stream
+            self.stream_cache(&zipf, cache, master, duration_ms)
+                .collect()
         });
         let mut requests: Vec<Request> = per_cache.into_iter().flatten().collect();
         // Stable sort: simultaneous arrivals keep cache order, exactly
@@ -303,7 +303,120 @@ impl RequestConfig {
         });
         requests
     }
+
+    /// One cache's request stream as a lazy iterator — the derived-seed
+    /// streaming primitive behind [`RequestConfig::generate_with_master`].
+    ///
+    /// The stream is a pure function of `(master, cache, config,
+    /// catalog size)`: it seeds an [`rand::rngs::StdRng`] with
+    /// [`ecg_par::derive_seed`]`(master, cache)`, draws the cache's
+    /// rotation offset, then yields thinned non-homogeneous Poisson
+    /// arrivals until `duration_ms`. Any shard can therefore (re)build
+    /// exactly its own caches' arrivals from the master seed alone —
+    /// no shared generator state, no materialized global trace — which
+    /// is what lets `ecg-replay` run 50k-cache, million-request replays
+    /// in bounded memory.
+    ///
+    /// `zipf` must be built over the catalog's document count with this
+    /// config's exponent (it is shared read-only across shards; see
+    /// [`ZipfSampler`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zipf` is empty.
+    pub fn stream_cache<'a>(
+        &self,
+        zipf: &'a ZipfSampler,
+        cache: usize,
+        master: u64,
+        duration_ms: f64,
+    ) -> RequestStream<'a> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        assert!(!zipf.is_empty(), "catalog must contain documents");
+        let mut rng = StdRng::seed_from_u64(ecg_par::derive_seed(master, cache as u64));
+        let offset = rng.gen_range(0..zipf.len());
+        RequestStream {
+            config: *self,
+            zipf,
+            cache,
+            offset,
+            duration_ms,
+            max_rate_per_ms: self.rate_per_sec_per_cache * self.modulation.max_factor() / 1_000.0,
+            t: 0.0,
+            rng,
+            done: false,
+        }
+    }
 }
+
+/// Lazy per-cache request stream created by
+/// [`RequestConfig::stream_cache`].
+///
+/// Yields one cache's arrivals in time order and stops (fused) once the
+/// next arrival would land at or past the configured horizon. Dropping
+/// and re-creating the stream from the same `(master, cache)` pair
+/// replays it identically — resumability comes from derived seeding,
+/// not from checkpointing generator state.
+#[derive(Debug, Clone)]
+pub struct RequestStream<'a> {
+    config: RequestConfig,
+    zipf: &'a ZipfSampler,
+    cache: usize,
+    offset: usize,
+    duration_ms: f64,
+    max_rate_per_ms: f64,
+    t: f64,
+    rng: rand::rngs::StdRng,
+    done: bool,
+}
+
+impl RequestStream<'_> {
+    /// The cache whose arrivals this stream yields.
+    pub fn cache(&self) -> usize {
+        self.cache
+    }
+}
+
+impl Iterator for RequestStream<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.done {
+            return None;
+        }
+        let n_docs = self.zipf.len();
+        loop {
+            // Exponential gap at the envelope rate.
+            let u: f64 = 1.0 - self.rng.gen::<f64>();
+            self.t += -u.ln() / self.max_rate_per_ms;
+            if self.t >= self.duration_ms {
+                self.done = true;
+                return None;
+            }
+            // Thinning: accept with probability factor(t)/max_factor.
+            let accept =
+                self.config.modulation.factor(self.t) / self.config.modulation.max_factor();
+            if self.rng.gen::<f64>() >= accept {
+                continue;
+            }
+            let rank = self.zipf.sample(&mut self.rng);
+            let doc = if self.rng.gen::<f64>() < self.config.similarity {
+                rank
+            } else {
+                (rank + self.offset) % n_docs
+            };
+            return Some(Request {
+                time_ms: self.t,
+                cache: self.cache,
+                doc: DocId(doc),
+            });
+        }
+    }
+}
+
+impl std::iter::FusedIterator for RequestStream<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -448,6 +561,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn par_stream_is_thread_count_invariant() {
         let cat = catalog(80, 0);
         let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);
@@ -468,6 +582,58 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn generate_par_delegates_to_generate_with_master() {
+        let cat = catalog(60, 0);
+        let cfg = RequestConfig::default().rate_per_sec_per_cache(4.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let via_par = cfg.generate_par(&cat, 5, 15_000.0, &mut rng);
+        let master: u64 = StdRng::seed_from_u64(77).gen();
+        let via_master = cfg.generate_with_master(&cat, 5, 15_000.0, master);
+        assert_eq!(via_par, via_master);
+    }
+
+    #[test]
+    fn stream_cache_realizes_generate_with_master_per_cache() {
+        let cat = catalog(60, 0);
+        let cfg = RequestConfig::default()
+            .rate_per_sec_per_cache(4.0)
+            .modulation(RateModulation::FlashCrowd {
+                start_ms: 2_000.0,
+                end_ms: 6_000.0,
+                multiplier: 5.0,
+            });
+        let master = 0xBEEF_CAFE;
+        let eager = cfg.generate_with_master(&cat, 4, 15_000.0, master);
+        let zipf = ZipfSampler::new(cat.len(), 0.9);
+        for cache in 0..4 {
+            let streamed: Vec<Request> = cfg.stream_cache(&zipf, cache, master, 15_000.0).collect();
+            let expected: Vec<Request> =
+                eager.iter().filter(|r| r.cache == cache).copied().collect();
+            assert_eq!(streamed, expected, "cache {cache} stream diverged");
+        }
+    }
+
+    #[test]
+    fn stream_cache_is_resumable_and_fused() {
+        let cat = catalog(40, 0);
+        let cfg = RequestConfig::default().rate_per_sec_per_cache(6.0);
+        let zipf = ZipfSampler::new(cat.len(), 0.9);
+        // Re-creating the stream from the same (master, cache) replays it.
+        let a: Vec<Request> = cfg.stream_cache(&zipf, 2, 9, 10_000.0).collect();
+        let b: Vec<Request> = cfg.stream_cache(&zipf, 2, 9, 10_000.0).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(cfg.stream_cache(&zipf, 2, 9, 10_000.0).cache(), 2);
+        // Fused: keeps returning None after exhaustion.
+        let mut s = cfg.stream_cache(&zipf, 0, 9, 500.0);
+        while s.next().is_some() {}
+        assert!(s.next().is_none());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn par_stream_is_sorted_valid_and_rate_matched() {
         let cat = catalog(100, 0);
         let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);

@@ -19,6 +19,10 @@
 //!   and prints per-stage timings plus group-size statistics.
 //! * `simulate` replays a synthetic sporting-event workload over the
 //!   groups and prints the latency/hit-rate report.
+//! * `replay` runs the sharded, streaming replay engine
+//!   ([`ecg_replay`](edge_cache_groups::replay)) over an implicit
+//!   synthetic oracle and contiguous groups — the large-N counterpart
+//!   of `simulate`, byte-identical output at any thread count.
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has
 //! a default so each subcommand runs bare.
@@ -61,10 +65,20 @@ usage:
                   [--duration-secs T] [--rate R] [--capacity-kib C]
                   [--policy utility|lru|lfu|gdsf]
                   [--placement single-holder|adaptive|dchoices] [--seed S]
+  ecg replay      [--caches N] [--group-size G] [--docs D]
+                  [--duration-secs T] [--rate R] [--capacity-kib C]
+                  [--policy utility|lru|lfu|gdsf]
+                  [--placement single-holder|adaptive|dchoices]
+                  [--seed S] [--threads T] [--verify true|false]
 
 simulate regenerates the workload from its flags unless --trace is given;
 with --trace, --docs must match the catalog the trace was generated for
-(use the same --seed/--docs as gen-trace).";
+(use the same --seed/--docs as gen-trace).
+replay streams the workload shard by shard (nothing is materialized
+globally); --verify additionally runs the monolithic simulator on the
+equivalent materialized input and asserts bit-identical reports (small N
+only). Stdout is byte-identical at any --threads / ECG_THREADS setting;
+wall-clock timings go to stderr.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
@@ -78,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen-trace" => gen_trace(&flags),
         "stats" => stats_cmd(&flags),
         "simulate" => simulate_cmd(&flags),
+        "replay" => replay_cmd(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -418,6 +433,130 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The sharded, streaming replay engine over an implicit synthetic RTT
+/// oracle and contiguous groups: the large-N counterpart of `simulate`.
+/// Nothing global is materialized — each shard regenerates its members'
+/// request streams from the master seed — so stdout is byte-identical
+/// at any `--threads` / `ECG_THREADS` setting.
+fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    use edge_cache_groups::replay::replay_streamed_observed;
+    use edge_cache_groups::workload::generate_updates;
+    use rand::Rng;
+
+    let caches: usize = get_parsed(flags, "caches", 200)?;
+    let group_size: usize = get_parsed(flags, "group-size", 25)?;
+    let docs: usize = get_parsed(flags, "docs", 1_500)?;
+    let duration_secs: f64 = get_parsed(flags, "duration-secs", 60.0)?;
+    let rate: f64 = get_parsed(flags, "rate", 2.0)?;
+    let capacity_kib: u64 = get_parsed(flags, "capacity-kib", 512)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let verify: bool = get_parsed(flags, "verify", false)?;
+    if caches == 0 {
+        return Err("--caches must be positive".into());
+    }
+    if group_size == 0 {
+        return Err("--group-size must be positive".into());
+    }
+    let policy = match flags.get("policy").map(String::as_str).unwrap_or("utility") {
+        "utility" => PolicyKind::Utility,
+        "lru" => PolicyKind::Lru,
+        "lfu" => PolicyKind::Lfu,
+        "gdsf" => PolicyKind::Gdsf,
+        other => return Err(format!("unknown --policy {other:?}")),
+    };
+    let placement = match flags
+        .get("placement")
+        .map(String::as_str)
+        .unwrap_or("single-holder")
+    {
+        "single-holder" => PlacementKind::SingleHolder,
+        "adaptive" => PlacementKind::adaptive(),
+        "dchoices" => PlacementKind::d_choices(),
+        other => return Err(format!("unknown --placement {other:?}")),
+    };
+    let threads: Option<usize> = match flags.get("threads") {
+        None => None,
+        Some(raw) => {
+            let t: usize = raw
+                .parse()
+                .map_err(|_| format!("bad value for --threads: {raw:?}"))?;
+            if t == 0 {
+                return Err("--threads must be positive".into());
+            }
+            Some(t)
+        }
+    };
+
+    let duration_ms = duration_secs * 1_000.0;
+    // Node 0 is the origin; the caches are nodes 1..=caches.
+    let net = SyntheticRttConfig::default().generate(caches + 1, seed);
+    let groups: Vec<Vec<CacheId>> = (0..caches)
+        .collect::<Vec<_>>()
+        .chunks(group_size)
+        .map(|chunk| chunk.iter().map(|&c| CacheId(c)).collect())
+        .collect();
+    let map = GroupMap::new(caches, groups).map_err(|e| e.to_string())?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = CatalogConfig::default().documents(docs).generate(&mut rng);
+    let updates = generate_updates(&catalog, duration_ms, &mut rng);
+    let master: u64 = rng.gen();
+    let workload = StreamedWorkload::new(
+        RequestConfig::default().rate_per_sec_per_cache(rate),
+        master,
+        duration_ms,
+    )
+    .updates(&updates);
+    let config = ReplayConfig::default().sim(
+        SimConfig::default()
+            .cache_capacity_bytes(capacity_kib * 1024)
+            .policy(policy)
+            .placement(placement)
+            .warmup_ms(duration_ms / 6.0),
+    );
+
+    if threads.is_some() {
+        edge_cache_groups::par::set_max_threads(threads);
+    }
+    let outcome = replay_streamed_observed(&net, &map, &catalog, &workload, &config, None)
+        .map_err(|e| e.to_string());
+    if threads.is_some() {
+        edge_cache_groups::par::set_max_threads(None);
+    }
+    let replayed = outcome?;
+
+    println!(
+        "{} caches in {} shards (group size <= {group_size}), {} shard events",
+        caches, replayed.shards, replayed.shard_events
+    );
+    println!("{}", replayed.report);
+    let t = &replayed.timings;
+    eprintln!(
+        "timings: plan {:.0} ms, shards {:.0} ms, merge {:.0} ms, total {:.0} ms",
+        t.plan_ms,
+        t.shards_ms,
+        t.merge_ms,
+        t.total_ms()
+    );
+
+    if verify {
+        let full = RttMatrix::from_fn(caches + 1, |a, b| net.rtt_ms(a, b));
+        let monolithic = simulate(
+            &EdgeNetwork::from_rtt_matrix(full),
+            &map,
+            &catalog,
+            &workload.materialize_trace(&catalog, caches),
+            *config.sim_config(),
+        )
+        .map_err(|e| e.to_string())?;
+        if monolithic != replayed.report {
+            return Err("sharded replay diverged from monolithic simulate".into());
+        }
+        println!("verify: sharded report is bit-identical to monolithic simulate");
+    }
+    Ok(())
+}
+
 /// Renders groups as one line of space-separated cache ids per group.
 fn render_groups(groups: &[Vec<CacheId>]) -> String {
     let mut out = String::new();
@@ -692,6 +831,50 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&to_args(&["scale", "--scheme", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn replay_subcommand_verifies_against_monolithic() {
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+        // Small N with --verify: the sharded report must be bit-identical
+        // to the monolithic simulator, at an explicit thread count too.
+        run(&to_args(&[
+            "replay",
+            "--caches",
+            "18",
+            "--group-size",
+            "5",
+            "--docs",
+            "150",
+            "--duration-secs",
+            "8",
+            "--verify",
+            "true",
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "replay",
+            "--caches",
+            "18",
+            "--group-size",
+            "5",
+            "--docs",
+            "150",
+            "--duration-secs",
+            "8",
+            "--threads",
+            "2",
+            "--placement",
+            "adaptive",
+            "--verify",
+            "true",
+        ]))
+        .unwrap();
+        assert!(run(&to_args(&["replay", "--caches", "0"])).is_err());
+        assert!(run(&to_args(&["replay", "--group-size", "0"])).is_err());
+        assert!(run(&to_args(&["replay", "--threads", "0"])).is_err());
+        assert!(run(&to_args(&["replay", "--policy", "bogus"])).is_err());
     }
 
     #[test]

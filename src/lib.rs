@@ -25,6 +25,7 @@
 //! | [`cache`] | `ecg-cache` | utility/LRU/LFU/GDSF document caches |
 //! | [`place`] | `ecg-place` | in-group replica placement policies |
 //! | [`sim`] | `ecg-sim` | the discrete-event network simulator |
+//! | [`replay`] | `ecg-replay` | sharded, streaming million-request trace replay |
 //! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
 //! | [`faults`] | `ecg-faults` | fault plans, churn generation, degradation reporting |
 //! | [`par`] | `ecg-par` | deterministic fixed-chunk parallel kernels and the worker pool |
@@ -73,6 +74,7 @@ pub use ecg_faults as faults;
 pub use ecg_obs as obs;
 pub use ecg_par as par;
 pub use ecg_place as place;
+pub use ecg_replay as replay;
 pub use ecg_sim as sim;
 pub use ecg_topology as topology;
 pub use ecg_workload as workload;
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
     pub use ecg_obs::Obs;
     pub use ecg_place::{AdaptiveConfig, DChoicesConfig, PlacementKind};
+    pub use ecg_replay::{replay_sharded, replay_streamed, ReplayConfig, StreamedWorkload};
     pub use ecg_sim::{
         simulate, simulate_with_faults, simulate_with_faults_observed, GroupMap, LatencyModel,
         SimConfig, SimReport,

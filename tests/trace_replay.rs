@@ -2,12 +2,18 @@
 //!
 //! The paper's simulator is log-file-driven; these tests check that a
 //! workload written to the text trace format replays to bit-identical
-//! simulation results.
+//! simulation results, and that the sharded replay engine
+//! ([`ecg_replay`](edge_cache_groups::replay)) is bit-identical to the
+//! monolithic simulator on every input the latter accepts — across
+//! placement policies, freshness protocols, fault schedules, and
+//! thread counts.
 
 use edge_cache_groups::prelude::*;
-use edge_cache_groups::workload::{read_trace, write_trace};
+use edge_cache_groups::sim::{FaultKind, FaultSchedule, FreshnessProtocol};
+use edge_cache_groups::workload::{generate_updates, read_trace, write_trace};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn persisted_trace_replays_identically() {
@@ -38,6 +44,184 @@ fn persisted_trace_replays_identically() {
     let a = simulate(&network, &groups, &workload.catalog, &trace, config).expect("sim");
     let b = simulate(&network, &groups, &workload.catalog, &reloaded, config).expect("sim");
     assert_eq!(a, b);
+}
+
+/// A formed network + sporting-event workload shared by the sharded
+/// equivalence tests.
+fn formed_fixture(
+    caches: usize,
+    k: usize,
+    seed: u64,
+) -> (
+    EdgeNetwork,
+    GroupMap,
+    edge_cache_groups::workload::DocumentCatalog,
+    Vec<edge_cache_groups::workload::TraceEvent>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+    let network = EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+        .expect("placement");
+    let outcome = GfCoordinator::new(SchemeConfig::sdsl(k, 1.0).landmarks(6))
+        .form_groups(&network, &mut rng)
+        .expect("formation");
+    let groups = GroupMap::new(caches, outcome.groups().to_vec()).expect("groups");
+    let workload = SportingEventConfig::default()
+        .caches(caches)
+        .documents(250)
+        .duration_ms(20_000.0)
+        .generate(&mut rng);
+    (
+        network,
+        groups,
+        workload.catalog.clone(),
+        workload.merged_trace(),
+    )
+}
+
+#[test]
+fn sharded_replay_matches_monolithic_across_placements_and_threads() {
+    let (network, groups, catalog, trace) = formed_fixture(36, 6, 11);
+    for placement in [
+        PlacementKind::SingleHolder,
+        PlacementKind::adaptive(),
+        PlacementKind::d_choices(),
+    ] {
+        let sim = SimConfig::default().placement(placement).warmup_ms(2_000.0);
+        let monolithic = simulate(&network, &groups, &catalog, &trace, sim).expect("sim");
+        let config = ReplayConfig::default().sim(sim);
+        for threads in [1usize, 2, 8] {
+            edge_cache_groups::par::set_max_threads(Some(threads));
+            let sharded =
+                replay_sharded(&network, &groups, &catalog, &trace, &config).expect("replay");
+            edge_cache_groups::par::set_max_threads(None);
+            assert_eq!(
+                sharded, monolithic,
+                "sharded replay diverged ({placement:?}, {threads} threads)"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_matches_monolithic_under_faults_and_freshness() {
+    let (network, groups, catalog, trace) = formed_fixture(24, 4, 29);
+    let mut schedule = FaultSchedule::new()
+        .failover_penalty_ms(4.0)
+        .timeline_bucket_ms(5_000.0);
+    schedule.push(3_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+    schedule.push(6_000.0, FaultKind::BrownoutStart { factor: 2.5 });
+    schedule.push(9_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+    schedule.push(11_000.0, FaultKind::BrownoutEnd);
+    schedule.push(14_000.0, FaultKind::CacheRetire { cache: CacheId(7) });
+
+    for freshness in [
+        FreshnessProtocol::InvalidateOnAccess,
+        FreshnessProtocol::OriginMulticast,
+        FreshnessProtocol::TtlLease { ttl_ms: 2_000.0 },
+    ] {
+        let sim = SimConfig::default().freshness(freshness);
+        let monolithic =
+            simulate_with_faults(&network, &groups, &catalog, &trace, sim, &schedule).expect("sim");
+        let config = ReplayConfig::default().sim(sim).schedule(schedule.clone());
+        let sharded = replay_sharded(&network, &groups, &catalog, &trace, &config).expect("replay");
+        assert_eq!(
+            sharded, monolithic,
+            "sharded replay diverged under faults ({freshness:?})"
+        );
+    }
+}
+
+#[test]
+fn streamed_replay_matches_monolithic_on_materialized_inputs() {
+    let caches = 40;
+    let seed = 5u64;
+    let net = SyntheticRttConfig::default().generate(caches + 1, seed);
+    let groups: Vec<Vec<CacheId>> = (0..caches)
+        .collect::<Vec<_>>()
+        .chunks(7)
+        .map(|c| c.iter().map(|&i| CacheId(i)).collect())
+        .collect();
+    let map = GroupMap::new(caches, groups).expect("groups");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = CatalogConfig::default().documents(300).generate(&mut rng);
+    let updates = generate_updates(&catalog, 15_000.0, &mut rng);
+    let master: u64 = rng.gen();
+    let workload = StreamedWorkload::new(
+        RequestConfig::default().rate_per_sec_per_cache(3.0),
+        master,
+        15_000.0,
+    )
+    .updates(&updates);
+    let sim = SimConfig::default()
+        .placement(PlacementKind::adaptive())
+        .warmup_ms(1_500.0);
+    let config = ReplayConfig::default().sim(sim);
+
+    let streamed = replay_streamed(&net, &map, &catalog, &workload, &config).expect("replay");
+    let full = RttMatrix::from_fn(caches + 1, |a, b| net.rtt_ms(a, b));
+    let monolithic = simulate(
+        &EdgeNetwork::from_rtt_matrix(full),
+        &map,
+        &catalog,
+        &workload.materialize_trace(&catalog, caches),
+        sim,
+    )
+    .expect("sim");
+    assert_eq!(streamed, monolithic);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The load-bearing contract: on ANY input the monolithic simulator
+    /// accepts, sharded replay is bit-identical — whatever the group
+    /// shapes, placement policy, or thread count.
+    #[test]
+    fn sharded_replay_is_bit_identical_on_arbitrary_inputs(
+        seed in any::<u64>(),
+        caches in 6usize..30,
+        chunk in 1usize..9,
+        placement_idx in 0usize..3,
+        threads_idx in 0usize..3,
+        flash in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+        let network = EdgeNetwork::place(
+            &topo, caches, OriginPlacement::TransitNode, &mut rng,
+        ).unwrap();
+        // Contiguous chunks of arbitrary width cover singleton, ragged,
+        // and whole-network groups alike.
+        let groups: Vec<Vec<CacheId>> = (0..caches)
+            .collect::<Vec<_>>()
+            .chunks(chunk)
+            .map(|c| c.iter().map(|&i| CacheId(i)).collect())
+            .collect();
+        let map = GroupMap::new(caches, groups).unwrap();
+        let workload = SportingEventConfig::default()
+            .caches(caches)
+            .documents(150)
+            .duration_ms(8_000.0)
+            .flash_crowd(flash)
+            .generate(&mut rng);
+        let placement = [
+            PlacementKind::SingleHolder,
+            PlacementKind::adaptive(),
+            PlacementKind::d_choices(),
+        ][placement_idx];
+        let sim = SimConfig::default().placement(placement);
+        let trace = workload.merged_trace();
+        let monolithic =
+            simulate(&network, &map, &workload.catalog, &trace, sim).unwrap();
+        let config = ReplayConfig::default().sim(sim);
+        let threads = [1usize, 2, 8][threads_idx];
+        edge_cache_groups::par::set_max_threads(Some(threads));
+        let sharded =
+            replay_sharded(&network, &map, &workload.catalog, &trace, &config).unwrap();
+        edge_cache_groups::par::set_max_threads(None);
+        prop_assert_eq!(sharded, monolithic);
+    }
 }
 
 #[test]
