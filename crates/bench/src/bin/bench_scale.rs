@@ -2,41 +2,49 @@
 //!
 //! Drives the unified scaled pipeline
 //! ([`ecg_core::GfCoordinator::form_groups_scaled`]) — parallel landmark
-//! selection, parallel feature matrix construction, blocked-kernel
-//! K-means (full-batch Lloyd or deterministic mini-batch), and the
-//! group interaction cost metric — over an implicit [`SyntheticRtt`]
-//! oracle (O(n) state, so N = 100 000 fits where a dense RTT matrix
-//! would need ~80 GB), sweeping N × variant × thread counts through
+//! selection, parallel feature matrix construction, K-means through the
+//! configured engine, and the group interaction cost metric — over an
+//! implicit [`SyntheticRtt`] oracle (O(n) state, so N = 100 000 fits
+//! where a dense RTT matrix would need ~80 GB), sweeping
+//! N × variant × assignment engine × thread counts through
 //! [`ecg_par::set_max_threads`].
 //!
 //! Every configuration is also a determinism check: the run at each
-//! thread count must reproduce the threads = 1 assignments and the
-//! bit-exact GIC value, or the binary panics. Optimizations change
-//! time, never results.
+//! thread count must reproduce the first run's assignments and the
+//! bit-exact GIC value — *across assignment engines too*, because the
+//! KD-tree scan is contractually bit-identical to the blocked scan — or
+//! the binary panics. Optimizations change time, never results.
 //!
 //! ```text
 //! cargo run --release -p ecg-bench --bin bench_scale             # full, writes BENCH_scale.json
 //! cargo run --release -p ecg-bench --bin bench_scale -- --quick  # CI smoke sizes
 //! cargo run --release -p ecg-bench --bin bench_scale -- --variant minibatch
+//! cargo run --release -p ecg-bench --bin bench_scale -- --assign tree
 //! cargo run --release -p ecg-bench --bin bench_scale -- --mb-batch 4096 --mb-iters 60
 //! cargo run --release -p ecg-bench --bin bench_scale -- --out /tmp/s.json
 //! ```
 //!
-//! `--variant lloyd|minibatch|both` picks the K-means engine(s); the
-//! mini-batch sweep goes one size class higher (to N = 100 000) because
-//! its per-iteration cost is batch-sized, not N-sized. `--mb-batch` and
-//! `--mb-iters` tune the mini-batch schedule.
+//! `--variant lloyd|minibatch|both` picks the K-means engine(s);
+//! `--assign blocked|tree|both` picks the nearest-center engine(s) for
+//! the full-batch Lloyd sweep (k = N/100, so N = 50k scans 500 centers
+//! per point — the tree makes that sublinear). The tree sweep goes one
+//! size class higher (to N = 100 000, k = 1 000) where the flat scan is
+//! impractical on small hosts; mini-batch (whose cost is batch-sized,
+//! not N-sized) stays on the blocked kernel for continuity with the
+//! PR 7 baseline. `--mb-batch` and `--mb-iters` tune the mini-batch
+//! schedule.
 //!
 //! The synthetic oracle is generated once per N, outside the timing
 //! loop, so per-kernel timings measure formation kernels only — never
-//! topology setup.
+//! topology setup. Tree (re)build time is reported separately from the
+//! kmeans total (`tree_build_ms`, one rebuild per Lloyd iteration).
 //!
 //! The emitted JSON records the host context (logical CPUs, the
 //! `ECG_THREADS` environment override, quick/full mode) alongside
 //! per-kernel timings, because wall-clock scaling is only meaningful
 //! relative to the cores the run actually had.
 
-use ecg_clustering::{KmeansVariant, MiniBatchConfig};
+use ecg_clustering::{AssignMode, KmeansVariant, MiniBatchConfig};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_topology::{RttSource, SyntheticRtt, SyntheticRttConfig};
 use rand::rngs::StdRng;
@@ -76,9 +84,27 @@ impl Variant {
     }
 }
 
+/// One (K-means engine, nearest-center engine) combination to sweep.
+#[derive(Clone, Copy)]
+struct Engine {
+    variant: Variant,
+    assign: AssignMode,
+}
+
+impl Engine {
+    fn assign_name(self) -> &'static str {
+        match self.assign {
+            AssignMode::Auto => "auto",
+            AssignMode::Blocked => "blocked",
+            AssignMode::Tree => "tree",
+        }
+    }
+}
+
 struct RunResult {
     scheme: &'static str,
     variant: &'static str,
+    assign: &'static str,
     n: usize,
     threads: usize,
     k: usize,
@@ -86,6 +112,7 @@ struct RunResult {
     landmarks_ms: f64,
     features_ms: f64,
     kmeans_ms: f64,
+    tree_build_ms: f64,
     gic_ms: f64,
     total_ms: f64,
     gic_value: f64,
@@ -98,11 +125,12 @@ fn ms(start: Instant) -> f64 {
 
 /// Runs one full formation at a forced thread count through the scaled
 /// pipeline and records its per-kernel timings. All RNG seeds are fixed
-/// per (scheme, n), so two runs that differ only in `threads` must
-/// produce identical results.
+/// per (scheme, n), so two runs that differ only in `threads` — or in
+/// the assignment engine, which draws no RNG — must produce identical
+/// results.
 fn run_formation(
     scheme: Scheme,
-    variant: Variant,
+    engine: Engine,
     mb: MiniBatchConfig,
     net: &SyntheticRtt,
     n: usize,
@@ -120,8 +148,9 @@ fn run_formation(
     }
     .landmarks(LANDMARKS)
     .plset_multiplier(PLSET_MULTIPLIER)
-    .kmeans_max_iterations(KMEANS_ITERS);
-    if variant == Variant::MiniBatch {
+    .kmeans_max_iterations(KMEANS_ITERS)
+    .kmeans_assign(engine.assign);
+    if engine.variant == Variant::MiniBatch {
         config = config.kmeans_variant(KmeansVariant::MiniBatch(mb));
     }
 
@@ -141,7 +170,8 @@ fn run_formation(
     let timings = formed.timings;
     RunResult {
         scheme: scheme.name(),
-        variant: variant.name(),
+        variant: engine.variant.name(),
+        assign: engine.assign_name(),
         n,
         threads,
         k,
@@ -149,6 +179,7 @@ fn run_formation(
         landmarks_ms: timings.landmarks_ms,
         features_ms: timings.features_ms,
         kmeans_ms: timings.clustering_ms,
+        tree_build_ms: timings.tree_build_ms,
         gic_ms,
         total_ms: timings.total_ms + gic_ms,
         gic_value,
@@ -172,6 +203,12 @@ fn main() {
         Some("minibatch") => vec![Variant::MiniBatch],
         Some(other) => panic!("--variant must be lloyd, minibatch, or both, got {other:?}"),
     };
+    let lloyd_assigns: Vec<AssignMode> = match flag_value("--assign").as_deref() {
+        None | Some("both") => vec![AssignMode::Blocked, AssignMode::Tree],
+        Some("blocked") => vec![AssignMode::Blocked],
+        Some("tree") => vec![AssignMode::Tree],
+        Some(other) => panic!("--assign must be blocked, tree, or both, got {other:?}"),
+    };
     let mb_batch: usize =
         flag_value("--mb-batch").map_or(2_048, |v| v.parse().expect("--mb-batch takes an integer"));
     let mb_iters: usize =
@@ -180,28 +217,52 @@ fn main() {
         .batch_size(mb_batch)
         .iterations(mb_iters);
 
+    // The engine grid: Lloyd sweeps the requested assignment engines;
+    // mini-batch stays on the blocked kernel (its scan is batch-sized,
+    // and the PR 7 baseline numbers were recorded on it).
+    let engines: Vec<Engine> = variants
+        .iter()
+        .flat_map(|&variant| match variant {
+            Variant::Lloyd => lloyd_assigns
+                .iter()
+                .map(|&assign| Engine { variant, assign })
+                .collect::<Vec<_>>(),
+            Variant::MiniBatch => vec![Engine {
+                variant,
+                assign: AssignMode::Blocked,
+            }],
+        })
+        .collect();
+
     // Mini-batch exists to go past Lloyd's ceiling, so its sweep sits
-    // one size class higher.
+    // one size class higher; the tree-assign Lloyd sweep joins it at
+    // N = 100k (k = 1 000), where the flat scan is impractical.
     let lloyd_sizes: &[usize] = if quick {
         &[500, 2_000]
     } else {
         &[5_000, 20_000, 50_000]
+    };
+    let lloyd_tree_sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[5_000, 20_000, 50_000, 100_000]
     };
     let minibatch_sizes: &[usize] = if quick {
         &[20_000]
     } else {
         &[20_000, 50_000, 100_000]
     };
-    let sizes_for = |variant: Variant| match variant {
-        Variant::Lloyd => lloyd_sizes,
-        Variant::MiniBatch => minibatch_sizes,
+    let sizes_for = |engine: Engine| match (engine.variant, engine.assign) {
+        (Variant::Lloyd, AssignMode::Tree) => lloyd_tree_sizes,
+        (Variant::Lloyd, _) => lloyd_sizes,
+        (Variant::MiniBatch, _) => minibatch_sizes,
     };
     let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let schemes = [Scheme::Sl, Scheme::Sdsl(1.0)];
 
-    let mut all_sizes: Vec<usize> = variants
+    let mut all_sizes: Vec<usize> = engines
         .iter()
-        .flat_map(|&v| sizes_for(v).iter().copied())
+        .flat_map(|&e| sizes_for(e).iter().copied())
         .collect();
     all_sizes.sort_unstable();
     all_sizes.dedup();
@@ -215,37 +276,48 @@ fn main() {
         // per N, outside the timing loop — kernel timings never include
         // topology setup.
         let net = SyntheticRttConfig::default().generate(n + 1, 9_000 + n as u64);
-        for &variant in variants.iter().filter(|&&v| sizes_for(v).contains(&n)) {
-            for scheme in schemes {
-                let mut baseline: Option<(Vec<usize>, f64)> = None;
+        for scheme in schemes {
+            // One baseline per K-means variant, shared across thread
+            // counts AND assignment engines: the tree scan must
+            // reproduce the blocked scan bit for bit.
+            let mut lloyd_baseline: Option<(Vec<usize>, f64)> = None;
+            let mut minibatch_baseline: Option<(Vec<usize>, f64)> = None;
+            for &engine in engines.iter().filter(|&&e| sizes_for(e).contains(&n)) {
+                let baseline = match engine.variant {
+                    Variant::Lloyd => &mut lloyd_baseline,
+                    Variant::MiniBatch => &mut minibatch_baseline,
+                };
                 for &threads in thread_counts {
-                    let run = run_formation(scheme, variant, mb, &net, n, threads);
+                    let run = run_formation(scheme, engine, mb, &net, n, threads);
                     eprintln!(
-                        "{}/{} n={} threads={}: total {:.0} ms (landmarks {:.0}, features {:.0}, kmeans {:.0}, gic {:.0})",
+                        "{}/{}/{} n={} threads={}: total {:.0} ms (landmarks {:.0}, features {:.0}, kmeans {:.0} [tree build {:.1}], gic {:.0})",
                         run.scheme,
                         run.variant,
+                        run.assign,
                         run.n,
                         run.threads,
                         run.total_ms,
                         run.landmarks_ms,
                         run.features_ms,
                         run.kmeans_ms,
+                        run.tree_build_ms,
                         run.gic_ms
                     );
-                    match &baseline {
-                        None => baseline = Some((run.assignments.clone(), run.gic_value)),
+                    match &*baseline {
+                        None => *baseline = Some((run.assignments.clone(), run.gic_value)),
                         Some((assignments, gic)) => {
                             assert_eq!(
                                 assignments, &run.assignments,
-                                "{}/{} n={n}: assignments diverged at {threads} threads",
-                                run.scheme, run.variant
+                                "{}/{}/{} n={n}: assignments diverged at {threads} threads",
+                                run.scheme, run.variant, run.assign
                             );
                             assert_eq!(
                                 gic.to_bits(),
                                 run.gic_value.to_bits(),
-                                "{}/{} n={n}: GIC diverged at {threads} threads",
+                                "{}/{}/{} n={n}: GIC diverged at {threads} threads",
                                 run.scheme,
-                                run.variant
+                                run.variant,
+                                run.assign
                             );
                         }
                     }
@@ -256,17 +328,18 @@ fn main() {
     }
 
     // End-to-end speedups of the widest run vs threads = 1, per
-    // (scheme, variant, n).
+    // (scheme, variant, assign, n).
     let max_threads = *thread_counts.last().expect("non-empty thread list");
     let mut speedups = String::new();
-    for &variant in &variants {
-        for &n in sizes_for(variant) {
+    for &engine in &engines {
+        for &n in sizes_for(engine) {
             for scheme in schemes {
                 let time_at = |threads: usize| {
                     runs.iter()
                         .find(|r| {
                             r.scheme == scheme.name()
-                                && r.variant == variant.name()
+                                && r.variant == engine.variant.name()
+                                && r.assign == engine.assign_name()
                                 && r.n == n
                                 && r.threads == threads
                         })
@@ -278,9 +351,10 @@ fn main() {
                     speedups.push_str(", ");
                 }
                 speedups.push_str(&format!(
-                    "\"{}_{}_n{}_t{}\": {:.3}",
+                    "\"{}_{}_{}_n{}_t{}\": {:.3}",
                     scheme.name(),
-                    variant.name(),
+                    engine.variant.name(),
+                    engine.assign_name(),
                     n,
                     max_threads,
                     s
@@ -305,12 +379,14 @@ fn main() {
             doc.push_str(",\n");
         }
         doc.push_str(&format!(
-            "    {{\"scheme\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"threads\": {}, \"k\": {}, \
-             \"landmarks\": {}, \"total_ms\": {:.3}, \"kernels\": {{\"landmarks_ms\": {:.3}, \
-             \"features_ms\": {:.3}, \"kmeans_ms\": {:.3}, \"gic_ms\": {:.3}}}, \
+            "    {{\"scheme\": \"{}\", \"variant\": \"{}\", \"assign\": \"{}\", \"n\": {}, \
+             \"threads\": {}, \"k\": {}, \"landmarks\": {}, \"total_ms\": {:.3}, \
+             \"kernels\": {{\"landmarks_ms\": {:.3}, \"features_ms\": {:.3}, \
+             \"kmeans_ms\": {:.3}, \"tree_build_ms\": {:.3}, \"gic_ms\": {:.3}}}, \
              \"gic_value\": {:.6}, \"determinism_ok\": true}}",
             r.scheme,
             r.variant,
+            r.assign,
             r.n,
             r.threads,
             r.k,
@@ -319,6 +395,7 @@ fn main() {
             r.landmarks_ms,
             r.features_ms,
             r.kmeans_ms,
+            r.tree_build_ms,
             r.gic_ms,
             r.gic_value
         ));

@@ -10,13 +10,18 @@
 //! scans run through the cache-blocked kernel in [`crate::blocked`]
 //! (lane-transposed center tiles, bit-identical to a scalar scan) so
 //! center rows stay in L1/L2 and the inner loop auto-vectorizes across
-//! centers. The Lloyd loop uses
+//! centers — or, at large k, through the KD-tree over centers in
+//! [`crate::tree`], whose branch-and-bound query returns the identical
+//! triple while visiting only a few tiles (see [`AssignMode`]). The
+//! Lloyd loop uses
 //! Hamerly-style upper/lower distance bounds ("Making k-means even
 //! faster", SDM 2010) to skip the k-way scan for points whose assignment
 //! provably cannot change; every surviving candidate is settled with
 //! exact distances, so [`kmeans`] produces assignments, centers,
 //! iteration counts, and convergence flags identical to the retained
-//! naive implementation [`kmeans_reference`].
+//! naive implementation [`kmeans_reference`]. The two prunings compose:
+//! the tree is consulted only for points whose Hamerly bound is
+//! violated, which is where the large-K win lives.
 //!
 //! The O(n·k·d) assignment scans (the initial pass and the
 //! per-iteration re-scan) fan out across [`ecg_par`] workers in fixed
@@ -28,8 +33,8 @@
 //! empty-cluster repair — deliberately stay sequential in point-index
 //! order to preserve exact equality with [`kmeans_reference`].
 
-use crate::blocked::BlockedCenters;
 use crate::init::Initializer;
+use crate::tree::{AssignMode, CenterScanner};
 use ecg_coords::FeatureMatrix;
 use ecg_obs::Obs;
 use rand::Rng;
@@ -60,6 +65,7 @@ pub struct KmeansConfig {
     k: usize,
     max_iterations: usize,
     reassignment_threshold: usize,
+    assign: AssignMode,
 }
 
 impl KmeansConfig {
@@ -77,6 +83,7 @@ impl KmeansConfig {
             k,
             max_iterations: 100,
             reassignment_threshold: 0,
+            assign: AssignMode::default(),
         }
     }
 
@@ -93,9 +100,23 @@ impl KmeansConfig {
         self
     }
 
+    /// Selects the nearest-center engine for the assignment scans:
+    /// the flat blocked kernel, the KD-tree over centers, or (the
+    /// default) automatic selection on k. All modes produce
+    /// bit-identical clusterings — see [`crate::tree`].
+    pub fn assign(mut self, mode: AssignMode) -> Self {
+        self.assign = mode;
+        self
+    }
+
     /// Number of clusters `K`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The configured nearest-center engine.
+    pub fn assign_mode(&self) -> AssignMode {
+        self.assign
     }
 
     /// The iteration cap.
@@ -303,10 +324,11 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         centers.push_row(points.row(i));
     }
 
-    // Centers staged in the lane-transposed tile layout; every full
-    // k-way scan below goes through the blocked kernel (bit-identical to
-    // the scalar scan — see [`crate::blocked`]).
-    let mut blocked = BlockedCenters::new(&centers);
+    // Centers staged on the configured nearest-center engine: the
+    // blocked kernel ([`crate::blocked`]) or the KD-tree over centers
+    // ([`crate::tree`]). Both return bit-identical (best, d², second
+    // d²) triples, so the engine choice moves wall-clock only.
+    let mut scanner = CenterScanner::stage(&centers, config.assign);
 
     let mut assignments = vec![0usize; n];
     // Hamerly bounds, in the metric (sqrt) domain where the triangle
@@ -319,7 +341,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         |(start, a_chunk, u_chunk, l_chunk)| {
             let cells = a_chunk.iter_mut().zip(u_chunk.iter_mut().zip(l_chunk));
             for (off, (a, (u, l))) in cells.enumerate() {
-                let (best, best_d2, second_d2) = blocked.scan(points.row(start + off));
+                let (best, best_d2, second_d2) = scanner.scan(points.row(start + off));
                 *a = best;
                 *u = best_d2.sqrt();
                 *l = second_d2.sqrt();
@@ -339,7 +361,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
         previous_centers.clone_from(&centers);
         update.update_centers(points, &assignments, &mut centers);
         repair_empty_clusters(points, &mut assignments, &mut centers, &mut stolen);
-        blocked.refill(&centers);
+        scanner.refill(&centers);
 
         // How far each center travelled this iteration (including any
         // repair re-seeding); by the triangle inequality a point's
@@ -405,7 +427,7 @@ pub fn kmeans_observed<R: Rng + ?Sized>(
                         continue;
                     }
                     counts.exact_scans += 1;
-                    let (best, best_d2, second_d2) = blocked.scan(p);
+                    let (best, best_d2, second_d2) = scanner.scan(p);
                     *u = best_d2.sqrt();
                     *l = second_d2.sqrt();
                     if best != *a {

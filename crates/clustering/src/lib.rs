@@ -19,7 +19,9 @@
 //! kernels in the Lloyd loop stream over flat memory. [`kmeans()`] also
 //! prunes re-assignment scans with Hamerly-style distance bounds while
 //! producing output identical to the retained naive implementation
-//! [`kmeans_reference()`].
+//! [`kmeans_reference()`]; at large k the surviving scans route through
+//! the KD-tree over centers in [`tree`] (see [`AssignMode`]), still bit
+//! identical.
 //!
 //! # Examples
 //!
@@ -55,6 +57,7 @@ pub mod medoids;
 pub mod minibatch;
 pub mod model_selection;
 pub mod quality;
+pub mod tree;
 
 pub use balanced::{kmeans_capped, CapError};
 pub use blocked::BlockedCenters;
@@ -71,3 +74,4 @@ pub use quality::{
     average_group_interaction_cost, euclidean_cost, group_interaction_cost, group_size_stats,
     mean_silhouette,
 };
+pub use tree::{take_tree_build_ms, AssignMode, CenterTree, TREE_AUTO_MIN_K};

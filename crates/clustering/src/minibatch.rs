@@ -20,8 +20,10 @@
 //!   `master` is drawn once from the caller's RNG. Batches depend only
 //!   on the seed and the iteration number — never on thread count.
 //! * **Assignment** of the batch fans out over fixed
-//!   [`ecg_par::chunk_ranges`] chunks (shared immutable centers, blocked
-//!   kernel, per-slot writes) and is reassembled in input order.
+//!   [`ecg_par::chunk_ranges`] chunks (shared immutable centers —
+//!   blocked kernel or center tree per the configured
+//!   [`crate::AssignMode`], bit-identical either way — and per-slot
+//!   writes) and is reassembled in input order.
 //! * **The Sculley update** (`counts[c] += 1; η = 1/counts[c];
 //!   c += η·(p − c)`) is inherently order-sensitive in f64, so it runs
 //!   sequentially in batch order. It touches `batch_size · d` values per
@@ -30,9 +32,9 @@
 //! The result is bit-identical for any `ECG_THREADS`, which the
 //! determinism tests pin at 1, 2, and 8 threads.
 
-use crate::blocked::BlockedCenters;
 use crate::init::Initializer;
 use crate::kmeans::{repair_empty_clusters, Clustering, KmeansConfig, KmeansError};
+use crate::tree::CenterScanner;
 use ecg_coords::FeatureMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,7 +194,7 @@ pub fn kmeans_minibatch<R: Rng + ?Sized>(
     // so sampling is independent of thread count.
     let master: u64 = rng.gen();
 
-    let mut blocked = BlockedCenters::new(&centers);
+    let mut scanner = CenterScanner::stage(&centers, config.assign_mode());
     let mut counts = vec![0usize; k];
     let mut batch = Vec::with_capacity(mb.batch_size);
     for iteration in 0..mb.iterations {
@@ -205,7 +207,7 @@ pub fn kmeans_minibatch<R: Rng + ?Sized>(
         let nearest: Vec<usize> = ecg_par::par_chunk_map(batch.len(), |range| {
             batch[range]
                 .iter()
-                .map(|&i| blocked.scan(points.row(i)).0)
+                .map(|&i| scanner.scan(points.row(i)).0)
                 .collect::<Vec<usize>>()
         })
         .into_iter()
@@ -220,14 +222,14 @@ pub fn kmeans_minibatch<R: Rng + ?Sized>(
                 *cv += eta * (pv - *cv);
             }
         }
-        blocked.refill(&centers);
+        scanner.refill(&centers);
     }
 
     // Final full assignment over all points, then the usual no-empty-
     // groups guarantee.
     let mut assignments: Vec<usize> = ecg_par::par_chunk_map(n, |range| {
         range
-            .map(|i| blocked.scan(points.row(i)).0)
+            .map(|i| scanner.scan(points.row(i)).0)
             .collect::<Vec<usize>>()
     })
     .into_iter()

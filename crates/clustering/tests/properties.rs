@@ -3,8 +3,8 @@
 use ecg_clustering::hierarchical::{agglomerative, Linkage};
 use ecg_clustering::{
     average_group_interaction_cost, group_interaction_cost, kmeans, kmeans_capped, kmeans_masked,
-    kmeans_minibatch, kmeans_reference, server_distance_weights, BlockedCenters, FeatureMatrix,
-    Initializer, KmeansConfig, MiniBatchConfig,
+    kmeans_minibatch, kmeans_reference, server_distance_weights, AssignMode, BlockedCenters,
+    CenterTree, FeatureMatrix, Initializer, KmeansConfig, MiniBatchConfig,
 };
 use ecg_coords::FeatureMask;
 use proptest::prelude::*;
@@ -14,6 +14,35 @@ use rand::SeedableRng;
 fn arb_points() -> impl Strategy<Value = FeatureMatrix> {
     proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, 2), 2..40)
         .prop_map(|rows| FeatureMatrix::from_rows(&rows))
+}
+
+/// Query points and center sets of a shared random dimension, with the
+/// center coordinates snapped to a coarse grid. Snapping manufactures
+/// exact duplicate centers and mirror-symmetric (equidistant) layouts
+/// with high probability — exactly the configurations where a sloppy
+/// tie-break in the tree traversal would pick a different winner than
+/// the ascending-index blocked scan.
+fn arb_tree_inputs() -> impl Strategy<Value = (FeatureMatrix, FeatureMatrix)> {
+    (1usize..7).prop_flat_map(|dim| {
+        let points =
+            proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, dim), 1..30)
+                .prop_map(|rows| FeatureMatrix::from_rows(&rows));
+        let centers = proptest::collection::vec(
+            proptest::collection::vec((0u8..5).prop_map(|v| f64::from(v) * 25.0), dim),
+            1..90,
+        )
+        .prop_map(|rows| FeatureMatrix::from_rows(&rows));
+        (points, centers)
+    })
+}
+
+/// Points of a random dimension (not just 2-D) for the engine
+/// equivalence test below.
+fn arb_dim_points() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..7).prop_flat_map(|dim| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, dim), 2..40)
+            .prop_map(|rows| FeatureMatrix::from_rows(&rows))
+    })
 }
 
 proptest! {
@@ -333,6 +362,68 @@ proptest! {
             prop_assert_eq!(bc, best);
             prop_assert_eq!(bd.to_bits(), best_d.to_bits());
         }
+    }
+
+    #[test]
+    fn tree_query_matches_blocked_scan_bit_for_bit(
+        (points, centers) in arb_tree_inputs(),
+    ) {
+        // The KD-tree query must be invisible next to the blocked tile
+        // scan: same winning index (lowest index on exact distance
+        // ties), same best and second-best squared distances bit for
+        // bit — over random dimensions, duplicate centers, and
+        // grid-symmetric equidistant layouts.
+        let blocked = BlockedCenters::new(&centers);
+        let tree = CenterTree::new(&centers);
+        for p in points.iter_rows() {
+            let (bc, bd, bs) = blocked.scan(p);
+            let (tc, td, ts) = tree.query(p);
+            prop_assert_eq!(tc, bc);
+            prop_assert_eq!(td.to_bits(), bd.to_bits());
+            prop_assert_eq!(ts.to_bits(), bs.to_bits());
+        }
+    }
+
+    #[test]
+    fn tree_kmeans_matches_blocked_and_reference(
+        points in arb_dim_points(),
+        k_frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // Full three-way equivalence across assignment engines: the
+        // tree-pruned Lloyd loop == the blocked-scan loop == the naive
+        // reference, bit for bit in assignments, centers, iteration
+        // count, and convergence flag. The engine knob moves wall-clock
+        // only; results are contractually identical.
+        let k = ((points.len() as f64 * k_frac).ceil() as usize).clamp(1, points.len());
+        let run = |mode: AssignMode| {
+            kmeans(
+                &points,
+                KmeansConfig::new(k).assign(mode),
+                &Initializer::RandomRepresentative,
+                &mut StdRng::seed_from_u64(seed),
+            ).unwrap()
+        };
+        let tree = run(AssignMode::Tree);
+        let blocked = run(AssignMode::Blocked);
+        let reference = kmeans_reference(
+            &points,
+            KmeansConfig::new(k),
+            &Initializer::RandomRepresentative,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        prop_assert_eq!(tree.assignments(), blocked.assignments());
+        prop_assert_eq!(tree.assignments(), reference.assignments());
+        for (a, b) in tree.centers().as_flat().iter().zip(blocked.centers().as_flat()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in tree.centers().as_flat().iter().zip(reference.centers().as_flat()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(tree.iterations(), blocked.iterations());
+        prop_assert_eq!(tree.iterations(), reference.iterations());
+        prop_assert_eq!(tree.converged(), blocked.converged());
+        prop_assert_eq!(tree.converged(), reference.converged());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! Padding lanes in the final tile are zero-filled; consumers bound
 //! their lane loop with [`CenterTiles::lanes_in_tile`] so padding never
 //! participates in a comparison.
+//!
+//! This layout is a small contract of its own: `ecg-clustering`'s
+//! KD-tree over centers stores each *leaf* as one tile in exactly this
+//! shape, so a leaf scan runs the identical kernel (same accumulation
+//! order, same padding rule) on a subset of centers and stays
+//! bit-identical to the flat blocked scan.
 
 use crate::matrix::FeatureMatrix;
 

@@ -16,8 +16,8 @@ use crate::landmarks::{
     LandmarkSelection, LandmarkSelector,
 };
 use ecg_clustering::{
-    kmeans_capped, kmeans_masked_observed, kmeans_observed, server_distance_weights, CapError,
-    Initializer, KmeansConfig, KmeansError, KmeansVariant,
+    kmeans_capped, kmeans_masked_observed, kmeans_observed, server_distance_weights, AssignMode,
+    CapError, Initializer, KmeansConfig, KmeansError, KmeansVariant,
 };
 use ecg_coords::{
     build_feature_matrix, build_feature_matrix_par, build_feature_matrix_resilient_observed,
@@ -91,6 +91,7 @@ pub struct SchemeConfig {
     init: GroupInit,
     kmeans_max_iterations: usize,
     kmeans_variant: KmeansVariant,
+    kmeans_assign: AssignMode,
     max_group_size: Option<usize>,
     resilience: Option<ResilienceConfig>,
 }
@@ -110,6 +111,7 @@ impl SchemeConfig {
             init: GroupInit::Uniform,
             kmeans_max_iterations: 100,
             kmeans_variant: KmeansVariant::Lloyd,
+            kmeans_assign: AssignMode::Auto,
             max_group_size: None,
             resilience: None,
         }
@@ -195,6 +197,22 @@ impl SchemeConfig {
     /// The K-means engine the scaled pipeline uses.
     pub fn kmeans_variant_config(&self) -> &KmeansVariant {
         &self.kmeans_variant
+    }
+
+    /// Selects the nearest-center engine for the K-means assignment
+    /// scans: the flat blocked kernel, the KD-tree over centers, or
+    /// (the default) automatic selection on k. Every mode yields a
+    /// bit-identical clustering — the tree's exactness contract (see
+    /// `ecg_clustering::tree`) is proptest-pinned — so this knob moves
+    /// wall-clock only and is safe on the paper-exact paths too.
+    pub fn kmeans_assign(mut self, mode: AssignMode) -> Self {
+        self.kmeans_assign = mode;
+        self
+    }
+
+    /// The configured nearest-center engine.
+    pub fn kmeans_assign_config(&self) -> AssignMode {
+        self.kmeans_assign
     }
 
     /// Caps every group at `max` members (an extension beyond the
@@ -647,7 +665,9 @@ impl GfCoordinator {
             }
             GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
         };
-        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let kmeans_config = KmeansConfig::new(cfg.groups)
+            .max_iterations(cfg.kmeans_max_iterations)
+            .assign(cfg.kmeans_assign);
         let clustering = match cfg.max_group_size {
             None => kmeans_observed(
                 &points,
@@ -863,7 +883,9 @@ impl GfCoordinator {
             }
             GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
         };
-        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let kmeans_config = KmeansConfig::new(cfg.groups)
+            .max_iterations(cfg.kmeans_max_iterations)
+            .assign(cfg.kmeans_assign);
         let clustering = match cfg.max_group_size {
             None => kmeans_masked_observed(
                 &kept_points,
@@ -1030,7 +1052,10 @@ impl GfCoordinator {
         let server_distances_ms: Vec<f64> = points.iter_rows().map(|row| row[0]).collect();
         let features_ms = features_started.elapsed().as_secs_f64() * 1e3;
 
-        // Step 3: clustering through the configured engine.
+        // Step 3: clustering through the configured engine. The
+        // tree-build accumulator is drained before the phase so the
+        // after-read covers exactly this clustering's rebuilds.
+        let _ = ecg_clustering::take_tree_build_ms();
         let clustering_started = Instant::now();
         let initializer = match cfg.init {
             GroupInit::Uniform => Initializer::RandomRepresentative,
@@ -1039,7 +1064,9 @@ impl GfCoordinator {
             }
             GroupInit::KmeansPlusPlus => Initializer::KmeansPlusPlus,
         };
-        let kmeans_config = KmeansConfig::new(cfg.groups).max_iterations(cfg.kmeans_max_iterations);
+        let kmeans_config = KmeansConfig::new(cfg.groups)
+            .max_iterations(cfg.kmeans_max_iterations)
+            .assign(cfg.kmeans_assign);
         let clustering = ecg_clustering::kmeans_variant(
             &points,
             kmeans_config,
@@ -1048,6 +1075,7 @@ impl GfCoordinator {
             rng,
         )?;
         let clustering_ms = clustering_started.elapsed().as_secs_f64() * 1e3;
+        let tree_build_ms = ecg_clustering::take_tree_build_ms();
 
         let groups: Vec<Vec<CacheId>> = clustering
             .clusters()
@@ -1071,6 +1099,7 @@ impl GfCoordinator {
                 landmarks_ms,
                 features_ms,
                 clustering_ms,
+                tree_build_ms,
                 total_ms: started.elapsed().as_secs_f64() * 1e3,
             },
         })
@@ -1088,6 +1117,11 @@ pub struct FormationTimings {
     pub features_ms: f64,
     /// K-means clustering (whichever [`KmeansVariant`] ran).
     pub clustering_ms: f64,
+    /// Of `clustering_ms`, the time spent (re)building the KD-tree
+    /// over centers — 0 when the scans ran on the blocked kernel (see
+    /// [`SchemeConfig::kmeans_assign`]). The remainder of
+    /// `clustering_ms` is queries and center updates.
+    pub tree_build_ms: f64,
     /// End-to-end formation time.
     pub total_ms: f64,
 }

@@ -24,6 +24,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a dependent strategy from every sampled value — e.g. draw
+    /// a dimension first, then matrices of that dimension.
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// The result of [`Strategy::prop_map`].
@@ -42,6 +53,26 @@ where
 
     fn sample(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    U: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -188,6 +219,21 @@ mod tests {
             let v = s.sample(&mut rng);
             assert!((10..25).contains(&v));
         }
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_strategies() {
+        // The inner strategy's shape depends on the outer draw.
+        let s = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 1, "outer draw never varied");
     }
 
     #[test]

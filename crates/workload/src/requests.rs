@@ -234,39 +234,6 @@ impl RequestConfig {
         requests
     }
 
-    /// Parallel, thread-count-invariant variant of
-    /// [`RequestConfig::generate`] for the large-N scaling path.
-    ///
-    /// Draws one master seed from `rng` and delegates to
-    /// [`RequestConfig::generate_with_master`].
-    ///
-    /// Deprecated for large N: it materializes the whole request vector.
-    /// Stream per-cache arrivals with [`RequestConfig::stream_cache`]
-    /// (what `ecg-replay`'s sharded replay does) instead, or call
-    /// `generate_with_master` where an eager trace is genuinely wanted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the catalog is empty or `caches == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "materializes the whole trace; stream per-cache arrivals with \
-                RequestConfig::stream_cache (or ecg-replay's replay_streamed) for large N, \
-                or use generate_with_master where an eager trace is wanted"
-    )]
-    pub fn generate_par<R: Rng + ?Sized>(
-        &self,
-        catalog: &DocumentCatalog,
-        caches: usize,
-        duration_ms: f64,
-        rng: &mut R,
-    ) -> Vec<Request> {
-        assert!(!catalog.is_empty(), "catalog must contain documents");
-        assert!(caches > 0, "need at least one cache");
-        let master: u64 = rng.gen();
-        self.generate_with_master(catalog, caches, duration_ms, master)
-    }
-
     /// Eager, thread-count-invariant request generation from an explicit
     /// master seed: every cache's stream is realized by
     /// [`RequestConfig::stream_cache`] on an [`ecg_par`] worker, then
@@ -561,13 +528,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn par_stream_is_thread_count_invariant() {
         let cat = catalog(80, 0);
         let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);
         let gen = |threads| {
             ecg_par::set_max_threads(Some(threads));
-            let reqs = cfg.generate_par(&cat, 6, 20_000.0, &mut StdRng::seed_from_u64(21));
+            let reqs = cfg.generate_with_master(&cat, 6, 20_000.0, 21);
             ecg_par::set_max_threads(None);
             reqs
         };
@@ -579,18 +545,6 @@ mod tests {
             assert_eq!(a.time_ms.to_bits(), b.time_ms.to_bits());
             assert_eq!((a.cache, a.doc), (b.cache, b.doc));
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn generate_par_delegates_to_generate_with_master() {
-        let cat = catalog(60, 0);
-        let cfg = RequestConfig::default().rate_per_sec_per_cache(4.0);
-        let mut rng = StdRng::seed_from_u64(77);
-        let via_par = cfg.generate_par(&cat, 5, 15_000.0, &mut rng);
-        let master: u64 = StdRng::seed_from_u64(77).gen();
-        let via_master = cfg.generate_with_master(&cat, 5, 15_000.0, master);
-        assert_eq!(via_par, via_master);
     }
 
     #[test]
@@ -633,12 +587,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn par_stream_is_sorted_valid_and_rate_matched() {
         let cat = catalog(100, 0);
         let cfg = RequestConfig::default().rate_per_sec_per_cache(5.0);
-        let mut rng = StdRng::seed_from_u64(8);
-        let reqs = cfg.generate_par(&cat, 4, 100_000.0, &mut rng);
+        let reqs = cfg.generate_with_master(&cat, 4, 100_000.0, 8);
         for pair in reqs.windows(2) {
             assert!(pair[0].time_ms <= pair[1].time_ms);
         }

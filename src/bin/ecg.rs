@@ -58,6 +58,7 @@ usage:
   ecg scale       [--caches N] [--groups K] [--scheme sl|sdsl] [--theta T]
                   [--landmarks L] [--plset-multiplier M] [--seed S]
                   [--minibatch true|false] [--batch-size B] [--iters I]
+                  [--assign auto|blocked|tree]
   ecg gen-trace   [--caches N] [--docs D] [--duration-secs T] [--rate R]
                   [--preset sporting|news|flashcrowd] [--seed S] --out FILE
   ecg stats       --trace FILE
@@ -229,6 +230,7 @@ fn scale_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let minibatch: bool = get_parsed(flags, "minibatch", false)?;
     let batch_size: usize = get_parsed(flags, "batch-size", 2_048)?;
     let iters: usize = get_parsed(flags, "iters", 40)?;
+    let assign: AssignMode = get_parsed(flags, "assign", AssignMode::Auto)?;
     if batch_size == 0 {
         return Err("--batch-size must be positive".into());
     }
@@ -239,7 +241,8 @@ fn scale_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("--scheme must be sl or sdsl, got {other:?}")),
     }
     .landmarks(landmarks)
-    .plset_multiplier(plset);
+    .plset_multiplier(plset)
+    .kmeans_assign(assign);
     if minibatch {
         scheme = scheme.kmeans_variant(KmeansVariant::MiniBatch(
             MiniBatchConfig::default()
@@ -263,9 +266,12 @@ fn scale_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         caches,
         outcome.groups().len(),
         if minibatch {
-            format!("mini-batch {batch_size}x{iters}")
+            format!(
+                "mini-batch {batch_size}x{iters}, {} assign",
+                assign_name(assign)
+            )
         } else {
-            "full-batch Lloyd".to_string()
+            format!("full-batch Lloyd, {} assign", assign_name(assign))
         },
         sizes.iter().min().copied().unwrap_or(0),
         caches as f64 / sizes.len().max(1) as f64,
@@ -279,10 +285,20 @@ fn scale_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let t = formed.timings;
     println!(
-        "timings: landmarks {:.0} ms, features {:.0} ms, clustering {:.0} ms, total {:.0} ms",
-        t.landmarks_ms, t.features_ms, t.clustering_ms, t.total_ms,
+        "timings: landmarks {:.0} ms, features {:.0} ms, clustering {:.0} ms \
+         (tree build {:.1} ms), total {:.0} ms",
+        t.landmarks_ms, t.features_ms, t.clustering_ms, t.tree_build_ms, t.total_ms,
     );
     Ok(())
+}
+
+/// Display name of an assignment engine choice.
+fn assign_name(mode: AssignMode) -> &'static str {
+    match mode {
+        AssignMode::Auto => "auto",
+        AssignMode::Blocked => "blocked",
+        AssignMode::Tree => "tree",
+    }
 }
 
 /// Builds the workload a set of flags describes (shared by `gen-trace`
@@ -822,6 +838,22 @@ mod tests {
             "10",
         ]))
         .unwrap();
+        // Forced tree assignment must run (and match the other engines
+        // bit for bit — pinned by the scaled-pipeline suite).
+        run(&to_args(&[
+            "scale",
+            "--caches",
+            "300",
+            "--groups",
+            "6",
+            "--landmarks",
+            "6",
+            "--seed",
+            "2",
+            "--assign",
+            "tree",
+        ]))
+        .unwrap();
         assert!(run(&to_args(&[
             "scale",
             "--minibatch",
@@ -831,6 +863,7 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&to_args(&["scale", "--scheme", "bogus"])).is_err());
+        assert!(run(&to_args(&["scale", "--assign", "kd"])).is_err());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub use ecg_workload as workload;
 /// One-import convenience: the types a typical user touches.
 pub mod prelude {
     pub use ecg_cache::{DocumentCache, PolicyKind};
-    pub use ecg_clustering::{KmeansVariant, MiniBatchConfig};
+    pub use ecg_clustering::{AssignMode, KmeansVariant, MiniBatchConfig};
     pub use ecg_coords::{ProbeConfig, Prober};
     pub use ecg_core::{
         FormationTimings, GfCoordinator, GroupInit, GroupMaintainer, GroupingOutcome,

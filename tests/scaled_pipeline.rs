@@ -55,6 +55,47 @@ fn scaled_formation_is_thread_count_invariant_per_variant() {
 }
 
 #[test]
+fn tree_and_blocked_assignment_agree_over_many_seeds_and_threads() {
+    // 30 seeds × forced {1, 2, 8} workers × both nearest-center
+    // engines: every combination must produce the identical
+    // `GroupingOutcome` (assignments, groups, landmarks, server
+    // distances — `PartialEq` covers all fields). This pins the
+    // KD-tree's bit-exactness contract end to end through the scaled
+    // pipeline, not just at the kernel boundary, and simultaneously
+    // re-checks thread-count invariance for both engines. k = 60 keeps
+    // the forced-tree runs below the `Auto` threshold on purpose: the
+    // knob, not the heuristic, decides the engine under test.
+    for seed in 0..30u64 {
+        let n = 240;
+        let net = SyntheticRttConfig::default().generate(n + 1, 31_000 + seed);
+        let run = |assign: AssignMode, threads: usize| {
+            let scheme = SchemeConfig::sdsl(60, 1.0)
+                .landmarks(6)
+                .plset_multiplier(4)
+                .kmeans_max_iterations(15)
+                .kmeans_assign(assign)
+                .probe(ProbeConfig::noiseless());
+            edge_cache_groups::par::set_max_threads(Some(threads));
+            let formed = GfCoordinator::new(scheme)
+                .form_groups_scaled(&net, &mut StdRng::seed_from_u64(seed))
+                .expect("scaled formation");
+            edge_cache_groups::par::set_max_threads(None);
+            formed.outcome
+        };
+        let base = run(AssignMode::Blocked, 1);
+        for assign in [AssignMode::Blocked, AssignMode::Tree] {
+            for threads in [1, 2, 8] {
+                let outcome = run(assign, threads);
+                assert_eq!(
+                    outcome, base,
+                    "outcome diverged: seed {seed}, {assign:?}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn scaled_outcome_feeds_downstream_group_machinery() {
     let (formed, net) = form(400, KmeansVariant::Lloyd, 2, 5);
     let outcome = &formed.outcome;
