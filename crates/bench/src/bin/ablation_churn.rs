@@ -17,6 +17,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_churn [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, par_map, MetricsSink, Scenario, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, GroupMaintainer, SchemeConfig};

@@ -17,6 +17,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_freshness [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_sim::FreshnessProtocol;

@@ -1,0 +1,206 @@
+//! Ablation: re-formation policies under continuous churn.
+//!
+//! The lifecycle supervisor keeps a grouping formed as caches crash,
+//! recover, and retire. This experiment sweeps its re-formation policy
+//! — `static` (never act), `repair` (re-seat only), `eager`, and
+//! `balanced` — against rising churn rates, then replays the same
+//! sporting-event trace *epoch by epoch*: each serving interval of the
+//! supervisor's timeline is simulated under its own grouping and the
+//! segments are merged, so the latency numbers reflect exactly what
+//! clients would have seen across every re-formation.
+//!
+//! Besides the usual text table, the full per-cell timelines and
+//! simulation reports are written to `results/ablation_lifecycle.json`.
+//!
+//! ```text
+//! cargo run --release -p ecg-bench --bin ablation_lifecycle [--metrics-out <path>]
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use ecg_bench::{f2, par_map, MetricsSink, Scenario, Table};
+use ecg_core::SchemeConfig;
+use ecg_faults::{report_to_json, ChurnConfig, FaultPlan};
+use ecg_lifecycle::{
+    FormationSupervisor, FormationTimeline, ReformDecision, ReformPolicy, SupervisorConfig,
+};
+use ecg_obs::Obs;
+use ecg_replay::{replay_epochs_observed, ReplayConfig, ReplayEpoch};
+use ecg_sim::SimReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CACHES: usize = 60;
+const GROUPS: usize = 8;
+const DURATION_MS: f64 = 120_000.0;
+const STEP_MS: f64 = 10_000.0;
+const MEAN_DOWNTIME_MS: f64 = 15_000.0;
+const RETIREMENT_FRACTION: f64 = 0.1;
+const CHURN_RATES: [f64; 3] = [0.0, 6.0, 24.0];
+const POLICIES: [&str; 4] = ["static", "repair", "eager", "balanced"];
+
+struct Cell {
+    policy: &'static str,
+    churn_per_hour: f64,
+    plan: FaultPlan,
+}
+
+struct CellResult {
+    policy: &'static str,
+    churn_per_hour: f64,
+    timeline: FormationTimeline,
+    report: SimReport,
+}
+
+fn main() {
+    let mut sink = MetricsSink::from_args();
+    println!(
+        "Ablation: lifecycle re-formation policies under churn \
+         ({CACHES} caches, K = {GROUPS}, {:.0} s, {:.0} s windows, \
+         mean downtime {:.0} s, {:.0}% retirements)\n",
+        DURATION_MS / 1000.0,
+        STEP_MS / 1000.0,
+        MEAN_DOWNTIME_MS / 1000.0,
+        100.0 * RETIREMENT_FRACTION
+    );
+
+    let scenario = Scenario::build(CACHES, DURATION_MS, 81);
+    let config = scenario.sim_config(DURATION_MS);
+
+    // One churn plan per rate, shared by all policies so every policy
+    // faces the identical outage sequence.
+    let mut cells = Vec::new();
+    for &rate in &CHURN_RATES {
+        let plan = ChurnConfig::default()
+            .crashes_per_hour_per_cache(rate)
+            .mean_downtime_ms(MEAN_DOWNTIME_MS)
+            .retirement_fraction(RETIREMENT_FRACTION)
+            .generate(
+                CACHES,
+                DURATION_MS,
+                &mut StdRng::seed_from_u64(1_000 + rate as u64),
+            );
+        for policy in POLICIES {
+            cells.push(Cell {
+                policy,
+                churn_per_hour: rate,
+                plan: plan.clone(),
+            });
+        }
+    }
+
+    let collect = sink.enabled();
+    let pairs: Vec<(CellResult, Option<Obs>)> = par_map(cells, |cell| {
+        let mut cell_obs = if collect { Some(Obs::new()) } else { None };
+        let policy = ReformPolicy::by_name(cell.policy).expect("known policy preset");
+        let supervisor = FormationSupervisor::new(
+            SupervisorConfig::new(SchemeConfig::sl(GROUPS))
+                .step_ms(STEP_MS)
+                .policy(policy),
+        );
+        let schedule = cell.plan.schedule();
+        let mut rng = StdRng::seed_from_u64(2_000 + cell.churn_per_hour as u64);
+        let timeline = supervisor
+            .run_observed(
+                &scenario.network,
+                &schedule,
+                DURATION_MS,
+                &mut rng,
+                cell_obs.as_mut(),
+            )
+            .expect("supervised run succeeds");
+        let epochs: Vec<ReplayEpoch> = timeline
+            .epoch_spans()
+            .map(|(start, groups)| ReplayEpoch::new(start, groups.clone()))
+            .collect();
+        let replay = replay_epochs_observed(
+            &scenario.network,
+            &epochs,
+            &scenario.workload.catalog,
+            &scenario.trace,
+            &ReplayConfig::new().sim(config).schedule(schedule),
+            cell_obs.as_mut(),
+        )
+        .expect("epoch replay succeeds");
+        (
+            CellResult {
+                policy: cell.policy,
+                churn_per_hour: cell.churn_per_hour,
+                timeline,
+                report: replay.report,
+            },
+            cell_obs,
+        )
+    });
+    // Absorb per-cell bundles in input order: the merged document is
+    // independent of worker scheduling.
+    let mut results = Vec::with_capacity(pairs.len());
+    for (r, cell_obs) in pairs {
+        sink.absorb(cell_obs);
+        results.push(r);
+    }
+
+    let mut table = Table::new([
+        "churn/hr",
+        "policy",
+        "epochs",
+        "repairs",
+        "partial",
+        "full",
+        "max_drift",
+        "avg_ms",
+        "hit%",
+        "failovers",
+    ]);
+    let mut json_cells = Vec::new();
+    for r in &results {
+        let t = &r.timeline;
+        table.row([
+            format!("{:.0}", r.churn_per_hour),
+            r.policy.to_string(),
+            t.epochs().len().to_string(),
+            t.decision_count(ReformDecision::Repair).to_string(),
+            t.decision_count(ReformDecision::PartialReform).to_string(),
+            t.decision_count(ReformDecision::FullReform).to_string(),
+            f2(t.max_drift()),
+            f2(r.report.average_latency_ms()),
+            format!(
+                "{:.1}",
+                100.0 * r.report.metrics.group_hit_rate().unwrap_or(0.0)
+            ),
+            r.report.metrics.degradation.failovers.to_string(),
+        ]);
+        json_cells.push(format!(
+            "{{\"policy\":\"{}\",\"churn_per_hour_per_cache\":{},\"timeline\":{},\"report\":{}}}",
+            r.policy,
+            r.churn_per_hour,
+            t.to_json(),
+            report_to_json(&r.report)
+        ));
+    }
+    table.print();
+    println!(
+        "\nexpected: with no churn every policy keeps a single epoch and \
+         identical latency; under churn the acting policies re-form — \
+         more epochs, drift pinned near 1 while the static baseline \
+         drifts — and balanced spends fewer re-formations than eager. \
+         Average latency is *higher* for the acting policies: every \
+         epoch switch cold-restarts the caches in replay, so the \
+         re-warm cost of each re-formation is charged honestly against \
+         its tighter grouping."
+    );
+
+    let json = format!(
+        "{{\"caches\":{CACHES},\"groups\":{GROUPS},\"duration_ms\":{DURATION_MS},\
+         \"step_ms\":{STEP_MS},\"mean_downtime_ms\":{MEAN_DOWNTIME_MS},\
+         \"retirement_fraction\":{RETIREMENT_FRACTION},\"cells\":[{}]}}",
+        json_cells.join(",")
+    );
+    let path = std::path::Path::new("results").join("ablation_lifecycle.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&path, &json).expect("write results JSON");
+    println!("\nfull timelines and reports written to {}", path.display());
+    sink.write();
+}

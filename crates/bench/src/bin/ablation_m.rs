@@ -9,6 +9,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_m [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use rand::rngs::StdRng;

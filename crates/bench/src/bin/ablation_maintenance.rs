@@ -11,6 +11,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_maintenance [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, MetricsSink, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, GroupMaintainer, SchemeConfig};

@@ -23,6 +23,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_placement [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, par_map, MetricsSink, Table};
 use ecg_cache::PolicyKind;
 use ecg_core::{GfCoordinator, SchemeConfig};

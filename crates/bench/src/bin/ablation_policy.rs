@@ -9,6 +9,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_policy [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, MetricsSink, Scenario, Table};
 use ecg_cache::PolicyKind;
 use ecg_core::{GfCoordinator, SchemeConfig};

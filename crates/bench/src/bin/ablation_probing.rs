@@ -14,6 +14,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_probing [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_clustering::average_group_interaction_cost;
 use ecg_clustering::medoids::pam;

@@ -21,6 +21,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_resilience [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, interaction_cost_ms, mean, par_map, MetricsSink, Table};
 use ecg_coords::ProbeConfig;
 use ecg_core::{GfCoordinator, ResilienceConfig, SchemeConfig};

@@ -11,6 +11,8 @@
 //! cargo run --release -p ecg-bench --bin ablation_workload [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, mean, MetricsSink, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_sim::{simulate_observed, GroupMap, SimConfig};

@@ -24,6 +24,8 @@
 //! cargo run --release -p ecg-bench --bin bench_hotpaths -- --out /tmp/b.json
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use criterion::{Criterion, SampleStats, Throughput};
 use ecg_bench::Scenario;
 use ecg_clustering::{kmeans, kmeans_reference, FeatureMatrix, Initializer, KmeansConfig};

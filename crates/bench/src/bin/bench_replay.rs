@@ -31,6 +31,8 @@
 //! per-stage timings, because wall-clock scaling is only meaningful
 //! relative to the cores the run actually had.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_replay::{replay_streamed_observed, ReplayConfig, ReplayReport, StreamedWorkload};
 use ecg_sim::{GroupMap, SimConfig};
 use ecg_topology::{CacheId, SyntheticRtt, SyntheticRttConfig};

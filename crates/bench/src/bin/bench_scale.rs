@@ -44,6 +44,8 @@
 //! per-kernel timings, because wall-clock scaling is only meaningful
 //! relative to the cores the run actually had.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_clustering::{AssignMode, KmeansVariant, MiniBatchConfig};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_topology::{RttSource, SyntheticRtt, SyntheticRttConfig};

@@ -11,6 +11,8 @@
 //! cargo run --release -p ecg-bench --bin fig5 [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, interaction_cost_ms, mean, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, LandmarkSelector, SchemeConfig};
 use rand::rngs::StdRng;

@@ -17,6 +17,8 @@
 //! cargo run --release -p ecg-bench --bin fig7 [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, mean, MetricsSink, Scenario, Table};
 use ecg_clustering::{average_group_interaction_cost, kmeans_observed, Initializer, KmeansConfig};
 use ecg_coords::{

@@ -11,6 +11,8 @@
 //! cargo run --release -p ecg-bench --bin fig8 [--metrics-out <path>]
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use ecg_bench::{f2, mean, par_map, MetricsSink, Scenario, Table};
 use ecg_core::{GfCoordinator, SchemeConfig};
 use ecg_obs::Obs;

@@ -40,6 +40,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must attach context to failures (`expect`/`Result`), not
+// panic opaquely; tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod health;
 pub mod landmarks;
@@ -52,7 +55,7 @@ pub use landmarks::{
     select_landmarks_resilient_observed, LandmarkError, LandmarkSelection, LandmarkSelector,
     ResilientLandmarkSelection,
 };
-pub use maintenance::{GroupMaintainer, MaintenanceError, RetireOutcome};
+pub use maintenance::{GroupMaintainer, MaintenanceError, PartialReformOutcome, RetireOutcome};
 pub use scheme::{
     FormationTimings, GfCoordinator, GroupInit, GroupingOutcome, Representation, ScaledFormation,
     SchemeConfig, SchemeError,

@@ -41,6 +41,15 @@ pub enum MaintenanceError {
     UnknownCache(CacheId),
     /// The cache is already assigned to a group.
     AlreadyActive(CacheId),
+    /// A partial re-formation referenced a group index that does not
+    /// exist.
+    UnknownGroup(usize),
+    /// Pruning dead landmarks would leave too few to position caches —
+    /// escalate to a full re-formation instead.
+    TooFewLandmarks {
+        /// Landmarks that would survive the prune.
+        surviving: usize,
+    },
 }
 
 impl fmt::Display for MaintenanceError {
@@ -59,6 +68,13 @@ impl fmt::Display for MaintenanceError {
             MaintenanceError::AlreadyActive(c) => {
                 write!(f, "cache {c} is already assigned to a group")
             }
+            MaintenanceError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            MaintenanceError::TooFewLandmarks { surviving } => {
+                write!(
+                    f,
+                    "only {surviving} landmarks would survive the prune; re-form fully"
+                )
+            }
         }
     }
 }
@@ -75,6 +91,21 @@ pub struct RetireOutcome {
     /// landmark set, so losing a member of it silently degrades every
     /// future position estimate — treat this as a re-formation signal.
     pub was_landmark: bool,
+}
+
+/// What [`GroupMaintainer::reform_partial`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialReformOutcome {
+    /// Dead landmarks pruned from the probing set (their feature
+    /// columns dropped everywhere).
+    pub pruned_landmarks: usize,
+    /// Caches that were re-probed and re-clustered (the members of the
+    /// degraded groups).
+    pub regrouped: usize,
+    /// Of those, how many ended up in a different group.
+    pub moved: usize,
+    /// Lloyd iterations of the local re-clustering.
+    pub iterations: usize,
 }
 
 /// Maintains a formed grouping as caches join and leave.
@@ -165,6 +196,19 @@ impl GroupMaintainer {
     /// Caches retired so far, in retirement order.
     pub fn retired(&self) -> &[CacheId] {
         &self.retired
+    }
+
+    /// The landmark node indices every admission and readmission probes
+    /// (node 0 is the origin; cache `Ec_i` is node `i + 1`).
+    pub fn landmarks(&self) -> &[usize] {
+        &self.landmarks
+    }
+
+    /// The cost baseline drift is measured against: the average group
+    /// interaction cost at formation time (re-anchored by
+    /// [`GroupMaintainer::reform_partial`]).
+    pub fn formation_cost(&self) -> f64 {
+        self.formation_cost
     }
 
     /// Admits the newest cache of `network` (id `N-1`, appended via
@@ -459,6 +503,239 @@ impl GroupMaintainer {
         Ok(self.drift(network)? > threshold)
     }
 
+    /// Re-clusters only the groups flagged degraded, in place, while
+    /// everything else keeps its membership — the middle ground between
+    /// per-cache maintenance and a full re-run of the scheme.
+    ///
+    /// Three steps, all deterministic for a fixed RNG:
+    ///
+    /// 1. **Prune dead landmarks.** Every node index in
+    ///    `dead_landmarks` is dropped from the probing set and its
+    ///    feature column removed from all cluster centers, so no future
+    ///    admission probes a gone node.
+    /// 2. **Re-probe the degraded members.** Each member of a degraded
+    ///    group measures the surviving landmark set afresh.
+    /// 3. **Warm-started local Lloyd.** The degraded groups' (pruned)
+    ///    centers seed a K-means over just those members; empty
+    ///    clusters deterministically steal the point farthest from its
+    ///    center, so no degraded group ever ends up empty.
+    ///
+    /// The drift baseline is re-anchored to the post-repair cost, so
+    /// [`GroupMaintainer::drift`] measures decay since *this* repair.
+    ///
+    /// # Errors
+    ///
+    /// * [`MaintenanceError::CacheCountMismatch`] if `network` does not
+    ///   cover the maintained id space.
+    /// * [`MaintenanceError::UnknownGroup`] for an out-of-range group
+    ///   index.
+    /// * [`MaintenanceError::TooFewLandmarks`] if fewer than two
+    ///   landmarks would survive the prune — the caller should escalate
+    ///   to [`GroupMaintainer::reform`]. The maintainer is untouched.
+    pub fn reform_partial<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        degraded_groups: &[usize],
+        dead_landmarks: &[usize],
+        rng: &mut R,
+    ) -> Result<PartialReformOutcome, MaintenanceError> {
+        self.reform_partial_observed(network, degraded_groups, dead_landmarks, rng, None)
+    }
+
+    /// Like [`GroupMaintainer::reform_partial`], but records a
+    /// `maintenance.partial_reforms` counter, the members' landmark
+    /// probes, and a `maintenance`/`partial_reform` trace event when an
+    /// observability bundle is supplied.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GroupMaintainer::reform_partial`].
+    pub fn reform_partial_observed<R: Rng + ?Sized>(
+        &mut self,
+        network: &EdgeNetwork,
+        degraded_groups: &[usize],
+        dead_landmarks: &[usize],
+        rng: &mut R,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<PartialReformOutcome, MaintenanceError> {
+        if network.cache_count() < self.assignments.len() {
+            return Err(MaintenanceError::CacheCountMismatch {
+                expected: self.assignments.len(),
+                actual: network.cache_count(),
+            });
+        }
+        let mut degraded: Vec<usize> = degraded_groups.to_vec();
+        degraded.sort_unstable();
+        degraded.dedup();
+        if let Some(&bad) = degraded.iter().find(|&&g| g >= self.groups.len()) {
+            return Err(MaintenanceError::UnknownGroup(bad));
+        }
+        let keep: Vec<usize> = (0..self.landmarks.len())
+            .filter(|&i| !dead_landmarks.contains(&self.landmarks[i]))
+            .collect();
+        let pruned_landmarks = self.landmarks.len() - keep.len();
+        if keep.len() < 2 {
+            return Err(MaintenanceError::TooFewLandmarks {
+                surviving: keep.len(),
+            });
+        }
+        if pruned_landmarks > 0 {
+            self.landmarks = keep.iter().map(|&i| self.landmarks[i]).collect();
+            let rows: Vec<Vec<f64>> = self
+                .centers
+                .iter_rows()
+                .map(|row| keep.iter().map(|&i| row[i]).collect())
+                .collect();
+            self.centers = FeatureMatrix::from_rows(&rows);
+        }
+
+        // Re-probe the degraded groups' members (group order, then
+        // member order — the RNG draw order is part of the contract).
+        let members: Vec<CacheId> = degraded
+            .iter()
+            .flat_map(|&g| self.groups[g].iter().copied())
+            .collect();
+        let mut features: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+        {
+            let prober = Prober::new(network.rtt_matrix(), self.probe);
+            for &c in &members {
+                prober.measure_all_into_observed(
+                    c.index() + 1,
+                    &self.landmarks,
+                    rng,
+                    &mut self.fv_scratch,
+                    obs.as_deref_mut(),
+                );
+                features.push(self.fv_scratch.clone());
+            }
+        }
+
+        // Warm-started Lloyd over just these members, seeded from the
+        // degraded groups' surviving center coordinates.
+        let k = degraded.len();
+        let mut centers: Vec<Vec<f64>> = degraded
+            .iter()
+            .map(|&g| self.centers.row(g).to_vec())
+            .collect();
+        let mut assign = vec![0usize; members.len()];
+        let mut iterations = 0usize;
+        for round in 0..50 {
+            let mut changed = false;
+            for (i, fv) in features.iter().enumerate() {
+                let best = centers
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c)| (j, sq_dist(c, fv)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                if assign[i] != best || round == 0 {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            // Deterministic empty-cluster fixup: in cluster-index order,
+            // an empty cluster steals the point farthest from its own
+            // center among clusters that can spare one (first index wins
+            // ties).
+            loop {
+                let mut sizes = vec![0usize; k];
+                for &a in &assign {
+                    sizes[a] += 1;
+                }
+                let Some(empty) = (0..k).find(|&j| sizes[j] == 0) else {
+                    break;
+                };
+                let mut donor: Option<(f64, usize)> = None;
+                for (i, fv) in features.iter().enumerate() {
+                    if sizes[assign[i]] < 2 {
+                        continue;
+                    }
+                    let d = sq_dist(&centers[assign[i]], fv);
+                    if donor.is_none_or(|(bd, _)| d > bd) {
+                        donor = Some((d, i));
+                    }
+                }
+                let Some((_, i)) = donor else { break };
+                assign[i] = empty;
+                changed = true;
+            }
+            iterations = round + 1;
+            if !changed {
+                break;
+            }
+            let dim = self.centers.dim();
+            for (j, center) in centers.iter_mut().enumerate() {
+                let mut sum = vec![0.0f64; dim];
+                let mut count = 0usize;
+                for (i, fv) in features.iter().enumerate() {
+                    if assign[i] == j {
+                        count += 1;
+                        for (s, v) in sum.iter_mut().zip(fv) {
+                            *s += v;
+                        }
+                    }
+                }
+                if count > 0 {
+                    for s in &mut sum {
+                        *s /= count as f64;
+                    }
+                    *center = sum;
+                }
+            }
+        }
+
+        // Write the repaired membership and centers back.
+        let mut moved = 0usize;
+        let mut new_groups: Vec<Vec<CacheId>> = vec![Vec::new(); k];
+        for (i, &c) in members.iter().enumerate() {
+            let g = degraded[assign[i]];
+            if self.assignments[c.index()] != Some(g) {
+                moved += 1;
+            }
+            new_groups[assign[i]].push(c);
+            self.assignments[c.index()] = Some(g);
+        }
+        for (slot, &g) in degraded.iter().enumerate() {
+            self.groups[g] = std::mem::take(&mut new_groups[slot]);
+        }
+        let rows: Vec<Vec<f64>> = self
+            .centers
+            .iter_rows()
+            .enumerate()
+            .map(|(g, row)| match degraded.iter().position(|&d| d == g) {
+                Some(slot) => centers[slot].clone(),
+                None => row.to_vec(),
+            })
+            .collect();
+        self.centers = FeatureMatrix::from_rows(&rows);
+
+        // Re-anchor the drift baseline to the repaired grouping.
+        self.formation_cost = self.current_cost(|a, b| network.cache_to_cache(a, b));
+        let op = self.ops;
+        self.ops += 1;
+        let outcome = PartialReformOutcome {
+            pruned_landmarks,
+            regrouped: members.len(),
+            moved,
+            iterations,
+        };
+        if let Some(o) = obs {
+            o.metrics.inc("maintenance.partial_reforms");
+            o.trace.push(
+                op as f64,
+                "maintenance",
+                "partial_reform",
+                vec![
+                    ("groups", (degraded.len() as u64).into()),
+                    ("pruned_landmarks", (pruned_landmarks as u64).into()),
+                    ("moved", (moved as u64).into()),
+                ],
+            );
+        }
+        Ok(outcome)
+    }
+
     /// Consumes the maintainer and re-forms groups from scratch with the
     /// given coordinator, returning a fresh maintainer.
     ///
@@ -474,6 +751,11 @@ impl GroupMaintainer {
         let outcome = coordinator.form_groups(network, rng)?;
         Ok(GroupMaintainer::new(network, outcome, self.probe))
     }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 #[cfg(test)]
@@ -766,5 +1048,116 @@ mod tests {
             actual: 4,
         };
         assert!(e.to_string().contains('5') && e.to_string().contains('4'));
+        let e = MaintenanceError::UnknownGroup(7);
+        assert!(e.to_string().contains('7'));
+        let e = MaintenanceError::TooFewLandmarks { surviving: 1 };
+        assert!(e.to_string().contains("1 landmarks"));
+    }
+
+    #[test]
+    fn failed_retire_leaves_state_untouched() {
+        // Regression for the empty-group guard: a refused retirement
+        // must not leak partial state (membership, retired list, or the
+        // ops counter that keys the trace timeline).
+        let (_, mut m, _) = formed();
+        m.retire(CacheId(0)).unwrap();
+        let before = m.clone();
+        let err = m.retire(CacheId(1)).unwrap_err();
+        assert!(matches!(err, MaintenanceError::WouldEmptyGroup { .. }));
+        assert_eq!(m, before, "failed retire mutated the maintainer");
+        assert_eq!(m.group_of(CacheId(1)), before.group_of(CacheId(1)));
+        assert_eq!(m.retired(), &[CacheId(0)]);
+    }
+
+    #[test]
+    fn partial_reform_regroups_only_flagged_groups() {
+        let (network, mut m, mut rng) = formed();
+        // Stretch one group with a far-away newcomer, then repair only
+        // that group: the other groups' membership must be untouched.
+        let grown = network.with_added_cache(200.0, &[190.0; 6]);
+        let g = m.admit(&grown, &mut rng).unwrap();
+        let others: Vec<Vec<CacheId>> = m
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != g)
+            .map(|(_, grp)| grp.clone())
+            .collect();
+        assert!(m.drift(&grown).unwrap() > 1.5);
+
+        let out = m.reform_partial(&grown, &[g], &[], &mut rng).unwrap();
+        assert_eq!(out.pruned_landmarks, 0);
+        assert_eq!(out.regrouped, m.groups()[g].len());
+        assert!(out.iterations >= 1);
+        let after: Vec<Vec<CacheId>> = m
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != g)
+            .map(|(_, grp)| grp.clone())
+            .collect();
+        assert_eq!(others, after, "untouched groups changed membership");
+        // The baseline re-anchors: drift is back at 1.0 by definition.
+        let drift = m.drift(&grown).unwrap();
+        assert!((drift - 1.0).abs() < 1e-9, "drift {drift}");
+        assert_eq!(m.active_caches(), 7);
+    }
+
+    #[test]
+    fn partial_reform_prunes_dead_landmarks() {
+        let (network, mut m, mut rng) = formed();
+        let original = m.landmarks().to_vec();
+        assert!(original.len() >= 3);
+        let dead = original[0];
+        let out = m.reform_partial(&network, &[0], &[dead], &mut rng).unwrap();
+        assert_eq!(out.pruned_landmarks, 1);
+        assert_eq!(m.landmarks().len(), original.len() - 1);
+        assert!(!m.landmarks().contains(&dead));
+        // Admission still works against the pruned landmark set.
+        let grown = network.with_added_cache(8.2, &[14.4, 11.3, 14.4, 11.3, 1.0, 1.0]);
+        m.admit(&grown, &mut rng).unwrap();
+        assert_eq!(m.active_caches(), 7);
+    }
+
+    #[test]
+    fn partial_reform_escalation_and_bad_group() {
+        let (network, mut m, mut rng) = formed();
+        let all = m.landmarks().to_vec();
+        let before = m.clone();
+        // Killing all landmarks must refuse and leave the maintainer
+        // untouched — the caller escalates to a full reform.
+        let err = m
+            .reform_partial(&network, &[0], &all, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::TooFewLandmarks { .. }));
+        assert_eq!(m, before);
+        let err = m.reform_partial(&network, &[9], &[], &mut rng).unwrap_err();
+        assert_eq!(err, MaintenanceError::UnknownGroup(9));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn partial_reform_is_deterministic_and_observed_matches_plain() {
+        let (network, mut plain, _) = formed();
+        let (_, mut observed, _) = formed();
+        let grown = network.with_added_cache(200.0, &[190.0; 6]);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let ga = plain.admit(&grown, &mut rng_a).unwrap();
+        let gb = observed.admit(&grown, &mut rng_b).unwrap();
+        assert_eq!(ga, gb);
+
+        let mut obs = Obs::new();
+        let oa = plain
+            .reform_partial(&grown, &[ga], &[], &mut rng_a)
+            .unwrap();
+        let ob = observed
+            .reform_partial_observed(&grown, &[gb], &[], &mut rng_b, Some(&mut obs))
+            .unwrap();
+        assert_eq!(oa, ob);
+        assert_eq!(plain, observed, "instrumentation perturbed the repair");
+        assert_eq!(obs.metrics.counter("maintenance.partial_reforms"), 1);
+        let kinds: Vec<&str> = obs.trace.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["partial_reform"]);
     }
 }

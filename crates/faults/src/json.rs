@@ -147,7 +147,8 @@ fn window_json(w: &WindowAggregate) -> String {
 
 /// Formats a float as a JSON number (JSON has no NaN/Infinity; they
 /// become null, which the emitters above never actually produce).
-fn f(v: f64) -> String {
+/// Shared with the plan serializer in [`crate::plan`].
+pub(crate) fn f(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

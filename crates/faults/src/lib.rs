@@ -59,9 +59,10 @@
 pub mod churn;
 pub mod formation;
 pub mod json;
+mod jsonparse;
 pub mod plan;
 
-pub use churn::{ChurnConfig, ChurnDriver, DriftSample};
+pub use churn::{ChurnConfig, ChurnDriver, DriftSample, MembershipPressure};
 pub use formation::FormationFaults;
 pub use json::report_to_json;
-pub use plan::FaultPlan;
+pub use plan::{FaultPlan, PlanParseError};

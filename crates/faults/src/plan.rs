@@ -6,9 +6,52 @@
 //! carries the probe-degradation knobs that apply to group-maintenance
 //! probing rather than to the request path.
 
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
 use ecg_coords::ProbeConfig;
 use ecg_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use ecg_topology::CacheId;
+
+use crate::json::f;
+use crate::jsonparse::{self, JsonValue};
+
+/// Schema tag written into (and required from) plan JSON documents.
+const PLAN_SCHEMA: &str = "ecg-faultplan/v1";
+
+/// Why a [`FaultPlan::from_json`] call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanParseError {
+    /// The document is not well-formed JSON (of the subset the
+    /// workspace emits).
+    Syntax(String),
+    /// The document parses but is not an `ecg-faultplan/v1` object.
+    Schema(String),
+    /// A field is missing, of the wrong type, or out of its legal range.
+    Field {
+        /// The offending field (dotted path for event fields).
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanParseError::Syntax(msg) => write!(out, "malformed JSON: {msg}"),
+            PlanParseError::Schema(found) => {
+                write!(out, "expected schema {PLAN_SCHEMA:?}, found {found}")
+            }
+            PlanParseError::Field { field, reason } => {
+                write!(out, "bad field {field:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PlanParseError {}
 
 /// A declarative script of faults to inject into a simulation run.
 ///
@@ -196,6 +239,198 @@ impl FaultPlan {
         }
         cfg
     }
+
+    /// The client-side failover-detection penalty, in milliseconds.
+    pub fn failover_penalty(&self) -> f64 {
+        self.failover_penalty_ms
+    }
+
+    /// The degradation-timeline bucket width, in milliseconds.
+    pub fn timeline_bucket(&self) -> f64 {
+        self.timeline_bucket_ms
+    }
+
+    /// The maintenance-probe loss rate (`0.0` when probing is healthy).
+    pub fn probe_loss_rate(&self) -> f64 {
+        self.probe_loss_rate
+    }
+
+    /// The lost-probe timeout, if [`FaultPlan::probe_loss`] was set.
+    pub fn probe_timeout(&self) -> Option<f64> {
+        self.probe_timeout_ms
+    }
+
+    /// Serializes the plan to a deterministic single-line JSON object.
+    ///
+    /// Equal plans always produce byte-identical strings (fixed key
+    /// order, shortest-round-trip floats), and
+    /// [`FaultPlan::from_json`] recovers the plan exactly — events in
+    /// build order, every knob preserved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecg_faults::FaultPlan;
+    /// use ecg_topology::CacheId;
+    ///
+    /// let plan = FaultPlan::new().crash(CacheId(2), 10_000.0, 5_000.0);
+    /// let json = plan.to_json();
+    /// assert_eq!(FaultPlan::from_json(&json)?, plan);
+    /// # Ok::<(), ecg_faults::PlanParseError>(())
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + 64 * self.events.len());
+        out.push('{');
+        let _ = write!(out, "\"schema\":\"{PLAN_SCHEMA}\",");
+        let _ = write!(
+            out,
+            "\"failover_penalty_ms\":{},",
+            f(self.failover_penalty_ms)
+        );
+        let _ = write!(
+            out,
+            "\"timeline_bucket_ms\":{},",
+            f(self.timeline_bucket_ms)
+        );
+        let _ = write!(out, "\"probe_loss_rate\":{},", f(self.probe_loss_rate));
+        match self.probe_timeout_ms {
+            Some(ms) => {
+                let _ = write!(out, "\"probe_timeout_ms\":{},", f(ms));
+            }
+            None => out.push_str("\"probe_timeout_ms\":null,"),
+        }
+        out.push_str("\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"t\":{},", f(e.time_ms));
+            match e.kind {
+                FaultKind::CacheDown { cache } => {
+                    let _ = write!(out, "\"kind\":\"cache_down\",\"cache\":{}", cache.index());
+                }
+                FaultKind::CacheUp { cache } => {
+                    let _ = write!(out, "\"kind\":\"cache_up\",\"cache\":{}", cache.index());
+                }
+                FaultKind::CacheRetire { cache } => {
+                    let _ = write!(out, "\"kind\":\"cache_retire\",\"cache\":{}", cache.index());
+                }
+                FaultKind::BrownoutStart { factor } => {
+                    let _ = write!(out, "\"kind\":\"brownout_start\",\"factor\":{}", f(factor));
+                }
+                FaultKind::BrownoutEnd => out.push_str("\"kind\":\"brownout_end\""),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a plan previously written by [`FaultPlan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] on malformed JSON, a missing/mismatched
+    /// `schema` tag, or any field outside the range the builder methods
+    /// enforce (so a parsed plan is always one the builders could have
+    /// produced).
+    pub fn from_json(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let doc = jsonparse::parse(text).map_err(PlanParseError::Syntax)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(PLAN_SCHEMA) => {}
+            Some(other) => return Err(PlanParseError::Schema(format!("{other:?}"))),
+            None => return Err(PlanParseError::Schema("none".to_string())),
+        }
+        let failover_penalty_ms = require_f64(&doc, "failover_penalty_ms", |v| v >= 0.0)?;
+        let timeline_bucket_ms = require_f64(&doc, "timeline_bucket_ms", |v| v > 0.0)?;
+        let probe_loss_rate = require_f64(&doc, "probe_loss_rate", |v| (0.0..1.0).contains(&v))?;
+        let probe_timeout_ms = match doc.get("probe_timeout_ms") {
+            Some(v) if v.is_null() => None,
+            Some(_) => Some(require_f64(&doc, "probe_timeout_ms", |v| v > 0.0)?),
+            None => {
+                return Err(PlanParseError::Field {
+                    field: "probe_timeout_ms",
+                    reason: "missing".to_string(),
+                })
+            }
+        };
+        let raw_events =
+            doc.get("events")
+                .and_then(JsonValue::as_arr)
+                .ok_or(PlanParseError::Field {
+                    field: "events",
+                    reason: "missing or not an array".to_string(),
+                })?;
+        let mut events = Vec::with_capacity(raw_events.len());
+        for e in raw_events {
+            events.push(parse_event(e)?);
+        }
+        Ok(FaultPlan {
+            events,
+            failover_penalty_ms,
+            timeline_bucket_ms,
+            probe_loss_rate,
+            probe_timeout_ms,
+        })
+    }
+}
+
+/// Reads a finite numeric field satisfying `legal` from `doc`. `field`
+/// is the dotted path used in error messages; the lookup key is its
+/// last segment.
+fn require_f64(
+    doc: &JsonValue,
+    field: &'static str,
+    legal: impl Fn(f64) -> bool,
+) -> Result<f64, PlanParseError> {
+    let key = field.rsplit('.').next().unwrap_or(field);
+    let v = doc
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or(PlanParseError::Field {
+            field,
+            reason: "missing or not a number".to_string(),
+        })?;
+    if v.is_finite() && legal(v) {
+        Ok(v)
+    } else {
+        Err(PlanParseError::Field {
+            field,
+            reason: format!("{v} is out of range"),
+        })
+    }
+}
+
+/// Decodes one entry of the `events` array.
+fn parse_event(e: &JsonValue) -> Result<FaultEvent, PlanParseError> {
+    let time_ms = require_f64(e, "events[].t", |v| v >= 0.0)?;
+    let kind_tag = e
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or(PlanParseError::Field {
+            field: "events[].kind",
+            reason: "missing or not a string".to_string(),
+        })?;
+    let cache = || -> Result<CacheId, PlanParseError> {
+        let idx = require_f64(e, "events[].cache", |v| v >= 0.0 && v.fract() == 0.0)?;
+        Ok(CacheId(idx as usize))
+    };
+    let kind = match kind_tag {
+        "cache_down" => FaultKind::CacheDown { cache: cache()? },
+        "cache_up" => FaultKind::CacheUp { cache: cache()? },
+        "cache_retire" => FaultKind::CacheRetire { cache: cache()? },
+        "brownout_start" => FaultKind::BrownoutStart {
+            factor: require_f64(e, "events[].factor", |v| v >= 1.0)?,
+        },
+        "brownout_end" => FaultKind::BrownoutEnd,
+        other => {
+            return Err(PlanParseError::Field {
+                field: "events[].kind",
+                reason: format!("unknown kind {other:?}"),
+            })
+        }
+    };
+    Ok(FaultEvent { time_ms, kind })
 }
 
 #[cfg(test)]
@@ -249,6 +484,87 @@ mod tests {
         let s = plan.schedule();
         assert!(s.is_empty());
         assert_eq!(s, FaultSchedule::new());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let plan = FaultPlan::new()
+            .crash(CacheId(1), 100.0, 50.5)
+            .retire(CacheId(3), 2_000.25)
+            .brownout(5_000.0, 1_000.0, 2.5)
+            .failover_penalty_ms(12.5)
+            .timeline_bucket_ms(500.0)
+            .probe_loss(0.25, 2_000.0);
+        let json = plan.to_json();
+        let parsed = FaultPlan::from_json(&json).expect("parses");
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_json(), json, "serialize → parse → serialize");
+    }
+
+    #[test]
+    fn default_plan_round_trips_with_null_timeout() {
+        let plan = FaultPlan::new();
+        let json = plan.to_json();
+        assert!(json.contains("\"probe_timeout_ms\":null"));
+        assert!(json.contains("\"schema\":\"ecg-faultplan/v1\""));
+        assert!(json.ends_with("\"events\":[]}"));
+        assert_eq!(FaultPlan::from_json(&json).expect("parses"), plan);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        // Malformed JSON.
+        assert!(matches!(
+            FaultPlan::from_json("{"),
+            Err(PlanParseError::Syntax(_))
+        ));
+        // Wrong or missing schema.
+        assert!(matches!(
+            FaultPlan::from_json("{\"schema\":\"other/v9\"}"),
+            Err(PlanParseError::Schema(_))
+        ));
+        assert!(matches!(
+            FaultPlan::from_json("{}"),
+            Err(PlanParseError::Schema(_))
+        ));
+        // Out-of-range knob: builders would have panicked, the parser
+        // must reject.
+        let bad = FaultPlan::new()
+            .to_json()
+            .replace("\"probe_loss_rate\":0", "\"probe_loss_rate\":1.5");
+        assert!(matches!(
+            FaultPlan::from_json(&bad),
+            Err(PlanParseError::Field {
+                field: "probe_loss_rate",
+                ..
+            })
+        ));
+        // Unknown event kind.
+        let bad = FaultPlan::new()
+            .retire(CacheId(0), 1.0)
+            .to_json()
+            .replace("cache_retire", "cache_explode");
+        let err = FaultPlan::from_json(&bad).expect_err("rejected");
+        assert!(err.to_string().contains("cache_explode"), "{err}");
+        // Fractional cache id.
+        let bad = FaultPlan::new()
+            .retire(CacheId(2), 1.0)
+            .to_json()
+            .replace("\"cache\":2", "\"cache\":2.5");
+        assert!(FaultPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn knob_accessors_mirror_builders() {
+        let plan = FaultPlan::new()
+            .failover_penalty_ms(9.0)
+            .timeline_bucket_ms(250.0)
+            .probe_loss(0.1, 750.0);
+        assert_eq!(plan.failover_penalty(), 9.0);
+        assert_eq!(plan.timeline_bucket(), 250.0);
+        assert_eq!(plan.probe_loss_rate(), 0.1);
+        assert_eq!(plan.probe_timeout(), Some(750.0));
+        assert_eq!(FaultPlan::new().probe_timeout(), None);
     }
 
     #[test]

@@ -83,9 +83,13 @@
 // panic opaquely; tests may still unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod epoch;
 mod shard;
 mod stream;
 
+pub use epoch::{
+    replay_epochs, replay_epochs_observed, EpochReplayError, EpochReplayReport, ReplayEpoch,
+};
 pub use stream::StreamedWorkload;
 
 use ecg_cache::CacheStats;

@@ -128,6 +128,28 @@ impl fmt::Display for FaultError {
 
 impl std::error::Error for FaultError {}
 
+/// The fault state a schedule has accumulated at some instant, as
+/// reported by [`FaultSchedule::carry_state_at`]: what a replay segment
+/// starting there must re-announce before processing its own events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultCarryState {
+    /// Caches crashed and not yet recovered (retired caches excluded),
+    /// ascending.
+    pub down: Vec<CacheId>,
+    /// Caches permanently retired, ascending.
+    pub retired: Vec<CacheId>,
+    /// The factor of the brownout window open at the instant, if any.
+    pub brownout_factor: Option<f64>,
+}
+
+impl FaultCarryState {
+    /// `true` when nothing needs re-announcing: no cache is down or
+    /// retired and no brownout is open.
+    pub fn is_clean(&self) -> bool {
+        self.down.is_empty() && self.retired.is_empty() && self.brownout_factor.is_none()
+    }
+}
+
 /// A validated-on-use script of fault events plus the fault-model knobs
 /// the simulator needs.
 ///
@@ -270,6 +292,65 @@ impl FaultSchedule {
         }
         down.sort_unstable_by_key(|c| c.index());
         down
+    }
+
+    /// The fault state accumulated *strictly before* `time_ms`: which
+    /// caches are down (crashed, not yet recovered), which are retired
+    /// for good, and whether a brownout window is open (and at what
+    /// factor).
+    ///
+    /// This is the splitting primitive for epoch-spanning replay: a
+    /// replay segment starting at `time_ms` re-announces this state as
+    /// carry events *at* `time_ms` (pushed before the segment's own
+    /// events, so the simulator's FIFO tie-break applies them first) and
+    /// then behaves as if it had replayed the whole history. The cutoff
+    /// is exclusive — an event scheduled exactly at `time_ms` belongs to
+    /// the segment itself, not to its carried-in state.
+    pub fn carry_state_at(&self, time_ms: f64) -> FaultCarryState {
+        let mut ordered: Vec<(usize, &FaultEvent)> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.time_ms < time_ms)
+            .collect();
+        // Stable on push order, as the simulator replays them.
+        ordered.sort_by(|a, b| {
+            a.1.time_ms
+                .partial_cmp(&b.1.time_ms)
+                .expect("times are not NaN")
+        });
+        let mut down: Vec<CacheId> = Vec::new();
+        let mut retired: Vec<CacheId> = Vec::new();
+        let mut brownout_factor = None;
+        for (_, e) in ordered {
+            match e.kind {
+                FaultKind::CacheDown { cache } => {
+                    if !down.contains(&cache) && !retired.contains(&cache) {
+                        down.push(cache);
+                    }
+                }
+                FaultKind::CacheRetire { cache } => {
+                    if !retired.contains(&cache) {
+                        retired.push(cache);
+                    }
+                    down.retain(|&c| c != cache);
+                }
+                FaultKind::CacheUp { cache } => {
+                    if !retired.contains(&cache) {
+                        down.retain(|&c| c != cache);
+                    }
+                }
+                FaultKind::BrownoutStart { factor } => brownout_factor = Some(factor),
+                FaultKind::BrownoutEnd => brownout_factor = None,
+            }
+        }
+        down.sort_unstable_by_key(|c| c.index());
+        retired.sort_unstable_by_key(|c| c.index());
+        FaultCarryState {
+            down,
+            retired,
+            brownout_factor,
+        }
     }
 
     /// Checks the schedule against a network of `cache_count` caches:
@@ -415,6 +496,31 @@ mod tests {
         assert_eq!(s.down_caches_at(2_500.0), vec![CacheId(0), CacheId(2)]);
         assert_eq!(s.down_caches_at(5_000.0), vec![CacheId(0)]);
         assert_eq!(s.down_caches_at(10_000.0), vec![CacheId(0)]);
+    }
+
+    #[test]
+    fn carry_state_distinguishes_down_retired_and_brownouts() {
+        let mut s = FaultSchedule::new();
+        s.push(1_000.0, FaultKind::CacheDown { cache: CacheId(2) });
+        s.push(5_000.0, FaultKind::CacheUp { cache: CacheId(2) });
+        s.push(2_000.0, FaultKind::CacheRetire { cache: CacheId(0) });
+        s.push(6_000.0, FaultKind::CacheUp { cache: CacheId(0) }); // ignored: retired
+        s.push(3_000.0, FaultKind::BrownoutStart { factor: 2.5 });
+        s.push(7_000.0, FaultKind::BrownoutEnd);
+
+        assert!(s.carry_state_at(0.0).is_clean());
+        // The cutoff is exclusive: the crash at 1 s is not yet carried
+        // state for a segment starting exactly there.
+        assert!(s.carry_state_at(1_000.0).is_clean());
+        let mid = s.carry_state_at(4_000.0);
+        assert_eq!(mid.down, vec![CacheId(2)]);
+        assert_eq!(mid.retired, vec![CacheId(0)]);
+        assert_eq!(mid.brownout_factor, Some(2.5));
+        let late = s.carry_state_at(10_000.0);
+        assert!(late.down.is_empty());
+        assert_eq!(late.retired, vec![CacheId(0)]);
+        assert_eq!(late.brownout_factor, None);
+        assert!(!late.is_clean());
     }
 
     #[test]

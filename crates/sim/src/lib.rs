@@ -54,7 +54,7 @@ pub mod origin;
 mod sim;
 pub mod time;
 
-pub use fault::{FaultError, FaultEvent, FaultKind, FaultSchedule};
+pub use fault::{FaultCarryState, FaultError, FaultEvent, FaultKind, FaultSchedule};
 pub use groups::{GroupMap, GroupMapError};
 pub use histogram::LatencyHistogram;
 pub use holders::{HolderIndex, PeerMasks};

@@ -25,7 +25,7 @@ ablations=(
   ablation_theta ablation_noise ablation_m ablation_init ablation_policy
   ablation_origin ablation_representation ablation_freshness
   ablation_probing ablation_workload ablation_maintenance ablation_churn
-  ablation_resilience ablation_placement
+  ablation_resilience ablation_placement ablation_lifecycle
 )
 
 cargo build --release -p ecg-bench --bins

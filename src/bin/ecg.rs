@@ -23,9 +23,16 @@
 //!   ([`ecg_replay`](edge_cache_groups::replay)) over an implicit
 //!   synthetic oracle and contiguous groups — the large-N counterpart
 //!   of `simulate`, byte-identical output at any thread count.
+//! * `lifecycle` runs the [`FormationSupervisor`] over a generated
+//!   churn schedule: windows tick, caches crash/recover/retire, and a
+//!   re-formation policy decides hold / repair / partial / full each
+//!   window. Prints the decision timeline; `--replay` additionally
+//!   replays a workload epoch by epoch under the evolving groupings.
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has
 //! a default so each subcommand runs bare.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use edge_cache_groups::prelude::*;
 use edge_cache_groups::topology::{read_rtt_matrix, write_rtt_matrix};
@@ -71,6 +78,13 @@ usage:
                   [--policy utility|lru|lfu|gdsf]
                   [--placement single-holder|adaptive|dchoices]
                   [--seed S] [--threads T] [--verify true|false]
+  ecg lifecycle   [--caches N] [--groups K] [--landmarks L]
+                  [--duration-secs T] [--step-secs W] [--seed S]
+                  [--churn-rate CRASHES_PER_HOUR_PER_CACHE]
+                  [--mean-downtime-secs D] [--retirement-fraction F]
+                  [--policy static|repair|eager|balanced]
+                  [--timeline-out FILE] [--replay true|false]
+                  [--docs D] [--rate R] [--threads T]
 
 simulate regenerates the workload from its flags unless --trace is given;
 with --trace, --docs must match the catalog the trace was generated for
@@ -79,7 +93,12 @@ replay streams the workload shard by shard (nothing is materialized
 globally); --verify additionally runs the monolithic simulator on the
 equivalent materialized input and asserts bit-identical reports (small N
 only). Stdout is byte-identical at any --threads / ECG_THREADS setting;
-wall-clock timings go to stderr.";
+wall-clock timings go to stderr.
+lifecycle runs the formation supervisor over a generated churn schedule
+and prints the decision timeline; --timeline-out writes the full
+timeline JSON, --replay additionally replays a workload epoch by epoch
+under the evolving groupings. Stdout and the timeline JSON are
+byte-identical at any --threads / ECG_THREADS setting.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
@@ -94,6 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats_cmd(&flags),
         "simulate" => simulate_cmd(&flags),
         "replay" => replay_cmd(&flags),
+        "lifecycle" => lifecycle_cmd(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -573,6 +593,156 @@ fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the formation supervisor over a generated churn schedule on a
+/// transit-stub network, prints the per-window decision timeline, and
+/// (optionally) replays a sporting-event workload epoch by epoch under
+/// the groupings the supervisor served. The supervisor itself is
+/// serial and the epoch replay merges shards deterministically, so
+/// stdout and the `--timeline-out` JSON are byte-identical at any
+/// `--threads` / `ECG_THREADS` setting.
+fn lifecycle_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let caches: usize = get_parsed(flags, "caches", 60)?;
+    let groups: usize = get_parsed(flags, "groups", (caches / 8).max(2))?;
+    let landmarks: usize = get_parsed(flags, "landmarks", 8)?;
+    let duration_secs: f64 = get_parsed(flags, "duration-secs", 120.0)?;
+    let step_secs: f64 = get_parsed(flags, "step-secs", 10.0)?;
+    let seed: u64 = get_parsed(flags, "seed", 1)?;
+    let churn_rate: f64 = get_parsed(flags, "churn-rate", 12.0)?;
+    let mean_downtime_secs: f64 = get_parsed(flags, "mean-downtime-secs", 15.0)?;
+    let retirement_fraction: f64 = get_parsed(flags, "retirement-fraction", 0.1)?;
+    let do_replay: bool = get_parsed(flags, "replay", false)?;
+    if caches == 0 {
+        return Err("--caches must be positive".into());
+    }
+    if !churn_rate.is_finite() || churn_rate < 0.0 {
+        return Err("--churn-rate must be finite and non-negative".into());
+    }
+    if !(0.0..=1.0).contains(&retirement_fraction) {
+        return Err("--retirement-fraction must be in [0, 1]".into());
+    }
+    let policy_name = flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("balanced");
+    let policy = ReformPolicy::by_name(policy_name)
+        .ok_or_else(|| format!("unknown --policy {policy_name:?}"))?;
+    let threads: Option<usize> = match flags.get("threads") {
+        None => None,
+        Some(raw) => {
+            let t: usize = raw
+                .parse()
+                .map_err(|_| format!("bad value for --threads: {raw:?}"))?;
+            if t == 0 {
+                return Err("--threads must be positive".into());
+            }
+            Some(t)
+        }
+    };
+
+    let duration_ms = duration_secs * 1_000.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = TransitStubConfig::for_caches(caches).generate(&mut rng);
+    let network = EdgeNetwork::place(&topo, caches, OriginPlacement::TransitNode, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    // Churn plan and supervisor RNG are derived from --seed so the whole
+    // run is reproducible from the command line alone.
+    let plan = ChurnConfig::default()
+        .crashes_per_hour_per_cache(churn_rate)
+        .mean_downtime_ms(mean_downtime_secs * 1_000.0)
+        .retirement_fraction(retirement_fraction)
+        .generate(
+            caches,
+            duration_ms,
+            &mut StdRng::seed_from_u64(seed ^ 0x9e37),
+        );
+    let schedule = plan.schedule();
+
+    let supervisor = FormationSupervisor::new(
+        SupervisorConfig::new(SchemeConfig::sl(groups).landmarks(landmarks))
+            .step_ms(step_secs * 1_000.0)
+            .policy(policy),
+    );
+    if threads.is_some() {
+        edge_cache_groups::par::set_max_threads(threads);
+    }
+    let run_outcome = (|| -> Result<_, String> {
+        let timeline = supervisor
+            .run(&network, &schedule, duration_ms, &mut rng)
+            .map_err(|e| e.to_string())?;
+
+        println!(
+            "{caches} caches, K = {groups}, policy {policy_name}: \
+             {} windows of {:.0} s over {:.0} s",
+            timeline.decisions().len(),
+            step_secs,
+            duration_secs,
+        );
+        println!(
+            "{} epochs | holds {} repairs {} partial {} full {} | max drift {:.2}",
+            timeline.epochs().len(),
+            timeline.decision_count(ReformDecision::Hold),
+            timeline.decision_count(ReformDecision::Repair),
+            timeline.decision_count(ReformDecision::PartialReform),
+            timeline.decision_count(ReformDecision::FullReform),
+            timeline.max_drift(),
+        );
+        for d in timeline.decisions() {
+            if d.decision == ReformDecision::Hold && d.demoted_from.is_none() {
+                continue;
+            }
+            let demoted = match d.demoted_from {
+                Some(from) => format!(" (demoted from {from})"),
+                None => String::new(),
+            };
+            let escalated = if d.escalated { " (escalated)" } else { "" };
+            println!(
+                "  t={:>5.0}s {}{demoted}{escalated}: drift {:.2}, \
+                 {} down, {} retired, {} dead landmarks -> epoch {}",
+                d.window_end_ms / 1_000.0,
+                d.decision,
+                d.signals.drift,
+                d.signals.down_caches,
+                d.signals.retirements,
+                d.signals.dead_landmarks,
+                d.epoch,
+            );
+        }
+
+        if let Some(path) = flags.get("timeline-out") {
+            let mut json = timeline.to_json();
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+
+        if do_replay {
+            let (catalog, trace) = build_workload(flags, caches)?;
+            let epochs: Vec<ReplayEpoch> = timeline
+                .epoch_spans()
+                .map(|(start, map)| ReplayEpoch::new(start, map.clone()))
+                .collect();
+            let report = replay_epochs(
+                &network,
+                &epochs,
+                &catalog,
+                &trace,
+                &ReplayConfig::new()
+                    .sim(SimConfig::default().warmup_ms(duration_ms / 6.0))
+                    .schedule(schedule),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("epoch-spanning replay across {} epochs:", epochs.len());
+            println!("{report}");
+        }
+        Ok(())
+    })();
+    if threads.is_some() {
+        edge_cache_groups::par::set_max_threads(None);
+    }
+    run_outcome
+}
+
 /// Renders groups as one line of space-separated cache ids per group.
 fn render_groups(groups: &[Vec<CacheId>]) -> String {
     let mut out = String::new();
@@ -908,6 +1078,79 @@ mod tests {
         assert!(run(&to_args(&["replay", "--group-size", "0"])).is_err());
         assert!(run(&to_args(&["replay", "--threads", "0"])).is_err());
         assert!(run(&to_args(&["replay", "--policy", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn lifecycle_subcommand_is_thread_count_invariant() {
+        let dir = std::env::temp_dir();
+        let t1 = dir.join("ecg_cli_lifecycle_t1.json");
+        let t2 = dir.join("ecg_cli_lifecycle_t2.json");
+        let to_args =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+        // Heavy churn on a small network so the policy actually acts;
+        // the timeline JSON must not depend on the worker count.
+        let base = |out: &str, threads: &str| {
+            to_args(&[
+                "lifecycle",
+                "--caches",
+                "24",
+                "--groups",
+                "4",
+                "--landmarks",
+                "5",
+                "--duration-secs",
+                "60",
+                "--step-secs",
+                "10",
+                "--churn-rate",
+                "120",
+                "--seed",
+                "7",
+                "--timeline-out",
+                out,
+                "--threads",
+                threads,
+            ])
+        };
+        run(&base(t1.to_str().unwrap(), "1")).unwrap();
+        run(&base(t2.to_str().unwrap(), "2")).unwrap();
+        let a = std::fs::read(&t1).unwrap();
+        let b = std::fs::read(&t2).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "timeline JSON differs across thread counts");
+
+        // Epoch-spanning replay path over the same run.
+        run(&to_args(&[
+            "lifecycle",
+            "--caches",
+            "24",
+            "--groups",
+            "4",
+            "--landmarks",
+            "5",
+            "--duration-secs",
+            "60",
+            "--step-secs",
+            "10",
+            "--churn-rate",
+            "120",
+            "--seed",
+            "7",
+            "--docs",
+            "150",
+            "--replay",
+            "true",
+        ]))
+        .unwrap();
+
+        assert!(run(&to_args(&["lifecycle", "--caches", "0"])).is_err());
+        assert!(run(&to_args(&["lifecycle", "--churn-rate", "-1"])).is_err());
+        assert!(run(&to_args(&["lifecycle", "--threads", "0"])).is_err());
+        assert!(run(&to_args(&["lifecycle", "--policy", "bogus"])).is_err());
+        assert!(run(&to_args(&["lifecycle", "--retirement-fraction", "2"])).is_err());
+
+        std::fs::remove_file(&t1).ok();
+        std::fs::remove_file(&t2).ok();
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | [`replay`] | `ecg-replay` | sharded, streaming million-request trace replay |
 //! | [`core`] | `ecg-core` | the SL and SDSL schemes themselves |
 //! | [`faults`] | `ecg-faults` | fault plans, churn generation, degradation reporting |
+//! | [`lifecycle`] | `ecg-lifecycle` | continuous re-formation: supervisor, policies, epoch timelines |
 //! | [`par`] | `ecg-par` | deterministic fixed-chunk parallel kernels and the worker pool |
 //!
 //! ## Quickstart
@@ -65,12 +66,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub use ecg_cache as cache;
 pub use ecg_clustering as clustering;
 pub use ecg_coords as coords;
 pub use ecg_core as core;
 pub use ecg_faults as faults;
+pub use ecg_lifecycle as lifecycle;
 pub use ecg_obs as obs;
 pub use ecg_par as par;
 pub use ecg_place as place;
@@ -89,9 +92,14 @@ pub mod prelude {
         LandmarkSelector, Representation, ScaledFormation, SchemeConfig,
     };
     pub use ecg_faults::{ChurnConfig, ChurnDriver, FaultPlan};
+    pub use ecg_lifecycle::{
+        FormationSupervisor, FormationTimeline, ReformDecision, ReformPolicy, SupervisorConfig,
+    };
     pub use ecg_obs::Obs;
     pub use ecg_place::{AdaptiveConfig, DChoicesConfig, PlacementKind};
-    pub use ecg_replay::{replay_sharded, replay_streamed, ReplayConfig, StreamedWorkload};
+    pub use ecg_replay::{
+        replay_epochs, replay_sharded, replay_streamed, ReplayConfig, ReplayEpoch, StreamedWorkload,
+    };
     pub use ecg_sim::{
         simulate, simulate_with_faults, simulate_with_faults_observed, GroupMap, LatencyModel,
         SimConfig, SimReport,
